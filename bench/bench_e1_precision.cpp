@@ -1,0 +1,189 @@
+// Experiment E1 — claim C1: "they rarely require 64-bit or even 32 bits of
+// precision".
+//
+// Reproduces the claim in two halves:
+//   (a) MEASURED: train the Pilot1-style regression MLP and an NT3-lite
+//       conv classifier at each numeric format and report the final task
+//       metric — quality must hold at bf16/fp16 (and mostly at int8).
+//   (b) MODELED: per-step throughput and energy of a CANDLE-scale training
+//       at each format on the three node generations — the architectural
+//       payoff for the quality being retained.
+//
+// Table columns mirror what an evaluation section would print; the timed
+// google-benchmark section covers the measured training-throughput part.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "biodata/workloads.hpp"
+#include "hpcsim/perfmodel.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+using namespace candle;
+
+struct MeasuredRow {
+  Precision prec;
+  double metric;        // R^2 (pilot1) or accuracy (nt3)
+  double train_loss;
+  double samples_per_s;
+};
+
+Model pilot1_model(Index features) {
+  Model m;
+  m.add(make_dense(64)).add(make_relu());
+  m.add(make_dense(32)).add(make_relu());
+  m.add(make_dense(1));
+  m.build({features}, 1717);
+  return m;
+}
+
+Model nt3_model(Index length, Index classes) {
+  Model m;
+  m.add(make_conv1d(8, 7, 2)).add(make_relu()).add(make_maxpool1d(2));
+  m.add(make_flatten());
+  m.add(make_dense(32)).add(make_relu());
+  m.add(make_dense(classes));
+  m.build({1, length}, 1718);
+  return m;
+}
+
+MeasuredRow run_pilot1(Precision prec) {
+  biodata::DrugResponseConfig cfg;
+  cfg.samples = 1200;
+  cfg.seed = 101;
+  Dataset data = biodata::make_drug_response(cfg);
+  auto [train, test] = split(data, 0.8, 102);
+  Standardizer scaler = Standardizer::fit(train.x);
+  scaler.apply(train.x);
+  scaler.apply(test.x);
+  Model m = pilot1_model(cfg.features());
+  MeanSquaredError mse;
+  Adam opt(1e-3f);
+  FitOptions fo;
+  fo.epochs = 15;
+  fo.batch_size = 64;
+  fo.seed = 103;
+  fo.precision = PrecisionPolicy::standard(prec);
+  const FitHistory h = fit(m, train, &test, mse, opt, fo);
+  return {prec, r2_score(m.predict(test.x), test.y),
+          static_cast<double>(h.final_train_loss()), h.samples_per_second};
+}
+
+MeasuredRow run_nt3(Precision prec) {
+  biodata::TumorTypeConfig cfg;
+  cfg.samples = 600;
+  cfg.classes = 3;
+  cfg.profile_length = 128;
+  cfg.signal = 1.0f;
+  cfg.position_jitter = 12;  // unsaturated task: format effects visible
+  cfg.seed = 111;
+  Dataset data = biodata::make_tumor_type(cfg);
+  auto [train, test] = split(data, 0.8, 112);
+  Model m = nt3_model(cfg.profile_length, cfg.classes);
+  SoftmaxCrossEntropy xent;
+  Adam opt(1e-3f);
+  FitOptions fo;
+  fo.epochs = 10;
+  fo.batch_size = 32;
+  fo.seed = 113;
+  fo.precision = PrecisionPolicy::standard(prec);
+  const FitHistory h = fit(m, train, &test, xent, opt, fo);
+  return {prec, accuracy(m.predict(test.x), test.y),
+          static_cast<double>(h.final_train_loss()), h.samples_per_second};
+}
+
+void print_tables() {
+  std::printf("=== E1: reduced-precision training "
+              "(claim C1: rarely require 64 or even 32 bits) ===\n\n");
+
+  std::printf("measured task quality per numeric format (storage-rounded "
+              "compute, fp32 accumulate)\n");
+  std::printf("%-6s | %-18s %-12s | %-18s %-12s\n", "format",
+              "pilot1 test R^2", "samples/s", "nt3 test accuracy",
+              "samples/s");
+  for (Precision p : all_precisions()) {
+    const MeasuredRow p1 = run_pilot1(p);
+    const MeasuredRow n3 = run_nt3(p);
+    std::printf("%-6s | %-18.3f %-12.0f | %-18.3f %-12.0f\n",
+                precision_name(p).c_str(), p1.metric, p1.samples_per_s,
+                n3.metric, n3.samples_per_s);
+  }
+  std::printf("(fp64 rows use fp32 storage numerics — indistinguishable for "
+              "these workloads — and differ only in the machine model)\n\n");
+
+  // Modeled throughput/energy at CANDLE scale per node generation.
+  hpcsim::TrainingWorkload w;
+  w.name = "candle-scale";
+  w.flops_per_sample = 2e9;
+  w.parameters = 5e7;
+  w.bytes_per_sample = 6e4;
+  w.activation_bytes_per_sample = 4e5;
+  std::printf("modeled single-node step at batch 256 "
+              "(samples/s and J/step)\n");
+  std::printf("%-6s", "format");
+  for (const auto& node : hpcsim::all_node_presets()) {
+    std::printf(" | %-22s", node.name.c_str());
+  }
+  std::printf("\n");
+  for (Precision p : all_precisions()) {
+    std::printf("%-6s", precision_name(p).c_str());
+    for (const auto& node : hpcsim::all_node_presets()) {
+      hpcsim::ParallelPlan plan;
+      plan.batch_per_replica = 256;
+      plan.precision = p;
+      const auto est =
+          hpcsim::estimate_step(node, hpcsim::fat_tree_fabric(), w, plan);
+      std::printf(" | %9.0f sm/s %5.1f J", est.samples_per_s, est.energy_j);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: quality flat through bf16/fp16 (small int8 "
+              "drop); modeled throughput rises with narrower formats only "
+              "on nodes with reduced-precision units (summit fp16, future "
+              "all)\n\n");
+}
+
+// Timed benchmark: one fp32 vs bf16 vs int8 training epoch (measured).
+void BM_TrainEpoch(benchmark::State& state) {
+  const auto prec = static_cast<Precision>(state.range(0));
+  biodata::DrugResponseConfig cfg;
+  cfg.samples = 512;
+  cfg.seed = 131;
+  Dataset data = biodata::make_drug_response(cfg);
+  Model m = pilot1_model(cfg.features());
+  m.set_compute_precision(prec);
+  MeanSquaredError mse;
+  Adam opt(1e-3f);
+  BatchIterator batches(data, 64, true, 132);
+  for (auto _ : state) {
+    for (Index b = 0; b < batches.batches_per_epoch(); ++b) {
+      const Dataset batch = batches.next();
+      benchmark::DoNotOptimize(m.train_batch(batch.x, batch.y, mse, opt));
+    }
+  }
+  state.SetLabel(precision_name(prec));
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(data.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_TrainEpoch)
+    ->Arg(static_cast<int>(Precision::FP32))
+    ->Arg(static_cast<int>(Precision::BF16))
+    ->Arg(static_cast<int>(Precision::INT8))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment E2 — claim C2: "high compute density to support matrix-matrix
+// and matrix-vector operations".
+//
+// Produces the roofline table: for each layer of the two reference models,
+// arithmetic intensity and whether it is compute- or memory-bound per node
+// generation and memory tier (HBM vs DDR), plus MEASURED GFLOP/s of this
+// library's kernels at GEMM vs GEMV shapes — the gap that motivates dense
+// compute units.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "hpcsim/perfmodel.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+using namespace candle;
+
+struct LayerShape {
+  const char* name;
+  Index m, n, k;  // GEMM dims for a batch-64 forward pass
+};
+
+// Layer GEMMs of the Pilot1 MLP (batch 64) and the NT3 conv lowered via
+// im2col (per-sample cols x filters).
+const std::vector<LayerShape> kShapes = {
+    {"pilot1.dense1 (64x80 -> 64)", 64, 64, 80},
+    {"pilot1.dense2 (64x64 -> 32)", 64, 32, 64},
+    {"pilot1.dense3 (64x32 -> 1)", 64, 1, 32},
+    {"nt3.conv1 im2col (8f x 7k)", 8, 61, 7},
+    {"nt3.dense (32)", 64, 32, 232},
+    {"gemv.classifier (1xK)", 1, 1, 4096},
+    // CANDLE-scale hidden layer at a production batch: the compute-bound
+    // regime the dense units exist for.
+    {"candle.dense (4096x2048x2048)", 4096, 2048, 2048},
+};
+
+double measured_gflops(Index m, Index n, Index k) {
+  Tensor a({m, k}), b({k, n}), c({m, n});
+  Pcg32 rng(1);
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : b.flat()) v = static_cast<float>(rng.normal());
+  // Time enough repetitions for a stable estimate.
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  Index reps = static_cast<Index>(std::max(1.0, 2e8 / flops));
+  Stopwatch sw;
+  for (Index r = 0; r < reps; ++r) {
+    gemm(Op::None, Op::None, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c.data(), n);
+  }
+  const double secs = sw.seconds();
+  return flops * static_cast<double>(reps) / secs / 1e9;
+}
+
+void print_tables() {
+  std::printf("=== E2: compute density / roofline "
+              "(claim C2: matrix-matrix and matrix-vector ops) ===\n\n");
+
+  std::printf("workload kernels: arithmetic intensity and measured rate\n");
+  std::printf("%-30s %8s %10s %12s\n", "kernel", "AI(f/B)", "meas GF/s",
+              "bound@summit");
+  const auto summit = hpcsim::summit_node();
+  for (const LayerShape& s : kShapes) {
+    const double flops = 2.0 * static_cast<double>(s.m) * s.n * s.k;
+    const double bytes =
+        4.0 * (static_cast<double>(s.m) * s.k + static_cast<double>(s.k) * s.n +
+               static_cast<double>(s.m) * s.n);
+    const double ai = flops / bytes;
+    const auto est = hpcsim::roofline(summit, flops, bytes, Precision::FP32);
+    std::printf("%-30s %8.2f %10.2f %12s\n", s.name, ai,
+                measured_gflops(s.m, s.n, s.k),
+                est.memory_bound ? "memory" : "compute");
+  }
+
+  std::printf("\nridge intensity (flops/byte needed to reach peak) per node "
+              "generation, nearest tier vs DDR\n");
+  std::printf("%-12s %10s %10s %10s %10s\n", "node", "fp32@near",
+              "fp16@near", "fp32@DDR", "fp16@DDR");
+  for (const auto& node : hpcsim::all_node_presets()) {
+    std::printf("%-12s %10.1f %10.1f %10.1f %10.1f\n", node.name.c_str(),
+                hpcsim::ridge_intensity(node, Precision::FP32, 0),
+                hpcsim::ridge_intensity(node, Precision::FP16, 0),
+                hpcsim::ridge_intensity(node, Precision::FP32, 1),
+                hpcsim::ridge_intensity(node, Precision::FP16, 1));
+  }
+
+  std::printf("\nbatch sweep: modeled achieved fraction of peak for the "
+              "pilot1 dense1 GEMM (the strong-scaling mechanism)\n");
+  std::printf("%8s %12s\n", "batch", "peak frac");
+  for (Index batch : {1, 4, 16, 64, 256, 1024}) {
+    std::printf("%8lld %12.3f\n", static_cast<long long>(batch),
+                hpcsim::gemm_efficiency(batch));
+  }
+  std::printf("\nexpected shape: GEMMs sit near/above the ridge (compute "
+              "bound), GEMV far below (memory bound); narrower formats and "
+              "farther tiers push the ridge up — the architectural case for "
+              "dense units fed by HBM\n\n");
+}
+
+// Timed: GEMM vs GEMV at equal data footprint.
+void BM_GemmShape(benchmark::State& state) {
+  const Index n = 512;
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto _ : state) {
+    gemm(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void BM_GemvShape(benchmark::State& state) {
+  const Index n = 512;
+  Tensor a({n, n}), x({n}), y({n});
+  for (auto _ : state) {
+    // n GEMVs touch the same bytes as one n^3 GEMM but at intensity ~2.
+    for (Index r = 0; r < n; ++r) {
+      gemv(Op::None, n, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+BENCHMARK(BM_GemmShape)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GemvShape)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Experiment E3 — claim C3: "DNNs in general do not have good strong
+// scaling behavior".
+//
+//   (a) MEASURED: real synchronous data-parallel training on 1..8 virtual
+//       nodes with genuine ring all-reduce — verifying that the numerics
+//       are scale-invariant (same loss trajectory at every width).
+//   (b) MODELED: strong vs weak scaling to 4096 nodes for a CANDLE-scale
+//       workload, with the global-batch sweep showing where strong scaling
+//       collapses and how weak scaling holds.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "biodata/workloads.hpp"
+#include "hpcsim/perfmodel.hpp"
+#include "nn/metrics.hpp"
+#include "nn/norm.hpp"
+#include "parallel/data_parallel.hpp"
+#include "parallel/workload.hpp"
+
+namespace {
+
+using namespace candle;
+
+Model small_model(Index features) {
+  Model m;
+  m.add(make_dense(64)).add(make_relu());
+  m.add(make_dense(32)).add(make_relu());
+  m.add(make_dense(1));
+  m.build({features}, 3131);
+  return m;
+}
+
+hpcsim::TrainingWorkload candle_scale_workload() {
+  hpcsim::TrainingWorkload w;
+  w.name = "candle-scale";
+  w.flops_per_sample = 2e9;
+  w.parameters = 5e7;
+  w.bytes_per_sample = 6e4;
+  w.activation_bytes_per_sample = 4e5;
+  return w;
+}
+
+void print_tables() {
+  std::printf("=== E3: strong vs weak scaling "
+              "(claim C3: DNNs do not strong-scale well) ===\n\n");
+
+  // (a) Executable: loss trajectory must be identical across replica
+  // counts at fixed global batch (synchronous SGD invariance).
+  biodata::DrugResponseConfig cfg;
+  cfg.samples = 512;
+  cfg.seed = 301;
+  Dataset data = biodata::make_drug_response(cfg);
+  std::printf("measured virtual-node data parallelism "
+              "(fixed global batch 32, real ring all-reduce)\n");
+  std::printf("%9s %14s %14s\n", "replicas", "epoch-3 loss", "wall (s)");
+  for (Index replicas : {1, 2, 4, 8}) {
+    parallel::DataParallelOptions opts;
+    opts.replicas = replicas;
+    opts.batch_per_replica = 32 / replicas;
+    opts.epochs = 3;
+    opts.seed = 302;
+    const auto res = parallel::train_data_parallel(
+        [&] { return small_model(cfg.features()); },
+        [] { return make_sgd(0.05f); }, data, MeanSquaredError(), opts);
+    std::printf("%9lld %14.5f %14.2f\n", static_cast<long long>(replicas),
+                static_cast<double>(res.epoch_loss.back()),
+                res.measured_seconds);
+  }
+  std::printf("(loss column must be ~constant: the decomposition changes "
+              "the machine, not the mathematics)\n\n");
+
+  // (b) Modeled scaling curves.
+  const auto node = hpcsim::summit_node();
+  const auto fabric = hpcsim::fat_tree_fabric();
+  const auto w = candle_scale_workload();
+  const std::vector<hpcsim::Index> counts = {1,   4,    16,   64,
+                                             256, 1024, 4096};
+
+  for (const hpcsim::Index global_batch : {1024, 4096, 16384}) {
+    std::printf("modeled strong scaling, global batch %lld (%s, %s)\n",
+                static_cast<long long>(global_batch), node.name.c_str(),
+                "fat-tree");
+    std::printf("%8s %12s %12s %12s %14s\n", "nodes", "step(ms)", "speedup",
+                "efficiency", "comm fraction");
+    for (const auto& pt :
+         hpcsim::strong_scaling(node, fabric, w, global_batch, counts)) {
+      std::printf("%8lld %12.2f %12.1f %12.3f %14.3f\n",
+                  static_cast<long long>(pt.nodes), pt.step_s * 1e3,
+                  pt.speedup, pt.efficiency, pt.comm_fraction);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("modeled weak scaling (batch 256/node)\n");
+  std::printf("%8s %12s %12s %14s\n", "nodes", "step(ms)", "efficiency",
+              "comm fraction");
+  for (const auto& pt :
+       hpcsim::weak_scaling(node, fabric, w, 256, counts)) {
+    std::printf("%8lld %12.2f %12.3f %14.3f\n",
+                static_cast<long long>(pt.nodes), pt.step_s * 1e3,
+                pt.efficiency, pt.comm_fraction);
+  }
+  // (c) Ablation: normalization choice under the shrinking per-replica
+  // batches strong scaling forces.  BatchNorm statistics degrade with the
+  // local batch; LayerNorm is batch-independent.
+  std::printf("normalization ablation: test accuracy after training at a "
+              "given LOCAL batch (tumor-type MLP)\n");
+  std::printf("%12s %12s %12s\n", "local batch", "batchnorm", "layernorm");
+  biodata::TumorTypeConfig tcfg;
+  tcfg.samples = 400;
+  tcfg.classes = 4;
+  tcfg.profile_length = 64;
+  tcfg.signal = 0.5f;
+  tcfg.module_width = 6;
+  tcfg.seed = 321;
+  Dataset tumor = biodata::make_tumor_type_flat(tcfg);
+  auto [ttrain, ttest] = split(tumor, 0.8, 322);
+  for (Index local_batch : {32, 8, 2}) {
+    double accs[2] = {0.0, 0.0};
+    for (int which = 0; which < 2; ++which) {
+      Model m;
+      m.add(make_dense(32));
+      if (which == 0) {
+        m.add(make_batchnorm());
+      } else {
+        m.add(make_layernorm());
+      }
+      m.add(make_relu()).add(make_dense(tcfg.classes));
+      m.build({tcfg.profile_length}, 323);
+      SoftmaxCrossEntropy xent;
+      Adam opt(1e-3f);
+      FitOptions nfo;
+      nfo.epochs = 8;
+      nfo.batch_size = local_batch;
+      nfo.seed = 324;
+      fit(m, ttrain, nullptr, xent, opt, nfo);
+      accs[which] = accuracy(m.predict(ttest.x), ttest.y);
+    }
+    std::printf("%12lld %12.3f %12.3f\n", static_cast<long long>(local_batch),
+                accs[0], accs[1]);
+  }
+
+  std::printf("\nexpected shape: strong scaling efficiency collapses "
+              "(smaller local batches starve the GEMMs while the gradient "
+              "all-reduce is batch-independent); larger global batches push "
+              "the collapse out; weak scaling holds far better — hence the "
+              "paper's model/data/search-parallel combination; batch-"
+              "statistics layers (batchnorm) add a quality penalty at the "
+              "small local batches strong scaling forces\n\n");
+}
+
+// Timed: one measured data-parallel step at each replica count.
+void BM_DataParallelStep(benchmark::State& state) {
+  const Index replicas = state.range(0);
+  biodata::DrugResponseConfig cfg;
+  cfg.samples = 256;
+  cfg.seed = 311;
+  Dataset data = biodata::make_drug_response(cfg);
+  for (auto _ : state) {
+    parallel::DataParallelOptions opts;
+    opts.replicas = replicas;
+    opts.batch_per_replica = 32 / replicas;
+    opts.epochs = 1;
+    opts.seed = 312;
+    const auto res = parallel::train_data_parallel(
+        [&] { return small_model(cfg.features()); },
+        [] { return make_sgd(0.05f); }, data, MeanSquaredError(), opts);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+
+BENCHMARK(BM_DataParallelStep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

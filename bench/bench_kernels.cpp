@@ -1,0 +1,149 @@
+// Kernel micro-benchmarks: calibrate the machine model and ablate the GEMM
+// tiers (naive vs blocked vs blocked+parallel — DESIGN.md ✦), the precision
+// emulation overhead, conv lowering, and the executable ring all-reduce.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "parallel/collectives.hpp"
+#include "runtime/rng.hpp"
+
+namespace {
+
+using namespace candle;
+
+void fill_random(Tensor& t, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal());
+}
+
+// ---- GEMM tier ablation -----------------------------------------------------
+
+template <typename Kernel>
+void gemm_bench(benchmark::State& state, Kernel kernel) {
+  const Index n = state.range(0);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    kernel(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+           c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void BM_GemmNaive(benchmark::State& state) { gemm_bench(state, gemm_naive); }
+void BM_GemmBlocked(benchmark::State& state) { gemm_bench(state, gemm_serial); }
+void BM_GemmParallel(benchmark::State& state) { gemm_bench(state, gemm); }
+
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GemmParallel)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// ---- precision emulation overhead ---------------------------------------------
+
+void BM_GemmEmulated(benchmark::State& state) {
+  const Index n = 256;
+  const auto prec = static_cast<Precision>(state.range(0));
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_random(a, 3);
+  fill_random(b, 4);
+  for (auto _ : state) {
+    gemm_emulated(prec, Op::None, Op::None, n, n, n, 1.0f, a.data(), n,
+                  b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(precision_name(prec));
+}
+
+BENCHMARK(BM_GemmEmulated)
+    ->Arg(static_cast<int>(Precision::FP32))
+    ->Arg(static_cast<int>(Precision::BF16))
+    ->Arg(static_cast<int>(Precision::FP16))
+    ->Arg(static_cast<int>(Precision::INT8))
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- GEMV (the memory-bound partner of claim C2) --------------------------------
+
+void BM_Gemv(benchmark::State& state) {
+  const Index n = state.range(0);
+  Tensor a({n, n}), x({n}), y({n});
+  fill_random(a, 5);
+  fill_random(x, 6);
+  for (auto _ : state) {
+    gemv(Op::None, n, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+// ---- conv lowering ---------------------------------------------------------------
+
+void BM_Im2col1D(benchmark::State& state) {
+  const Index channels = 16, length = 1024, kernel = 9, stride = 1;
+  Tensor x({channels, length});
+  fill_random(x, 7);
+  const Index lout = conv_out_length(length, kernel, stride);
+  std::vector<float> cols(static_cast<std::size_t>(channels * kernel * lout));
+  for (auto _ : state) {
+    im2col_1d(x.data(), channels, length, kernel, stride, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+
+BENCHMARK(BM_Im2col1D)->Unit(benchmark::kMicrosecond);
+
+// ---- quantization ----------------------------------------------------------------
+
+void BM_QuantizeInt8(benchmark::State& state) {
+  const Index n = state.range(0);
+  Tensor x({n});
+  fill_random(x, 8);
+  for (auto _ : state) {
+    QuantizedTensor q = quantize_int8(x.flat());
+    benchmark::DoNotOptimize(q.values.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      4e-9 * static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_QuantizeInt8)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+// ---- executable ring all-reduce ----------------------------------------------------
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const Index p = state.range(0);
+  const Index n = 1 << 18;  // 1 MB per rank
+  std::vector<std::vector<float>> bufs(static_cast<std::size_t>(p));
+  Pcg32 rng(9);
+  for (auto& b : bufs) {
+    b.resize(static_cast<std::size_t>(n));
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    candle::parallel::ShmCommunicator comm(p);
+    std::vector<std::thread> threads;
+    for (Index r = 0; r < p; ++r) {
+      threads.emplace_back([&, r] {
+        comm.allreduce_ring(r, bufs[static_cast<std::size_t>(r)]);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.counters["bytes"] =
+      static_cast<double>(n) * 4.0 * static_cast<double>(p);
+}
+
+BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Antimicrobial-resistance screening: train a classifier on k-mer presence
+// profiles, report AUC, and audit which k-mers the model relies on —
+// recovering the planted resistance mechanisms ("to identify novel
+// antibiotic resistance mechanisms that might be present").
+//
+//   $ ./amr_screen
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "biodata/workloads.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+using namespace candle;
+
+int main() {
+  biodata::AmrConfig cfg;
+  cfg.samples = 3000;
+  cfg.seed = 77;
+  Dataset data = biodata::make_amr(cfg);
+  auto [train, test] = split(data, 0.8, 78);
+
+  Model model;
+  model.add(make_dense(64)).add(make_relu());
+  model.add(make_dense(32)).add(make_relu());
+  model.add(make_dense(1));
+  model.build({cfg.kmers}, 79);
+
+  BinaryCrossEntropy bce;
+  Adam opt(3e-3f);
+  FitOptions fo;
+  fo.epochs = 25;
+  fo.batch_size = 64;
+  fo.seed = 80;
+  const FitHistory h = fit(model, train, &test, bce, opt, fo);
+
+  const Tensor scores = model.predict(test.x);
+  std::printf("AMR resistance screen\n");
+  std::printf("  test AUC        : %.3f\n", roc_auc(scores, test.y));
+  std::printf("  test loss (BCE) : %.4f\n",
+              static_cast<double>(h.final_val_loss()));
+
+  // Mechanism discovery: occlusion importance — zero one k-mer column at a
+  // time and measure the drop in mean predicted resistance score.
+  const Index probe_n = std::min<Index>(512, test.size());
+  Dataset probe = slice(test, 0, probe_n);
+  const double base_mean =
+      static_cast<double>(model.predict(probe.x).mean());
+  std::vector<std::pair<double, Index>> importance;
+  for (Index k = 0; k < cfg.kmers; ++k) {
+    Tensor occluded = probe.x;
+    for (Index i = 0; i < probe_n; ++i) occluded.at(i, k) = 0.0f;
+    const double drop =
+        base_mean - static_cast<double>(model.predict(occluded).mean());
+    importance.emplace_back(drop, k);
+  }
+  std::sort(importance.rbegin(), importance.rend());
+
+  const Index mech_cols = cfg.mechanisms * cfg.kmers_per_mechanism;
+  std::printf("\n  top-%lld k-mers by occlusion importance "
+              "(planted mechanisms occupy columns 0..%lld):\n",
+              static_cast<long long>(mech_cols),
+              static_cast<long long>(mech_cols - 1));
+  Index recovered = 0;
+  for (Index r = 0; r < mech_cols; ++r) {
+    const auto [drop, k] = importance[static_cast<std::size_t>(r)];
+    const bool planted = k < mech_cols;
+    recovered += planted;
+    std::printf("    k-mer %3lld  importance %+.4f  %s\n",
+                static_cast<long long>(k), drop,
+                planted ? "<- planted mechanism k-mer" : "");
+  }
+  std::printf("  recovered %lld/%lld mechanism k-mers in the top set\n",
+              static_cast<long long>(recovered),
+              static_cast<long long>(mech_cols));
+  return 0;
+}

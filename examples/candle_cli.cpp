@@ -1,0 +1,279 @@
+// candle_cli — command-line front end for the library's main workflows.
+//
+//   candle_cli train --workload drug|tumor|amr|screen [--precision fp32|bf16|fp16|int8]
+//                    [--epochs N] [--batch N] [--lr F] [--seed N]
+//   candle_cli hpo   --strategy random|lhs|evolution|surrogate|generative
+//                    [--trials N] [--slots N] [--seed N]
+//   candle_cli scale [--nodes N] [--batch N] [--node titan|summit|future]
+//                    [--fabric fat-tree|torus|dragonfly]
+//   candle_cli calibrate
+//
+// Exit code 0 on success; errors print to stderr with a non-zero exit.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "biodata/workloads.hpp"
+#include "hpcsim/calibrate.hpp"
+#include "hpcsim/perfmodel.hpp"
+#include "hpo/analysis.hpp"
+#include "hpo/objectives.hpp"
+#include "hpo/searchers.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "sched/campaign.hpp"
+
+using namespace candle;
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw Error("expected --flag, got '" + key + "'");
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) throw Error("flag --" + key + " needs a value");
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+std::string flag(const Flags& flags, const std::string& key,
+                 const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Precision parse_precision(const std::string& name) {
+  for (Precision p : all_precisions()) {
+    if (precision_name(p) == name) return p;
+  }
+  throw Error("unknown precision: " + name);
+}
+
+struct TrainSetup {
+  Dataset data;
+  Model model;
+  std::unique_ptr<Loss> loss;
+  std::string metric_name;
+  std::function<double(Model&, const Dataset&)> metric;
+};
+
+TrainSetup make_setup(const std::string& workload, std::uint64_t seed) {
+  TrainSetup s;
+  if (workload == "drug") {
+    biodata::DrugResponseConfig cfg;
+    cfg.samples = 2000;
+    cfg.seed = seed;
+    s.data = biodata::make_drug_response(cfg);
+    s.model.add(make_dense(64)).add(make_relu()).add(make_dense(1));
+    s.loss = make_mse();
+    s.metric_name = "R^2";
+    s.metric = [](Model& m, const Dataset& d) {
+      return r2_score(m.predict(d.x), d.y);
+    };
+  } else if (workload == "tumor") {
+    biodata::TumorTypeConfig cfg;
+    cfg.samples = 1200;
+    cfg.seed = seed;
+    s.data = biodata::make_tumor_type(cfg);
+    s.model.add(make_conv1d(8, 7, 2)).add(make_relu()).add(make_maxpool1d(2));
+    s.model.add(make_flatten()).add(make_dense(32)).add(make_relu());
+    s.model.add(make_dense(cfg.classes));
+    s.loss = make_softmax_cross_entropy();
+    s.metric_name = "accuracy";
+    s.metric = [](Model& m, const Dataset& d) {
+      return accuracy(m.predict(d.x), d.y);
+    };
+  } else if (workload == "amr") {
+    biodata::AmrConfig cfg;
+    cfg.samples = 2000;
+    cfg.seed = seed;
+    s.data = biodata::make_amr(cfg);
+    s.model.add(make_dense(64)).add(make_relu()).add(make_dense(1));
+    s.loss = make_binary_cross_entropy();
+    s.metric_name = "AUC";
+    s.metric = [](Model& m, const Dataset& d) {
+      return roc_auc(m.predict(d.x), d.y);
+    };
+  } else if (workload == "screen") {
+    biodata::CompoundScreenConfig cfg;
+    cfg.samples = 3000;
+    cfg.seed = seed;
+    s.data = biodata::make_compound_screen(cfg);
+    s.model.add(make_dense(32)).add(make_relu()).add(make_dense(1));
+    s.loss = make_binary_cross_entropy();
+    s.metric_name = "AUC";
+    s.metric = [](Model& m, const Dataset& d) {
+      return roc_auc(m.predict(d.x), d.y);
+    };
+  } else {
+    throw Error("unknown workload: " + workload +
+                " (expected drug|tumor|amr|screen)");
+  }
+  return s;
+}
+
+int cmd_train(const Flags& flags) {
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(flag(flags, "seed", "1")));
+  TrainSetup s = make_setup(flag(flags, "workload", "drug"), seed);
+  auto [train, test] = split(s.data, 0.8, seed ^ 1);
+  s.model.build(train.sample_shape(), seed ^ 2);
+
+  Adam opt(std::stof(flag(flags, "lr", "0.001")));
+  FitOptions fo;
+  fo.epochs = std::stoll(flag(flags, "epochs", "15"));
+  fo.batch_size = std::stoll(flag(flags, "batch", "64"));
+  fo.seed = seed ^ 3;
+  fo.precision =
+      PrecisionPolicy::standard(parse_precision(flag(flags, "precision",
+                                                     "fp32")));
+  const FitHistory h = fit(s.model, train, &test, *s.loss, opt, fo);
+  std::printf("%s: train loss %.4f | test loss %.4f | %s %.3f | "
+              "%.0f samples/s\n",
+              s.model.summary().c_str(),
+              static_cast<double>(h.final_train_loss()),
+              static_cast<double>(h.final_val_loss()),
+              s.metric_name.c_str(), s.metric(s.model, test),
+              h.samples_per_second);
+  return 0;
+}
+
+int cmd_hpo(const Flags& flags) {
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(flag(flags, "seed", "1")));
+  const Index trials = std::stoll(flag(flags, "trials", "32"));
+  const std::string strategy = flag(flags, "strategy", "generative");
+
+  biodata::DrugResponseConfig cfg;
+  cfg.samples = 900;
+  cfg.seed = seed;
+  Dataset data = biodata::make_drug_response(cfg);
+  auto [train, val] = split(data, 0.8, seed ^ 1);
+  Standardizer scaler = Standardizer::fit(train.x);
+  scaler.apply(train.x);
+  scaler.apply(val.x);
+
+  const hpo::SearchSpace space = hpo::make_mlp_space();
+  hpo::TrainObjectiveOptions topts;
+  topts.epochs = 6;
+  topts.classification = false;
+  hpo::TrainObjective objective(space, train, val, topts);
+  auto searcher = hpo::make_searcher(strategy, space, seed ^ 2, trials);
+
+  sched::CampaignOptions copts;
+  copts.slots = std::stoll(flag(flags, "slots", "8"));
+  copts.max_trials = trials;
+  const sched::CampaignResult result = sched::run_campaign(
+      *searcher, [&](const hpo::UnitConfig& c) { return objective(c); },
+      [](const hpo::UnitConfig&, Index epochs) {
+        return 10.0 * static_cast<double>(epochs);
+      },
+      copts);
+  std::printf("%s: %lld trials, best val MSE %.4f at %s\n", strategy.c_str(),
+              static_cast<long long>(result.trials), result.best_objective,
+              space.describe(result.best_config).c_str());
+  const auto importance =
+      hpo::parameter_importance(space, searcher->history());
+  std::printf("parameter importance: %s\n",
+              hpo::importance_report(importance).c_str());
+  return 0;
+}
+
+int cmd_scale(const Flags& flags) {
+  const std::string node_name = flag(flags, "node", "summit");
+  hpcsim::NodeSpec node;
+  if (node_name == "titan") {
+    node = hpcsim::titan_node();
+  } else if (node_name == "summit") {
+    node = hpcsim::summit_node();
+  } else if (node_name == "future") {
+    node = hpcsim::future_node();
+  } else {
+    throw Error("unknown node preset: " + node_name);
+  }
+  const std::string fabric_name = flag(flags, "fabric", "fat-tree");
+  hpcsim::Fabric fabric;
+  if (fabric_name == "fat-tree") {
+    fabric = hpcsim::fat_tree_fabric();
+  } else if (fabric_name == "torus") {
+    fabric = hpcsim::torus_fabric();
+  } else if (fabric_name == "dragonfly") {
+    fabric = hpcsim::dragonfly_fabric();
+  } else {
+    throw Error("unknown fabric preset: " + fabric_name);
+  }
+
+  hpcsim::TrainingWorkload w;
+  w.name = "candle-scale";
+  w.flops_per_sample = 2e9;
+  w.parameters = 5e7;
+  w.bytes_per_sample = 6e4;
+  w.activation_bytes_per_sample = 4e5;
+  const Index max_nodes = std::stoll(flag(flags, "nodes", "4096"));
+  const Index batch = std::stoll(flag(flags, "batch", "4096"));
+  std::vector<hpcsim::Index> counts;
+  for (Index n = 1; n <= max_nodes; n *= 4) counts.push_back(n);
+
+  std::printf("strong scaling of %s on %s + %s (global batch %lld)\n",
+              w.name.c_str(), node.name.c_str(), fabric_name.c_str(),
+              static_cast<long long>(batch));
+  std::printf("%8s %12s %12s %14s\n", "nodes", "step(ms)", "efficiency",
+              "comm fraction");
+  for (const auto& pt :
+       hpcsim::strong_scaling(node, fabric, w, batch, counts)) {
+    std::printf("%8lld %12.2f %12.3f %14.3f\n",
+                static_cast<long long>(pt.nodes), pt.step_s * 1e3,
+                pt.efficiency, pt.comm_fraction);
+  }
+  const auto best = hpcsim::best_hybrid_plan(node, fabric, w, max_nodes, batch);
+  std::printf("best hybrid plan at %lld nodes: data=%lld x model=%lld\n",
+              static_cast<long long>(max_nodes),
+              static_cast<long long>(best.data_replicas),
+              static_cast<long long>(best.model_shards));
+  return 0;
+}
+
+int cmd_calibrate(const Flags&) {
+  const auto cal = hpcsim::calibrate_host();
+  std::printf("host calibration (%.2f s):\n", cal.seconds_spent);
+  std::printf("  GEMM   %.2f GFLOP/s\n", cal.gemm_gflops);
+  std::printf("  GEMV   %.2f GFLOP/s\n", cal.gemv_gflops);
+  std::printf("  stream %.2f GB/s\n", cal.stream_gbs);
+  const auto node = hpcsim::calibrated_host_node(cal);
+  std::printf("  fp32 ridge intensity: %.1f flops/byte\n",
+              hpcsim::ridge_intensity(node, Precision::FP32));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: candle_cli <train|hpo|scale|calibrate> [--flag value]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const Flags flags = parse_flags(argc, argv, 2);
+    const std::string cmd = argv[1];
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "hpo") return cmd_hpo(flags);
+    if (cmd == "scale") return cmd_scale(flags);
+    if (cmd == "calibrate") return cmd_calibrate(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

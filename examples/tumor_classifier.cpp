@@ -1,0 +1,76 @@
+// Tumor-type classification (NT3-style): a 1-D convolutional network over
+// expression profiles versus a parameter-matched MLP — demonstrating why
+// "dense fully connected networks and convolutional networks" dominate the
+// paper's workloads, and why locality-aware models win on profile data.
+//
+//   $ ./tumor_classifier
+#include <cstdio>
+
+#include "biodata/workloads.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+using namespace candle;
+
+namespace {
+
+double train_and_score(Model& model, const Dataset& train,
+                       const Dataset& test, Index epochs) {
+  SoftmaxCrossEntropy xent;
+  Adam opt(1e-3f);
+  FitOptions fo;
+  fo.epochs = epochs;
+  fo.batch_size = 32;
+  fo.seed = 99;
+  fit(model, train, nullptr, xent, opt, fo);
+  return accuracy(model.predict(test.x), test.y);
+}
+
+}  // namespace
+
+int main() {
+  biodata::TumorTypeConfig cfg;
+  cfg.samples = 1200;
+  cfg.classes = 4;
+  cfg.profile_length = 256;
+  cfg.signal = 1.2f;
+  cfg.position_jitter = 24;  // modules shift per sample: locality matters
+  cfg.seed = 3;
+
+  // Conv pipeline consumes (1, L) profiles; MLP consumes flat vectors.
+  Dataset conv_data = biodata::make_tumor_type(cfg);
+  Dataset flat_data = biodata::make_tumor_type_flat(cfg);
+  auto [conv_train, conv_test] = split(conv_data, 0.8, 11);
+  auto [flat_train, flat_test] = split(flat_data, 0.8, 11);
+
+  // Conv1D model: local gene modules are exactly what convolutions see.
+  Model conv;
+  conv.add(make_conv1d(16, 9, 2)).add(make_relu()).add(make_maxpool1d(2));
+  conv.add(make_conv1d(32, 5, 1)).add(make_relu()).add(make_maxpool1d(2));
+  conv.add(make_flatten());
+  conv.add(make_dense(64)).add(make_relu()).add(make_dropout(0.2f));
+  conv.add(make_dense(cfg.classes));
+  conv.build({1, cfg.profile_length}, 21);
+
+  // MLP baseline with a similar parameter budget.
+  Model mlp;
+  mlp.add(make_dense(96)).add(make_relu()).add(make_dropout(0.2f));
+  mlp.add(make_dense(48)).add(make_relu());
+  mlp.add(make_dense(cfg.classes));
+  mlp.build({cfg.profile_length}, 21);
+
+  std::printf("conv net: %s (%lld params)\n", conv.summary().c_str(),
+              static_cast<long long>(conv.num_params()));
+  std::printf("mlp     : %s (%lld params)\n", mlp.summary().c_str(),
+              static_cast<long long>(mlp.num_params()));
+
+  const double conv_acc = train_and_score(conv, conv_train, conv_test, 15);
+  const double mlp_acc = train_and_score(mlp, flat_train, flat_test, 15);
+
+  std::printf("\ntest accuracy (4 classes, chance = 0.25)\n");
+  std::printf("  conv1d pipeline : %.3f\n", conv_acc);
+  std::printf("  mlp baseline    : %.3f\n", mlp_acc);
+  std::printf("  conv advantage  : %+.3f\n", conv_acc - mlp_acc);
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "biodata/pilots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace candle::biodata {
+
+// ---- autoencoder ----------------------------------------------------------------
+
+Dataset make_expression_autoencoder(const AutoencoderConfig& cfg) {
+  CANDLE_CHECK(cfg.samples >= 1 && cfg.genes >= cfg.pathways &&
+                   cfg.pathways >= 1,
+               "invalid AutoencoderConfig");
+  Pcg32 rng(cfg.seed, 0xae01);
+  Tensor loadings = Tensor::randn({cfg.genes, cfg.pathways}, rng);
+  Dataset d{Tensor({cfg.samples, cfg.genes}), Tensor({cfg.samples, cfg.genes})};
+  std::vector<float> z(static_cast<std::size_t>(cfg.pathways));
+  for (Index i = 0; i < cfg.samples; ++i) {
+    for (auto& v : z) v = static_cast<float>(rng.normal());
+    float* row = d.x.data() + i * cfg.genes;
+    for (Index g = 0; g < cfg.genes; ++g) {
+      float e = 0.0f;
+      for (Index p = 0; p < cfg.pathways; ++p) {
+        e += loadings.at(g, p) * z[static_cast<std::size_t>(p)];
+      }
+      row[g] = e + cfg.noise * static_cast<float>(rng.normal());
+    }
+  }
+  d.y.copy_from(d.x);
+  return d;
+}
+
+// ---- treatment outcomes -----------------------------------------------------------
+
+namespace {
+
+// Deterministic per-config coefficient draws.
+struct TreatmentModel {
+  std::vector<float> base_w;    // baseline risk weights
+  std::vector<float> effect_w;  // treatment-interaction weights
+  float base_b = 0.0f;
+  float effect_b = 0.0f;
+
+  explicit TreatmentModel(const TreatmentConfig& cfg) {
+    Pcg32 rng(cfg.seed, 0x7d0c);
+    base_w.resize(static_cast<std::size_t>(cfg.covariates));
+    effect_w.resize(static_cast<std::size_t>(cfg.covariates));
+    for (auto& w : base_w) w = static_cast<float>(rng.normal(0.0, 0.8));
+    for (auto& w : effect_w) w = static_cast<float>(rng.normal(0.0, 1.0));
+    base_b = static_cast<float>(rng.normal(-0.5, 0.2));
+    effect_b = static_cast<float>(rng.normal(0.0, 0.3));
+  }
+};
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double treatment_outcome_probability(const TreatmentConfig& cfg,
+                                     std::span<const float> covariates,
+                                     bool treated) {
+  CANDLE_CHECK(static_cast<Index>(covariates.size()) == cfg.covariates,
+               "covariate count mismatch");
+  const TreatmentModel model(cfg);
+  double logit = model.base_b;
+  double effect = model.effect_b;
+  for (std::size_t j = 0; j < covariates.size(); ++j) {
+    logit += model.base_w[j] * covariates[j];
+    effect += model.effect_w[j] * covariates[j];
+  }
+  // Treatment shifts the logit by a covariate-dependent amount: it lowers
+  // risk where `effect` is negative and raises it where positive.
+  if (treated) logit += effect;
+  return sigmoid(logit);
+}
+
+Dataset make_treatment_outcome(const TreatmentConfig& cfg) {
+  CANDLE_CHECK(cfg.samples >= 1 && cfg.covariates >= 1,
+               "invalid TreatmentConfig");
+  CANDLE_CHECK(cfg.treated_fraction > 0.0f && cfg.treated_fraction < 1.0f,
+               "treated fraction must be in (0,1)");
+  Pcg32 rng(cfg.seed, 0x7d0d);
+  Dataset d{Tensor({cfg.samples, cfg.covariates + 1}),
+            Tensor({cfg.samples, 1})};
+  std::vector<float> cov(static_cast<std::size_t>(cfg.covariates));
+  for (Index i = 0; i < cfg.samples; ++i) {
+    for (auto& v : cov) v = static_cast<float>(rng.normal());
+    const bool treated = rng.next_float() < cfg.treated_fraction;
+    float* row = d.x.data() + i * (cfg.covariates + 1);
+    std::copy(cov.begin(), cov.end(), row);
+    row[cfg.covariates] = treated ? 1.0f : 0.0f;
+    const double p = treatment_outcome_probability(cfg, cov, treated);
+    // Logit noise: jitter the probability through its logit.
+    const double noisy = sigmoid(std::log(p / (1.0 - p)) +
+                                 cfg.outcome_noise * rng.normal());
+    d.y.at(i, 0) = rng.next_double() < noisy ? 1.0f : 0.0f;
+  }
+  return d;
+}
+
+double policy_value(const TreatmentConfig& cfg,
+                    const std::function<bool(std::span<const float>)>& policy,
+                    Index n_eval, std::uint64_t seed) {
+  CANDLE_CHECK(n_eval >= 1, "need at least one evaluation patient");
+  Pcg32 rng(seed, 0x7d0e);
+  std::vector<float> cov(static_cast<std::size_t>(cfg.covariates));
+  double total = 0.0;
+  for (Index i = 0; i < n_eval; ++i) {
+    for (auto& v : cov) v = static_cast<float>(rng.normal());
+    const bool treat = policy(cov);
+    total += treatment_outcome_probability(cfg, cov, treat);
+  }
+  return total / static_cast<double>(n_eval);
+}
+
+// ---- MD frames ---------------------------------------------------------------------
+
+namespace {
+
+struct MdSurface {
+  Tensor centers;              // (wells, dims)
+  std::vector<float> depths;   // basin depths (negative at minimum)
+  std::vector<float> widths;   // basin widths
+
+  explicit MdSurface(const MdConfig& cfg) {
+    Pcg32 rng(cfg.seed, 0x3d5);
+    centers = Tensor::randn({cfg.wells, cfg.dims}, rng, 0.0f, 2.0f);
+    depths.resize(static_cast<std::size_t>(cfg.wells));
+    widths.resize(static_cast<std::size_t>(cfg.wells));
+    for (Index w = 0; w < cfg.wells; ++w) {
+      // Well 0 is the global minimum by construction.
+      depths[static_cast<std::size_t>(w)] =
+          w == 0 ? -4.0f : -1.0f - 2.0f * rng.next_float();
+      widths[static_cast<std::size_t>(w)] = 0.8f + 0.8f * rng.next_float();
+    }
+  }
+};
+
+}  // namespace
+
+double md_potential(const MdConfig& cfg, std::span<const float> x) {
+  CANDLE_CHECK(static_cast<Index>(x.size()) == cfg.dims,
+               "configuration dimensionality mismatch");
+  const MdSurface surface(cfg);
+  // Sum of Gaussian wells + a weak harmonic confinement + ripples.
+  double energy = 0.0;
+  double r2_origin = 0.0;
+  for (float v : x) r2_origin += static_cast<double>(v) * v;
+  energy += 0.05 * r2_origin;
+  for (Index w = 0; w < cfg.wells; ++w) {
+    double r2 = 0.0;
+    for (Index k = 0; k < cfg.dims; ++k) {
+      const double d = x[static_cast<std::size_t>(k)] - surface.centers.at(w, k);
+      r2 += d * d;
+    }
+    const double width = surface.widths[static_cast<std::size_t>(w)];
+    energy += surface.depths[static_cast<std::size_t>(w)] *
+              std::exp(-r2 / (2.0 * width * width));
+  }
+  // Short-wavelength ruggedness (what makes a surrogate useful).
+  double ripple = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    ripple += std::sin(3.0 * x[k] + static_cast<double>(k));
+  }
+  energy += 0.1 * ripple;
+  return energy;
+}
+
+std::vector<float> md_global_minimum(const MdConfig& cfg) {
+  const MdSurface surface(cfg);
+  std::vector<float> x(static_cast<std::size_t>(cfg.dims));
+  for (Index k = 0; k < cfg.dims; ++k) {
+    x[static_cast<std::size_t>(k)] = surface.centers.at(0, k);
+  }
+  return x;
+}
+
+Dataset make_md_frames(const MdConfig& cfg) {
+  CANDLE_CHECK(cfg.samples >= 1 && cfg.dims >= 1 && cfg.wells >= 1,
+               "invalid MdConfig");
+  CANDLE_CHECK(cfg.temperature > 0.0f, "temperature must be positive");
+  Pcg32 rng(cfg.seed, 0x3d6);
+  const MdSurface surface(cfg);
+  Dataset d{Tensor({cfg.samples, cfg.dims}), Tensor({cfg.samples, 1})};
+  std::vector<float> x(static_cast<std::size_t>(cfg.dims));
+  for (Index i = 0; i < cfg.samples; ++i) {
+    // Sample around a random well (short MD bursts near metastable states).
+    const auto w = static_cast<Index>(
+        rng.next_below(static_cast<std::uint32_t>(cfg.wells)));
+    for (Index k = 0; k < cfg.dims; ++k) {
+      x[static_cast<std::size_t>(k)] = static_cast<float>(
+          surface.centers.at(w, k) + cfg.temperature * rng.normal());
+    }
+    float* row = d.x.data() + i * cfg.dims;
+    std::copy(x.begin(), x.end(), row);
+    d.y.at(i, 0) = static_cast<float>(md_potential(cfg, x));
+  }
+  return d;
+}
+
+}  // namespace candle::biodata

@@ -1,0 +1,89 @@
+// Additional pilot workloads matching the paper's application inventory:
+//
+//   * ExpressionAutoencoder (P1B1-style): unsupervised compression of gene
+//     expression.  Expression is a linear mixture of `pathways` latent
+//     factors, so an autoencoder with bottleneck >= pathways reconstructs
+//     well and one with bottleneck < pathways cannot — a planted,
+//     verifiable structure.
+//   * TreatmentOutcome ("interpret millions of medical records to identify
+//     optimal treatment strategies"): synthetic patient covariates with a
+//     heterogeneous treatment effect; models predict outcome risk given
+//     (covariates, treatment), and a learned policy is scored against the
+//     generative ground truth.
+//   * MdFrames (Pilot2-style, "supervise large-scale multi-resolution
+//     molecular dynamics simulations"): configurations sampled from a
+//     rugged synthetic potential-energy surface with their energies; a
+//     surrogate regressor learns the surface and can steer sampling.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nn/dataset.hpp"
+
+namespace candle::biodata {
+
+// ---- P1B1-style expression autoencoder -----------------------------------------
+
+struct AutoencoderConfig {
+  Index samples = 2000;
+  Index genes = 96;
+  Index pathways = 6;   // true latent dimensionality
+  float noise = 0.15f;  // measurement noise on expression
+  std::uint64_t seed = 11;
+};
+
+/// x: (samples, genes); y: identical copy of x (reconstruction target).
+Dataset make_expression_autoencoder(const AutoencoderConfig& cfg);
+
+// ---- medical-records treatment outcomes ------------------------------------------
+
+struct TreatmentConfig {
+  Index samples = 4000;
+  Index covariates = 12;  // age, labs, comorbidities, ...
+  /// Fraction of patients who received the treatment in the records.
+  float treated_fraction = 0.5f;
+  float outcome_noise = 0.5f;  // logit noise
+  std::uint64_t seed = 12;
+};
+
+/// x: (samples, covariates + 1) — the last column is the treatment flag
+/// {0,1}; y: (samples, 1) adverse-outcome indicator {0,1}.
+Dataset make_treatment_outcome(const TreatmentConfig& cfg);
+
+/// Ground-truth adverse-outcome probability for covariates `x` (length
+/// cfg.covariates) under `treated`.  The treatment helps some covariate
+/// profiles and harms others (heterogeneous effect), so the optimal policy
+/// is covariate-dependent.
+double treatment_outcome_probability(const TreatmentConfig& cfg,
+                                     std::span<const float> covariates,
+                                     bool treated);
+
+/// Expected adverse-outcome rate of a policy (maps covariates -> treat?)
+/// over `n_eval` fresh patients drawn from the generative model.
+double policy_value(const TreatmentConfig& cfg,
+                    const std::function<bool(std::span<const float>)>& policy,
+                    Index n_eval, std::uint64_t seed);
+
+// ---- Pilot2-style MD surrogate ------------------------------------------------------
+
+struct MdConfig {
+  Index samples = 3000;
+  Index dims = 10;      // collective-variable dimensionality
+  Index wells = 4;      // metastable basins of the potential
+  float temperature = 0.8f;  // sampling spread around basins
+  std::uint64_t seed = 13;
+};
+
+/// x: (samples, dims) configurations; y: (samples, 1) potential energy.
+Dataset make_md_frames(const MdConfig& cfg);
+
+/// The underlying potential energy at configuration `x` (length cfg.dims).
+double md_potential(const MdConfig& cfg, std::span<const float> x);
+
+/// Location of the deepest basin (the global minimum the surrogate-guided
+/// search should find).
+std::vector<float> md_global_minimum(const MdConfig& cfg);
+
+}  // namespace candle::biodata

@@ -1,0 +1,143 @@
+#include "biodata/staging_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "runtime/timer.hpp"
+
+namespace candle::biodata {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xCA9D57A6u;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CANDLE_CHECK(static_cast<bool>(is), "staged dataset truncated");
+  return v;
+}
+
+void write_shape(std::ofstream& os, const Shape& s) {
+  write_pod(os, static_cast<std::uint32_t>(s.size()));
+  for (Index d : s) write_pod(os, static_cast<std::int64_t>(d));
+}
+
+Shape read_shape(std::ifstream& is) {
+  const auto rank = read_pod<std::uint32_t>(is);
+  CANDLE_CHECK(rank <= 8, "implausible staged tensor rank");
+  Shape s;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    s.push_back(read_pod<std::int64_t>(is));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::size_t stage_dataset(const Dataset& data, const std::string& path) {
+  CANDLE_CHECK(data.size() >= 1, "cannot stage an empty dataset");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CANDLE_CHECK(os.is_open(), "cannot open staging file: " + path);
+  write_pod(os, kMagic);
+  write_shape(os, data.x.shape());
+  write_shape(os, data.y.shape());
+  os.write(reinterpret_cast<const char*>(data.x.data()),
+           static_cast<std::streamsize>(data.x.numel() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(data.y.data()),
+           static_cast<std::streamsize>(data.y.numel() * sizeof(float)));
+  CANDLE_CHECK(static_cast<bool>(os), "staging write failed: " + path);
+  return sizeof(kMagic) + static_cast<std::size_t>(os.tellp());
+}
+
+Dataset load_staged_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CANDLE_CHECK(is.is_open(), "cannot open staged dataset: " + path);
+  CANDLE_CHECK(read_pod<std::uint32_t>(is) == kMagic,
+               "not a staged dataset: " + path);
+  const Shape xs = read_shape(is);
+  const Shape ys = read_shape(is);
+  Dataset d{Tensor(xs), Tensor(ys)};
+  is.read(reinterpret_cast<char*>(d.x.data()),
+          static_cast<std::streamsize>(d.x.numel() * sizeof(float)));
+  is.read(reinterpret_cast<char*>(d.y.data()),
+          static_cast<std::streamsize>(d.y.numel() * sizeof(float)));
+  CANDLE_CHECK(static_cast<bool>(is), "staged dataset truncated: " + path);
+  return d;
+}
+
+StagedReader::StagedReader(const std::string& path, Index batch)
+    : path_(path), batch_(batch) {
+  CANDLE_CHECK(batch >= 1, "batch must be positive");
+  auto* is = new std::ifstream(path, std::ios::binary);
+  file_ = is;
+  CANDLE_CHECK(is->is_open(), "cannot open staged dataset: " + path);
+  CANDLE_CHECK(read_pod<std::uint32_t>(*is) == kMagic,
+               "not a staged dataset: " + path);
+  x_shape_ = read_shape(*is);
+  y_shape_ = read_shape(*is);
+  CANDLE_CHECK(!x_shape_.empty() && !y_shape_.empty() &&
+                   x_shape_[0] == y_shape_[0],
+               "staged dataset row counts disagree");
+  rows_ = x_shape_[0];
+  x_row_elems_ = shape_numel(x_shape_) / rows_;
+  y_row_elems_ = shape_numel(y_shape_) / rows_;
+  x_data_off_ = is->tellg();
+  y_data_off_ = x_data_off_ + static_cast<std::streamoff>(
+                                  shape_numel(x_shape_) * sizeof(float));
+}
+
+StagedReader::~StagedReader() {
+  delete static_cast<std::ifstream*>(file_);
+}
+
+Shape StagedReader::sample_shape() const {
+  Shape s = x_shape_;
+  s.erase(s.begin());
+  return s;
+}
+
+Dataset StagedReader::next() {
+  auto& is = *static_cast<std::ifstream*>(file_);
+  if (cursor_ >= rows_) cursor_ = 0;
+  const Index lo = cursor_;
+  const Index hi = std::min(rows_, lo + batch_);
+  const Index n = hi - lo;
+  cursor_ = hi;
+
+  Shape xs = x_shape_;
+  xs[0] = n;
+  Shape ys = y_shape_;
+  ys[0] = n;
+  Dataset d{Tensor(xs), Tensor(ys)};
+  is.seekg(x_data_off_ + static_cast<std::streamoff>(lo * x_row_elems_ *
+                                                     sizeof(float)));
+  is.read(reinterpret_cast<char*>(d.x.data()),
+          static_cast<std::streamsize>(n * x_row_elems_ * sizeof(float)));
+  is.seekg(y_data_off_ + static_cast<std::streamoff>(lo * y_row_elems_ *
+                                                     sizeof(float)));
+  is.read(reinterpret_cast<char*>(d.y.data()),
+          static_cast<std::streamsize>(n * y_row_elems_ * sizeof(float)));
+  CANDLE_CHECK(static_cast<bool>(is), "staged batch read failed");
+  return d;
+}
+
+std::pair<double, double> measure_staging_rates(const Dataset& data,
+                                                const std::string& path) {
+  Stopwatch w;
+  const std::size_t bytes = stage_dataset(data, path);
+  const double write_gbs = static_cast<double>(bytes) / w.seconds() / 1e9;
+  Stopwatch r;
+  const Dataset back = load_staged_dataset(path);
+  const double read_gbs = static_cast<double>(bytes) / r.seconds() / 1e9;
+  CANDLE_CHECK(back.size() == data.size(), "staging round-trip lost rows");
+  return {write_gbs, read_gbs};
+}
+
+}  // namespace candle::biodata

@@ -1,0 +1,56 @@
+// Executable dataset staging: write datasets to node-local storage in a
+// simple binary format and stream mini-batches back.  This is the
+// measured counterpart of the hpcsim staging model (E6): the analytic
+// model prices PFS vs NVRAM; this module lets the host actually exercise
+// the generate -> stage -> stream path and measure its own rates.
+//
+// Format (little-endian): magic u32, x-rank u32, x-dims i64[], y-rank u32,
+// y-dims i64[], x data f32[], y data f32[].
+#pragma once
+
+#include <string>
+
+#include "nn/dataset.hpp"
+
+namespace candle::biodata {
+
+/// Write a dataset; returns bytes written.  Throws on I/O failure.
+std::size_t stage_dataset(const Dataset& data, const std::string& path);
+
+/// Read a staged dataset back (exact round trip).
+Dataset load_staged_dataset(const std::string& path);
+
+/// Stream a staged dataset from disk in row batches without materializing
+/// the whole file: each next() reads the next `batch` rows (wrapping).
+class StagedReader {
+ public:
+  StagedReader(const std::string& path, Index batch);
+  ~StagedReader();
+  StagedReader(const StagedReader&) = delete;
+  StagedReader& operator=(const StagedReader&) = delete;
+
+  Index rows() const { return rows_; }
+  Shape sample_shape() const;
+
+  /// Next `batch` rows (fewer at the tail, then wraps to the start).
+  Dataset next();
+
+ private:
+  void seek_to_row(Index row);
+
+  std::string path_;
+  Index batch_;
+  Index rows_ = 0;
+  Shape x_shape_, y_shape_;
+  Index x_row_elems_ = 0, y_row_elems_ = 0;
+  std::streamoff x_data_off_ = 0, y_data_off_ = 0;
+  Index cursor_ = 0;
+  void* file_ = nullptr;  // std::ifstream, type-erased to keep header light
+};
+
+/// Measured staging rates for a generated dataset: returns (write GB/s,
+/// read GB/s) through `path`.
+std::pair<double, double> measure_staging_rates(const Dataset& data,
+                                                const std::string& path);
+
+}  // namespace candle::biodata

@@ -1,0 +1,294 @@
+#include "biodata/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace candle::biodata {
+
+Dataset make_drug_response(const DrugResponseConfig& cfg) {
+  CANDLE_CHECK(cfg.samples >= 1 && cfg.genes >= 1 && cfg.pathways >= 1 &&
+                   cfg.drug_descriptors >= cfg.pathways,
+               "invalid DrugResponseConfig");
+  Pcg32 rng(cfg.seed, 0xd506);
+
+  // Sparse-ish loading matrix: each gene loads on a couple of pathways.
+  Tensor loadings({cfg.genes, cfg.pathways});
+  for (Index g = 0; g < cfg.genes; ++g) {
+    for (Index p = 0; p < cfg.pathways; ++p) {
+      const bool active = rng.next_float() < 0.3f;
+      loadings.at(g, p) =
+          active ? static_cast<float>(rng.normal(0.0, 1.0)) : 0.0f;
+    }
+  }
+  // Pathway-level response weights (cell-intrinsic sensitivity).
+  Tensor w_cell = Tensor::randn({cfg.pathways}, rng);
+  // Drug mechanism mixing: descriptors are a noisy linear readout of the
+  // drug's pathway-targeting vector.
+  Tensor descriptor_map = Tensor::randn({cfg.pathways, cfg.drug_descriptors},
+                                        rng, 0.0f, 0.8f);
+
+  Dataset d{Tensor({cfg.samples, cfg.features()}), Tensor({cfg.samples, 1})};
+  std::vector<float> z(static_cast<std::size_t>(cfg.pathways));
+  std::vector<float> mech(static_cast<std::size_t>(cfg.pathways));
+  for (Index i = 0; i < cfg.samples; ++i) {
+    float* row = d.x.data() + i * cfg.features();
+    // Latent pathway activity of this "cell line".
+    for (auto& v : z) v = static_cast<float>(rng.normal());
+    // Drug mechanism (which pathways the compound hits).
+    for (auto& v : mech) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+    // Observed expression: mixture of pathway activities + measurement noise.
+    for (Index g = 0; g < cfg.genes; ++g) {
+      float e = 0.0f;
+      for (Index p = 0; p < cfg.pathways; ++p) {
+        e += loadings.at(g, p) * z[static_cast<std::size_t>(p)];
+      }
+      row[g] = e + 0.2f * static_cast<float>(rng.normal());
+    }
+    // Observed drug descriptors.
+    for (Index k = 0; k < cfg.drug_descriptors; ++k) {
+      float v = 0.0f;
+      for (Index p = 0; p < cfg.pathways; ++p) {
+        v += descriptor_map.at(p, k) * mech[static_cast<std::size_t>(p)];
+      }
+      row[cfg.genes + k] = v + 0.2f * static_cast<float>(rng.normal());
+    }
+
+    // Response: cell-intrinsic term + pathway x mechanism interaction,
+    // squashed so the target stays bounded (like a normalized log-IC50).
+    float intrinsic = 0.0f, interaction = 0.0f;
+    for (Index p = 0; p < cfg.pathways; ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      intrinsic += w_cell[p] * z[pu];
+      interaction += z[pu] * mech[pu];
+    }
+    const float y = std::tanh(0.5f * intrinsic) + std::tanh(0.8f * interaction);
+    d.y.at(i, 0) = y + cfg.noise * static_cast<float>(rng.normal());
+  }
+  return d;
+}
+
+namespace {
+
+// Class signature layout for the tumor workload: deterministic, evenly
+// spread module start positions per class.
+std::vector<Index> module_starts(const TumorTypeConfig& cfg, Index cls,
+                                 Pcg32& layout_rng) {
+  std::vector<Index> starts;
+  const Index usable = cfg.profile_length - cfg.module_width;
+  CANDLE_CHECK(usable >= 1, "module wider than profile");
+  for (Index m = 0; m < cfg.modules_per_class; ++m) {
+    // Hash-like placement keyed by (class, module) through the shared rng
+    // stream: deterministic given the config seed.
+    (void)cls;
+    starts.push_back(
+        static_cast<Index>(layout_rng.next_below(static_cast<std::uint32_t>(usable))));
+  }
+  return starts;
+}
+
+}  // namespace
+
+Dataset make_tumor_type(const TumorTypeConfig& cfg) {
+  CANDLE_CHECK(cfg.samples >= cfg.classes && cfg.classes >= 2 &&
+                   cfg.profile_length >= cfg.module_width,
+               "invalid TumorTypeConfig");
+  Pcg32 rng(cfg.seed, 0x707);
+  Pcg32 layout_rng = rng.split(1);
+
+  // Per-class module positions and per-module amplitude patterns.
+  std::vector<std::vector<Index>> starts;
+  std::vector<Tensor> patterns;  // (modules, width) per class
+  for (Index c = 0; c < cfg.classes; ++c) {
+    starts.push_back(module_starts(cfg, c, layout_rng));
+    patterns.push_back(
+        Tensor::randn({cfg.modules_per_class, cfg.module_width}, layout_rng));
+  }
+
+  Dataset d{Tensor({cfg.samples, 1, cfg.profile_length}),
+            Tensor({cfg.samples})};
+  for (Index i = 0; i < cfg.samples; ++i) {
+    const Index cls = i % cfg.classes;  // balanced
+    d.y[i] = static_cast<float>(cls);
+    float* row = d.x.data() + i * cfg.profile_length;
+    for (Index g = 0; g < cfg.profile_length; ++g) {
+      row[g] = cfg.noise * static_cast<float>(rng.normal());
+    }
+    const auto cu = static_cast<std::size_t>(cls);
+    for (Index m = 0; m < cfg.modules_per_class; ++m) {
+      Index s0 = starts[cu][static_cast<std::size_t>(m)];
+      if (cfg.position_jitter > 0) {
+        const Index span = 2 * cfg.position_jitter + 1;
+        s0 += static_cast<Index>(
+                  rng.next_below(static_cast<std::uint32_t>(span))) -
+              cfg.position_jitter;
+        s0 = std::clamp<Index>(s0, 0, cfg.profile_length - cfg.module_width);
+      }
+      for (Index t = 0; t < cfg.module_width; ++t) {
+        row[s0 + t] += cfg.signal * patterns[cu].at(m, t);
+      }
+    }
+  }
+  return d;
+}
+
+Dataset make_tumor_type_flat(const TumorTypeConfig& cfg) {
+  Dataset d = make_tumor_type(cfg);
+  d.x.reshape({cfg.samples, cfg.profile_length});
+  return d;
+}
+
+bool amr_ground_truth(const AmrConfig& cfg, std::span<const float> row) {
+  CANDLE_CHECK(static_cast<Index>(row.size()) == cfg.kmers,
+               "AMR row width mismatch");
+  for (Index m = 0; m < cfg.mechanisms; ++m) {
+    bool all_present = true;
+    for (Index k = 0; k < cfg.kmers_per_mechanism; ++k) {
+      if (row[static_cast<std::size_t>(m * cfg.kmers_per_mechanism + k)] <
+          0.5f) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) return true;
+  }
+  return false;
+}
+
+Dataset make_amr(const AmrConfig& cfg) {
+  CANDLE_CHECK(cfg.mechanisms * cfg.kmers_per_mechanism <= cfg.kmers,
+               "mechanism k-mers exceed feature count");
+  CANDLE_CHECK(cfg.background_rate > 0.0f && cfg.background_rate < 1.0f,
+               "background rate must be in (0,1)");
+  CANDLE_CHECK(cfg.mechanism_prevalence > 0.0f &&
+                   cfg.mechanism_prevalence < 1.0f,
+               "mechanism prevalence must be in (0,1)");
+  CANDLE_CHECK(cfg.spurious_rate >= 0.0f && cfg.spurious_rate < 1.0f,
+               "spurious rate must be in [0,1)");
+  Pcg32 rng(cfg.seed, 0xa312);
+
+  Dataset d{Tensor({cfg.samples, cfg.kmers}), Tensor({cfg.samples, 1})};
+  const Index mech_cols = cfg.mechanisms * cfg.kmers_per_mechanism;
+  for (Index i = 0; i < cfg.samples; ++i) {
+    float* row = d.x.data() + i * cfg.kmers;
+    // Mechanism gene blocks: all-or-(rarely)-spurious.
+    for (Index m = 0; m < cfg.mechanisms; ++m) {
+      const bool carries = rng.next_float() < cfg.mechanism_prevalence;
+      for (Index k = 0; k < cfg.kmers_per_mechanism; ++k) {
+        const bool present =
+            carries || rng.next_float() < cfg.spurious_rate;
+        row[m * cfg.kmers_per_mechanism + k] = present ? 1.0f : 0.0f;
+      }
+    }
+    // Uninformative background k-mers.
+    for (Index k = mech_cols; k < cfg.kmers; ++k) {
+      row[k] = rng.next_float() < cfg.background_rate ? 1.0f : 0.0f;
+    }
+    bool resistant =
+        amr_ground_truth(cfg, {row, static_cast<std::size_t>(cfg.kmers)});
+    if (rng.next_float() < cfg.label_noise) resistant = !resistant;
+    d.y.at(i, 0) = resistant ? 1.0f : 0.0f;
+  }
+  return d;
+}
+
+Dataset make_compound_screen(const CompoundScreenConfig& cfg) {
+  CANDLE_CHECK(cfg.descriptors >= 5, "CompoundScreen needs >= 5 descriptors");
+  CANDLE_CHECK(cfg.active_fraction > 0.0f && cfg.active_fraction < 1.0f,
+               "active fraction must be in (0,1)");
+  Pcg32 rng(cfg.seed, 0xc09d);
+
+  // First pass: draw descriptors, compute the Friedman #1 surface.
+  Dataset d{Tensor({cfg.samples, cfg.descriptors}), Tensor({cfg.samples, 1})};
+  std::vector<float> score(static_cast<std::size_t>(cfg.samples));
+  for (Index i = 0; i < cfg.samples; ++i) {
+    float* row = d.x.data() + i * cfg.descriptors;
+    for (Index k = 0; k < cfg.descriptors; ++k) row[k] = rng.next_float();
+    const float s =
+        10.0f * std::sin(3.14159265f * row[0] * row[1]) +
+        20.0f * (row[2] - 0.5f) * (row[2] - 0.5f) + 10.0f * row[3] +
+        5.0f * row[4];
+    score[static_cast<std::size_t>(i)] = s;
+  }
+  // Threshold at the (1 - active_fraction) quantile for the target rate.
+  std::vector<float> sorted = score;
+  std::sort(sorted.begin(), sorted.end());
+  const auto cut_idx = static_cast<std::size_t>(
+      std::clamp<double>((1.0 - static_cast<double>(cfg.active_fraction)) *
+                             static_cast<double>(cfg.samples),
+                         0.0, static_cast<double>(cfg.samples - 1)));
+  const float threshold = sorted[cut_idx];
+  for (Index i = 0; i < cfg.samples; ++i) {
+    bool active = score[static_cast<std::size_t>(i)] > threshold;
+    if (rng.next_float() < cfg.label_noise) active = !active;
+    d.y.at(i, 0) = active ? 1.0f : 0.0f;
+  }
+  return d;
+}
+
+Dataset make_histology(const HistologyConfig& cfg) {
+  CANDLE_CHECK(cfg.samples >= cfg.classes && cfg.classes >= 2 &&
+                   cfg.image_size >= 8,
+               "invalid HistologyConfig");
+  Pcg32 rng(cfg.seed, 0x415);
+  Pcg32 layout = rng.split(1);
+
+  // Class constellations: blob centres in [0.2, 0.8] of the patch.
+  std::vector<std::vector<std::pair<float, float>>> constellations;
+  for (Index c = 0; c < cfg.classes; ++c) {
+    std::vector<std::pair<float, float>> blobs;
+    for (Index b = 0; b < cfg.blobs_per_class; ++b) {
+      blobs.emplace_back(0.2f + 0.6f * layout.next_float(),
+                         0.2f + 0.6f * layout.next_float());
+    }
+    constellations.push_back(std::move(blobs));
+  }
+
+  const Index hw = cfg.image_size;
+  Dataset d{Tensor({cfg.samples, 1, hw, hw}), Tensor({cfg.samples})};
+  const float two_sigma2 = 2.0f * cfg.blob_sigma * cfg.blob_sigma;
+  for (Index i = 0; i < cfg.samples; ++i) {
+    const Index cls = i % cfg.classes;
+    d.y[i] = static_cast<float>(cls);
+    float* img = d.x.data() + i * hw * hw;
+    for (Index px = 0; px < hw * hw; ++px) {
+      img[px] = cfg.noise * static_cast<float>(rng.normal());
+    }
+    for (const auto& [cx, cy] : constellations[static_cast<std::size_t>(cls)]) {
+      // Per-sample positional jitter of each blob (tissue heterogeneity).
+      const float jx = cx * static_cast<float>(hw) +
+                       2.0f * static_cast<float>(rng.normal());
+      const float jy = cy * static_cast<float>(hw) +
+                       2.0f * static_cast<float>(rng.normal());
+      for (Index y = 0; y < hw; ++y) {
+        for (Index x = 0; x < hw; ++x) {
+          const float dx = static_cast<float>(x) - jx;
+          const float dy = static_cast<float>(y) - jy;
+          img[y * hw + x] +=
+              cfg.signal * std::exp(-(dx * dx + dy * dy) / two_sigma2);
+        }
+      }
+    }
+  }
+  return d;
+}
+
+WorkloadInfo drug_response_info(const DrugResponseConfig& cfg) {
+  return {"drug_response", "regression",
+          cfg.features() * static_cast<Index>(sizeof(float))};
+}
+WorkloadInfo tumor_type_info(const TumorTypeConfig& cfg) {
+  return {"tumor_type", "classification",
+          cfg.profile_length * static_cast<Index>(sizeof(float))};
+}
+WorkloadInfo amr_info(const AmrConfig& cfg) {
+  return {"amr_resistance", "binary",
+          cfg.kmers * static_cast<Index>(sizeof(float))};
+}
+WorkloadInfo compound_screen_info(const CompoundScreenConfig& cfg) {
+  return {"compound_screen", "binary",
+          cfg.descriptors * static_cast<Index>(sizeof(float))};
+}
+
+}  // namespace candle::biodata

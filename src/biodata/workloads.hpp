@@ -1,0 +1,149 @@
+// Synthetic biomedical workload generators standing in for the paper's
+// cancer / infectious-disease datasets (see DESIGN.md substitution table).
+//
+// Each generator plants a *learnable* structure chosen so the systems
+// experiments behave like the real workloads:
+//   * DrugResponse (Pilot1-like): gene expression is a linear mixture of
+//     latent pathway activities; response is a nonlinear interaction
+//     between pathway state and drug mechanism.  An MLP regressor fits it;
+//     a linear model cannot.
+//   * TumorType (NT3-like): 1-D expression profiles with class signatures
+//     painted on *contiguous* gene modules, so 1-D convolutions exploit
+//     locality that a same-budget MLP wastes parameters rediscovering.
+//   * AmrResistance: binary k-mer presence vectors; resistance is a boolean
+//     combination of planted mechanism motifs plus label noise — mirroring
+//     known/unknown antibiotic-resistance mechanisms.
+//   * CompoundScreen: continuous molecular descriptors; activity is a
+//     sparse nonlinear function (Friedman-style) thresholded to a highly
+//     imbalanced binary label, as in virtual screening.
+//
+// Determinism: generation is a pure function of the config (incl. seed).
+#pragma once
+
+#include <string>
+
+#include "nn/dataset.hpp"
+
+namespace candle::biodata {
+
+// ---- Pilot1-like drug response ------------------------------------------------
+
+struct DrugResponseConfig {
+  Index samples = 2000;
+  Index genes = 64;             // expression features
+  Index pathways = 8;           // latent signalling pathways
+  Index drug_descriptors = 16;  // per-sample drug feature block
+  float noise = 0.1f;           // observation noise on the response
+  std::uint64_t seed = 1;
+
+  Index features() const { return genes + drug_descriptors; }
+};
+
+/// x: (samples, genes + drug_descriptors); y: (samples, 1) response in
+/// roughly [-2, 2] (a normalized -log(IC50) analogue).
+Dataset make_drug_response(const DrugResponseConfig& cfg);
+
+// ---- NT3-like tumor type classification ----------------------------------------
+
+struct TumorTypeConfig {
+  Index samples = 1500;
+  Index profile_length = 256;  // genes along the "chromosome" axis
+  Index classes = 4;
+  Index modules_per_class = 3;  // contiguous signature modules
+  Index module_width = 12;
+  /// Per-sample uniform shift of each module's position in
+  /// [-position_jitter, +position_jitter] — models copy-number /
+  /// rearrangement variability.  Nonzero jitter is what makes translation-
+  /// invariant (convolutional) models structurally superior to MLPs here.
+  Index position_jitter = 0;
+  float signal = 1.5f;  // signature amplitude over N(0,1) background
+  float noise = 1.0f;
+  std::uint64_t seed = 2;
+};
+
+/// x: (samples, 1, profile_length) for Conv1D models; y: (samples) class
+/// indices as floats.  Classes are balanced round-robin.
+Dataset make_tumor_type(const TumorTypeConfig& cfg);
+
+/// Same data flattened to (samples, profile_length) for MLP baselines.
+Dataset make_tumor_type_flat(const TumorTypeConfig& cfg);
+
+// ---- antimicrobial resistance ---------------------------------------------------
+
+struct AmrConfig {
+  Index samples = 2000;
+  Index kmers = 128;              // binary presence features
+  Index mechanisms = 3;           // independent resistance mechanisms
+  Index kmers_per_mechanism = 4;  // motif size (gene-block k-mers)
+  float mechanism_prevalence = 0.15f;  // P(a genome carries mechanism m)
+  float spurious_rate = 0.05f;    // P(motif k-mer present w/o the gene)
+  float background_rate = 0.3f;   // P(non-motif k-mer present)
+  float label_noise = 0.05f;      // flip probability (phenotyping error)
+  std::uint64_t seed = 3;
+};
+
+/// x: (samples, kmers) in {0,1}; y: (samples, 1) in {0,1}.
+///
+/// Generative story (mirrors how resistance genes appear in assemblies):
+/// each genome carries mechanism m with probability `mechanism_prevalence`;
+/// carrying it sets ALL of that mechanism's k-mer columns to 1 (the gene's
+/// k-mers co-occur as a block); otherwise those columns appear only at the
+/// low `spurious_rate`.  A sample is resistant iff any mechanism's block is
+/// fully present; phenotype labels are then flipped with `label_noise`.
+/// Mechanisms occupy the first mechanisms*kmers_per_mechanism columns.
+Dataset make_amr(const AmrConfig& cfg);
+
+/// Ground-truth resistance for one feature row (pre-noise); exposed so
+/// tests and the screening example can audit model behaviour.
+bool amr_ground_truth(const AmrConfig& cfg, std::span<const float> row);
+
+// ---- compound activity screening -------------------------------------------------
+
+struct CompoundScreenConfig {
+  Index samples = 4000;
+  Index descriptors = 32;
+  float active_fraction = 0.1f;  // approximate positive rate
+  float label_noise = 0.02f;
+  std::uint64_t seed = 4;
+};
+
+/// x: (samples, descriptors) continuous; y: (samples, 1) in {0,1}, with
+/// roughly `active_fraction` positives.  Activity depends nonlinearly on
+/// the first five descriptors only (Friedman #1 surface).
+Dataset make_compound_screen(const CompoundScreenConfig& cfg);
+
+// ---- histology-like imaging -------------------------------------------------------
+
+struct HistologyConfig {
+  Index samples = 800;
+  Index image_size = 28;  // H = W
+  Index classes = 3;
+  Index blobs_per_class = 3;  // class-specific texture blobs
+  float blob_sigma = 2.0f;    // blob radius (pixels)
+  float signal = 2.0f;
+  float noise = 1.0f;
+  std::uint64_t seed = 5;
+};
+
+/// x: (samples, 1, size, size) grayscale "tissue patches"; y: (samples)
+/// class indices.  Each class paints a characteristic constellation of
+/// Gaussian blobs whose positions jitter per sample — the tumor-imaging
+/// diagnosis modality the paper cites ("automated systems are routinely
+/// outperforming human expertise"), in miniature for Conv2D models.
+Dataset make_histology(const HistologyConfig& cfg);
+
+// ---- catalogue -------------------------------------------------------------------
+
+/// Metadata used by benchmark tables.
+struct WorkloadInfo {
+  std::string name;
+  std::string task;  // "regression" | "classification" | "binary"
+  Index feature_bytes_per_sample;
+};
+
+WorkloadInfo drug_response_info(const DrugResponseConfig& cfg);
+WorkloadInfo tumor_type_info(const TumorTypeConfig& cfg);
+WorkloadInfo amr_info(const AmrConfig& cfg);
+WorkloadInfo compound_screen_info(const CompoundScreenConfig& cfg);
+
+}  // namespace candle::biodata

@@ -1,0 +1,229 @@
+#include "core/formats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "runtime/error.hpp"
+
+namespace candle {
+
+std::string precision_name(Precision p) {
+  switch (p) {
+    case Precision::FP64: return "fp64";
+    case Precision::FP32: return "fp32";
+    case Precision::BF16: return "bf16";
+    case Precision::FP16: return "fp16";
+    case Precision::INT8: return "int8";
+  }
+  CANDLE_FAIL("unknown Precision");
+}
+
+int precision_bits(Precision p) {
+  switch (p) {
+    case Precision::FP64: return 64;
+    case Precision::FP32: return 32;
+    case Precision::BF16: return 16;
+    case Precision::FP16: return 16;
+    case Precision::INT8: return 8;
+  }
+  CANDLE_FAIL("unknown Precision");
+}
+
+std::span<const Precision> all_precisions() {
+  static constexpr std::array<Precision, 5> kAll = {
+      Precision::FP64, Precision::FP32, Precision::BF16, Precision::FP16,
+      Precision::INT8};
+  return kAll;
+}
+
+// ---- binary16 ---------------------------------------------------------------
+
+std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t abs = bits & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf / NaN.  Preserve NaN-ness with a quiet mantissa bit.
+    const std::uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mantissa);
+  }
+  if (abs >= 0x477ff000u) {
+    // Rounds to a magnitude >= 65520 -> overflow to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x33000001u) {
+    // Rounds to a magnitude below half the smallest subnormal -> zero.
+    return static_cast<std::uint16_t>(sign);
+  }
+
+  std::uint32_t exp = abs >> 23;            // biased fp32 exponent
+  std::uint32_t mant = abs & 0x007fffffu;   // fp32 mantissa
+  std::uint32_t half;
+  if (exp >= 113) {
+    // Normal half range: rebias 127 -> 15, keep top 10 mantissa bits.
+    half = ((exp - 112) << 10) | (mant >> 13);
+    // Round to nearest even on the 13 dropped bits.
+    const std::uint32_t rest = mant & 0x1fffu;
+    if (rest > 0x1000u || (rest == 0x1000u && (half & 1u))) ++half;
+  } else {
+    // Subnormal half: the result is round(m * 2^(e-126)) ulps of 2^-24,
+    // i.e. the 24-bit significand shifted right by (126 - e) with RNE.
+    mant |= 0x00800000u;
+    const std::uint32_t shift = 126 - exp;  // 14..23 given the range guards
+    const std::uint32_t q = mant >> shift;
+    const std::uint32_t rest = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    half = q;
+    if (rest > halfway || (rest == halfway && (half & 1u))) ++half;
+  }
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | ((127 - 15 - e) << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    bits = sign | 0x7f800000u | (mant << 13);  // Inf / NaN
+  } else {
+    bits = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+float round_fp16_stochastic(float f, Pcg32& rng) {
+  if (!std::isfinite(f)) return round_fp16(f);
+  const float down = round_fp16(f);
+  if (down == f) return f;
+  // Find the two neighbouring representables bracketing f.
+  float lo = down, hi = down;
+  if (down < f) {
+    hi = half_bits_to_float(
+        static_cast<std::uint16_t>(float_to_half_bits(down) +
+                                   (down >= 0 ? 1 : -1)));
+    if (hi < lo) std::swap(lo, hi);
+  } else {
+    lo = half_bits_to_float(
+        static_cast<std::uint16_t>(float_to_half_bits(down) -
+                                   (down >= 0 ? 1 : -1)));
+    if (hi < lo) std::swap(lo, hi);
+  }
+  if (!(lo <= f && f <= hi) || hi == lo) return down;  // clamp edge cases
+  const float p_up = (f - lo) / (hi - lo);
+  return rng.next_float() < p_up ? hi : lo;
+}
+
+// ---- bfloat16 ---------------------------------------------------------------
+
+std::uint16_t float_to_bf16_bits(float f) {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: keep quiet bit so truncation cannot produce Inf.
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round to nearest even on the low 16 bits.
+  const std::uint32_t rest = bits & 0xffffu;
+  const std::uint32_t halfway = 0x8000u;
+  std::uint32_t upper = bits >> 16;
+  if (rest > halfway || (rest == halfway && (upper & 1u))) ++upper;
+  return static_cast<std::uint16_t>(upper);
+}
+
+float bf16_bits_to_float(std::uint16_t b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+float round_bf16_stochastic(float f, Pcg32& rng) {
+  if (!std::isfinite(f)) return round_bf16(f);
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t rest = bits & 0xffffu;
+  if (rest == 0) return f;
+  const std::uint32_t down = bits & 0xffff0000u;
+  const std::uint32_t up = down + 0x10000u;
+  const float p_up = static_cast<float>(rest) / 65536.0f;
+  const std::uint32_t chosen = rng.next_float() < p_up ? up : down;
+  const float out = std::bit_cast<float>(chosen);
+  return std::isfinite(out) ? out : std::bit_cast<float>(down);
+}
+
+// ---- int8 -------------------------------------------------------------------
+
+QuantizedTensor quantize_int8(std::span<const float> x) {
+  float amax = 0.0f;
+  for (float v : x) amax = std::max(amax, std::abs(v));
+  QuantizedTensor q;
+  q.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  q.values.resize(x.size());
+  const float inv = 1.0f / q.scale;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float scaled = x[i] * inv;
+    const float clamped = std::clamp(scaled, -127.0f, 127.0f);
+    q.values[i] = static_cast<std::int8_t>(std::lrintf(clamped));
+  }
+  return q;
+}
+
+void dequantize_int8(const QuantizedTensor& q, std::span<float> out) {
+  CANDLE_CHECK(q.values.size() == out.size(), "dequantize size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = q.dequant(i);
+}
+
+// ---- bulk -------------------------------------------------------------------
+
+void round_through(Precision p, std::span<float> x) {
+  switch (p) {
+    case Precision::FP64:
+    case Precision::FP32:
+      return;  // identity at fp32 storage (see header)
+    case Precision::BF16:
+      for (float& v : x) v = round_bf16(v);
+      return;
+    case Precision::FP16:
+      for (float& v : x) v = round_fp16(v);
+      return;
+    case Precision::INT8: {
+      const QuantizedTensor q = quantize_int8(x);
+      dequantize_int8(q, x);
+      return;
+    }
+  }
+  CANDLE_FAIL("unknown Precision");
+}
+
+std::vector<float> rounded_copy(Precision p, std::span<const float> x) {
+  std::vector<float> out(x.begin(), x.end());
+  round_through(p, out);
+  return out;
+}
+
+float precision_epsilon(Precision p) {
+  switch (p) {
+    case Precision::FP64: return 1.1920929e-7f;  // fp32 storage in practice
+    case Precision::FP32: return 1.1920929e-7f;  // 2^-23
+    case Precision::BF16: return 3.90625e-3f;    // 2^-8
+    case Precision::FP16: return 4.8828125e-4f;  // 2^-11
+    case Precision::INT8: return 1.0f / 127.0f;  // relative to per-tensor max
+  }
+  CANDLE_FAIL("unknown Precision");
+}
+
+}  // namespace candle

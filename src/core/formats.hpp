@@ -1,0 +1,110 @@
+// Software emulation of the reduced-precision numeric formats the paper
+// argues future HPC architectures must accelerate ("they rarely require
+// 64-bit or even 32 bits of precision").
+//
+// Formats:
+//   * float16  — IEEE 754 binary16 (1s/5e/10m), round-to-nearest-even with
+//     gradual underflow and Inf/NaN handling.
+//   * bfloat16 — truncated binary32 (1s/8e/7m), round-to-nearest-even.
+//   * int8     — symmetric linear quantization with a per-tensor scale.
+//
+// Emulation strategy (DESIGN.md ✦): operands are rounded *through* the
+// format before a kernel and the accumulation stays in fp32/int32 — matching
+// how real mixed-precision units (fp16/bf16 MACs with fp32 accumulators,
+// int8 MACs with int32 accumulators) behave.  Stochastic rounding variants
+// are provided for the optimizer-update experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace candle {
+
+/// The numeric formats swept by experiment E1 and priced by hpcsim.
+enum class Precision { FP64, FP32, BF16, FP16, INT8 };
+
+/// Short lowercase name ("fp32", "bf16", ...).
+std::string precision_name(Precision p);
+
+/// Bits of storage per element.
+int precision_bits(Precision p);
+
+/// All formats in descending-width order, for sweeps.
+std::span<const Precision> all_precisions();
+
+// ---- binary16 ---------------------------------------------------------------
+
+/// Convert fp32 -> IEEE binary16 bits, round-to-nearest-even.
+std::uint16_t float_to_half_bits(float f);
+
+/// Convert IEEE binary16 bits -> fp32 (exact).
+float half_bits_to_float(std::uint16_t h);
+
+/// Round fp32 through binary16 (value-preserving only if representable).
+inline float round_fp16(float f) {
+  return half_bits_to_float(float_to_half_bits(f));
+}
+
+/// Stochastically round fp32 to binary16: rounds up with probability equal
+/// to the fractional position between the two neighbouring representables.
+/// Unbiased: E[round_fp16_stochastic(x)] == x for finite in-range x.
+float round_fp16_stochastic(float f, Pcg32& rng);
+
+// ---- bfloat16 ---------------------------------------------------------------
+
+/// Convert fp32 -> bfloat16 bits, round-to-nearest-even.
+std::uint16_t float_to_bf16_bits(float f);
+
+/// Convert bfloat16 bits -> fp32 (exact: left-shift by 16).
+float bf16_bits_to_float(std::uint16_t b);
+
+/// Round fp32 through bfloat16.
+inline float round_bf16(float f) {
+  return bf16_bits_to_float(float_to_bf16_bits(f));
+}
+
+/// Stochastic rounding to bfloat16 (unbiased).
+float round_bf16_stochastic(float f, Pcg32& rng);
+
+// ---- int8 symmetric quantization --------------------------------------------
+
+/// A tensor quantized to int8 with one symmetric scale:
+///   real_value ≈ scale * q,  q ∈ [-127, 127].
+struct QuantizedTensor {
+  std::vector<std::int8_t> values;
+  float scale = 1.0f;
+
+  /// Dequantize element i.
+  float dequant(std::size_t i) const {
+    return scale * static_cast<float>(values[i]);
+  }
+};
+
+/// Quantize with scale = max|x| / 127 (0 maps to scale 1 to avoid div-by-0).
+QuantizedTensor quantize_int8(std::span<const float> x);
+
+/// Dequantize a whole tensor into `out` (sizes must match).
+void dequantize_int8(const QuantizedTensor& q, std::span<float> out);
+
+// ---- bulk rounding ----------------------------------------------------------
+
+/// Round every element of `x` in place through `p`.  FP64 and FP32 are
+/// identity at the storage level (see DESIGN.md: fp64 numerics are modeled
+/// as fp32-storage numerics with a different machine-model rate, since fp32
+/// is this library's master format and fp64-vs-fp32 training accuracy is
+/// indistinguishable for these workloads).  INT8 rounds through a symmetric
+/// per-call scale (quantize + dequantize).
+void round_through(Precision p, std::span<float> x);
+
+/// Out-of-place variant: returns a rounded copy of `x`.
+std::vector<float> rounded_copy(Precision p, std::span<const float> x);
+
+/// Largest relative spacing (machine epsilon equivalent) of a format, used
+/// by tests to bound rounding error: fp16 -> 2^-11, bf16 -> 2^-8.
+float precision_epsilon(Precision p);
+
+}  // namespace candle

@@ -1,0 +1,304 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace candle {
+
+namespace {
+
+// Pack op(X) (rows x cols view) into a fresh contiguous row-major buffer.
+// GEMM fast paths only handle the untransposed layout; transposed operands
+// are packed first.  Packing is O(rows*cols) against O(M*N*K) compute, so
+// the copy never dominates.
+std::vector<float> pack(Op op, Index rows, Index cols, const float* x,
+                        Index ldx) {
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  if (op == Op::None) {
+    for (Index i = 0; i < rows; ++i) {
+      std::memcpy(out.data() + i * cols, x + i * ldx,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+  } else {
+    // Stored as cols x rows; gather columns.
+    for (Index i = 0; i < rows; ++i) {
+      float* dst = out.data() + i * cols;
+      for (Index j = 0; j < cols; ++j) dst[j] = x[j * ldx + i];
+    }
+  }
+  return out;
+}
+
+constexpr Index kKBlock = 256;  // K tile sized for L1-resident A fragments
+
+// Core blocked kernel over contiguous untransposed panels:
+// C[i0:i1, :] += alpha * A[i0:i1, :] * B, with A M x K (ld k) and B K x N
+// (ld n).  beta has already been applied to C.
+void gemm_panel_nn(Index i0, Index i1, Index n, Index k, float alpha,
+                   const float* a, const float* b, float* c, Index ldc) {
+  for (Index kk = 0; kk < k; kk += kKBlock) {
+    const Index kend = std::min(k, kk + kKBlock);
+    for (Index i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * ldc;
+      for (Index p = kk; p < kend; ++p) {
+        const float aval = alpha * arow[p];
+        if (aval == 0.0f) continue;
+        const float* brow = b + p * n;
+        // Contiguous axpy over the C row: auto-vectorizes under -O3.
+        for (Index j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    }
+  }
+}
+
+void scale_c(Index m, Index n, float beta, float* c, Index ldc) {
+  if (beta == 1.0f) return;
+  for (Index i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    } else {
+      for (Index j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_naive(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+                const float* a, Index lda, const float* b, Index ldb,
+                float beta, float* c, Index ldc) {
+  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (Index p = 0; p < k; ++p) {
+        const float av = op_a == Op::None ? a[i * lda + p] : a[p * lda + i];
+        const float bv = op_b == Op::None ? b[p * ldb + j] : b[j * ldb + p];
+        acc += av * bv;
+      }
+      c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+    }
+  }
+}
+
+void gemm_serial(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+                 const float* a, Index lda, const float* b, Index ldb,
+                 float beta, float* c, Index ldc) {
+  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+  if (m == 0 || n == 0) return;
+  const std::vector<float> ap =
+      op_a == Op::None && lda == k
+          ? std::vector<float>()
+          : pack(op_a, m, k, a, lda);
+  const std::vector<float> bp =
+      op_b == Op::None && ldb == n
+          ? std::vector<float>()
+          : pack(op_b, k, n, b, ldb);
+  const float* aa = ap.empty() ? a : ap.data();
+  const float* bb = bp.empty() ? b : bp.data();
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0) return;
+  gemm_panel_nn(0, m, n, k, alpha, aa, bb, c, ldc);
+}
+
+void gemm(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+          const float* a, Index lda, const float* b, Index ldb, float beta,
+          float* c, Index ldc) {
+  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+  if (m == 0 || n == 0) return;
+  // Below ~1 MFLOP the fork/join overhead beats the speedup.
+  if (m * n * k < (1 << 18)) {
+    gemm_serial(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  const std::vector<float> ap =
+      op_a == Op::None && lda == k ? std::vector<float>()
+                                   : pack(op_a, m, k, a, lda);
+  const std::vector<float> bp =
+      op_b == Op::None && ldb == n ? std::vector<float>()
+                                   : pack(op_b, k, n, b, ldb);
+  const float* aa = ap.empty() ? a : ap.data();
+  const float* bb = bp.empty() ? b : bp.data();
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0) return;
+  parallel_for(0, m, [&](Index i0, Index i1) {
+    gemm_panel_nn(i0, i1, n, k, alpha, aa, bb, c, ldc);
+  });
+}
+
+void gemv(Op op_a, Index m, Index n, float alpha, const float* a, Index lda,
+          const float* x, float beta, float* y) {
+  CANDLE_CHECK(m >= 0 && n >= 0, "negative gemv dimension");
+  if (op_a == Op::None) {
+    // y[i] = alpha * dot(A[i,:], x) + beta*y[i]
+    for (Index i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float acc = 0.0f;
+      for (Index j = 0; j < n; ++j) acc += arow[j] * x[j];
+      y[i] = alpha * acc + beta * y[i];
+    }
+  } else {
+    // A stored n x m; y[i] = alpha * dot(A[:,i], x).  Stream A row-wise.
+    for (Index i = 0; i < m; ++i) y[i] *= beta == 0.0f ? 0.0f : beta;
+    for (Index j = 0; j < n; ++j) {
+      const float xv = alpha * x[j];
+      if (xv == 0.0f) continue;
+      const float* arow = a + j * lda;
+      for (Index i = 0; i < m; ++i) y[i] += xv * arow[i];
+    }
+  }
+}
+
+void gemm_int8(Index m, Index n, Index k, const float* a, const float* b,
+               float* c) {
+  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+  const QuantizedTensor qa =
+      quantize_int8({a, static_cast<std::size_t>(m * k)});
+  const QuantizedTensor qb =
+      quantize_int8({b, static_cast<std::size_t>(k * n)});
+  const float scale = qa.scale * qb.scale;
+  const std::int8_t* pa = qa.values.data();
+  const std::int8_t* pb = qb.values.data();
+  parallel_for(0, m, [&](Index i0, Index i1) {
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(n));
+    for (Index i = i0; i < i1; ++i) {
+      std::fill(acc.begin(), acc.end(), 0);
+      const std::int8_t* arow = pa + i * k;
+      for (Index p = 0; p < k; ++p) {
+        const std::int32_t av = arow[p];
+        if (av == 0) continue;
+        const std::int8_t* brow = pb + p * n;
+        for (Index j = 0; j < n; ++j) acc[static_cast<std::size_t>(j)] += av * brow[j];
+      }
+      float* crow = c + i * n;
+      for (Index j = 0; j < n; ++j) {
+        crow[j] = scale * static_cast<float>(acc[static_cast<std::size_t>(j)]);
+      }
+    }
+  });
+}
+
+void gemm_emulated(Precision prec, Op op_a, Op op_b, Index m, Index n,
+                   Index k, float alpha, const float* a, Index lda,
+                   const float* b, Index ldb, float beta, float* c,
+                   Index ldc) {
+  if (prec == Precision::FP32 || prec == Precision::FP64) {
+    gemm(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  // Pack to contiguous untransposed layout, then round through the format.
+  std::vector<float> ap = pack(op_a, m, k, a, lda);
+  std::vector<float> bp = pack(op_b, k, n, b, ldb);
+  if (prec == Precision::INT8) {
+    std::vector<float> prod(static_cast<std::size_t>(m * n));
+    gemm_int8(m, n, k, ap.data(), bp.data(), prod.data());
+    for (Index i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      const float* prow = prod.data() + i * n;
+      for (Index j = 0; j < n; ++j) {
+        crow[j] = alpha * prow[j] + beta * crow[j];
+      }
+    }
+    return;
+  }
+  round_through(prec, ap);
+  round_through(prec, bp);
+  gemm(Op::None, Op::None, m, n, k, alpha, ap.data(), k, bp.data(), n, beta,
+       c, ldc);
+}
+
+void matmul_into(Tensor& c, const Tensor& a, Op op_a, const Tensor& b,
+                 Op op_b, float alpha, float beta, Precision prec) {
+  CANDLE_CHECK(a.ndim() == 2 && b.ndim() == 2 && c.ndim() == 2,
+               "matmul_into requires rank-2 tensors");
+  const Index m = op_a == Op::None ? a.dim(0) : a.dim(1);
+  const Index k = op_a == Op::None ? a.dim(1) : a.dim(0);
+  const Index kb = op_b == Op::None ? b.dim(0) : b.dim(1);
+  const Index n = op_b == Op::None ? b.dim(1) : b.dim(0);
+  CANDLE_CHECK(k == kb, "matmul inner dimension mismatch: " +
+                            shape_to_string(a.shape()) + " x " +
+                            shape_to_string(b.shape()));
+  CANDLE_CHECK(c.dim(0) == m && c.dim(1) == n,
+               "matmul output shape mismatch");
+  gemm_emulated(prec, op_a, op_b, m, n, k, alpha, a.data(), a.dim(1),
+                b.data(), b.dim(1), beta, c.data(), n);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CANDLE_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul requires rank-2");
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul_into(c, a, Op::None, b, Op::None);
+  return c;
+}
+
+void im2col_1d(const float* x, Index channels, Index length, Index kernel,
+               Index stride, float* out) {
+  const Index lout = conv_out_length(length, kernel, stride);
+  // out is (channels*kernel) x lout, row (c*kernel + t), column j.
+  for (Index ch = 0; ch < channels; ++ch) {
+    const float* xc = x + ch * length;
+    for (Index t = 0; t < kernel; ++t) {
+      float* orow = out + (ch * kernel + t) * lout;
+      for (Index j = 0; j < lout; ++j) orow[j] = xc[j * stride + t];
+    }
+  }
+}
+
+void col2im_1d(const float* cols, Index channels, Index length, Index kernel,
+               Index stride, float* dx) {
+  const Index lout = conv_out_length(length, kernel, stride);
+  for (Index ch = 0; ch < channels; ++ch) {
+    float* xc = dx + ch * length;
+    for (Index t = 0; t < kernel; ++t) {
+      const float* crow = cols + (ch * kernel + t) * lout;
+      for (Index j = 0; j < lout; ++j) xc[j * stride + t] += crow[j];
+    }
+  }
+}
+
+void im2col_2d(const float* x, Index channels, Index height, Index width,
+               Index kernel, Index stride, float* out) {
+  const Index hout = conv_out_length(height, kernel, stride);
+  const Index wout = conv_out_length(width, kernel, stride);
+  const Index cols = hout * wout;
+  for (Index ch = 0; ch < channels; ++ch) {
+    const float* xc = x + ch * height * width;
+    for (Index ky = 0; ky < kernel; ++ky) {
+      for (Index kx = 0; kx < kernel; ++kx) {
+        float* orow = out + ((ch * kernel + ky) * kernel + kx) * cols;
+        for (Index oy = 0; oy < hout; ++oy) {
+          const float* src = xc + (oy * stride + ky) * width + kx;
+          float* dst = orow + oy * wout;
+          for (Index ox = 0; ox < wout; ++ox) dst[ox] = src[ox * stride];
+        }
+      }
+    }
+  }
+}
+
+void col2im_2d(const float* cols, Index channels, Index height, Index width,
+               Index kernel, Index stride, float* dx) {
+  const Index hout = conv_out_length(height, kernel, stride);
+  const Index wout = conv_out_length(width, kernel, stride);
+  const Index ncols = hout * wout;
+  for (Index ch = 0; ch < channels; ++ch) {
+    float* xc = dx + ch * height * width;
+    for (Index ky = 0; ky < kernel; ++ky) {
+      for (Index kx = 0; kx < kernel; ++kx) {
+        const float* crow = cols + ((ch * kernel + ky) * kernel + kx) * ncols;
+        for (Index oy = 0; oy < hout; ++oy) {
+          float* dst = xc + (oy * stride + ky) * width + kx;
+          const float* src = crow + oy * wout;
+          for (Index ox = 0; ox < wout; ++ox) dst[ox * stride] += src[ox];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace candle

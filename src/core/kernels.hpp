@@ -1,0 +1,99 @@
+// Dense linear-algebra kernels: the "high compute density ... matrix-matrix
+// and matrix-vector operations" of the paper's claim C2.
+//
+// Three GEMM tiers exist on purpose (ablated by bench_kernels):
+//   gemm_naive    — textbook ijk dot products; the correctness reference.
+//   gemm_serial   — cache-blocked ikj with K tiling; single thread.
+//   gemm          — gemm_serial parallelized over row panels via the
+//                   runtime thread pool.  The production kernel.
+//
+// Precision-emulating entry points realize claim C1: operands are rounded
+// through a reduced format and accumulation stays wide (fp32 for fp16/bf16,
+// int32 for int8), matching real mixed-precision hardware.
+#pragma once
+
+#include "core/formats.hpp"
+#include "core/tensor.hpp"
+
+namespace candle {
+
+/// Whether a GEMM operand is used as stored or transposed.
+enum class Op { None, Transpose };
+
+/// C[M,N] = alpha * op(A) * op(B) + beta * C, row-major with leading
+/// dimensions lda/ldb/ldc.  op(A) is M x K, op(B) is K x N.
+void gemm(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+          const float* a, Index lda, const float* b, Index ldb, float beta,
+          float* c, Index ldc);
+
+/// Single-threaded blocked kernel (same contract as gemm).
+void gemm_serial(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+                 const float* a, Index lda, const float* b, Index ldb,
+                 float beta, float* c, Index ldc);
+
+/// Reference kernel (same contract as gemm); O(MNK) scalar dot products.
+void gemm_naive(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+                const float* a, Index lda, const float* b, Index ldb,
+                float beta, float* c, Index ldc);
+
+/// y[M] = alpha * op(A) * x + beta * y.  op(A) is M x N against x[N].
+void gemv(Op op_a, Index m, Index n, float alpha, const float* a, Index lda,
+          const float* x, float beta, float* y);
+
+/// C = op(A) * op(B) with both operands first rounded through `prec`.
+/// FP64/FP32 dispatch straight to gemm; BF16/FP16 round operand copies and
+/// accumulate in fp32; INT8 runs true int8xint8->int32 arithmetic with
+/// symmetric per-tensor scales.  beta scales the existing C as usual.
+void gemm_emulated(Precision prec, Op op_a, Op op_b, Index m, Index n,
+                   Index k, float alpha, const float* a, Index lda,
+                   const float* b, Index ldb, float beta, float* c, Index ldc);
+
+/// True int8 GEMM: quantize A and B symmetrically, multiply-accumulate in
+/// int32, dequantize into C (C = scaleA*scaleB * (qA*qB), overwrites C).
+/// A is M x K and B is K x N, untransposed, contiguous (lda = K, ldb = N).
+void gemm_int8(Index m, Index n, Index k, const float* a, const float* b,
+               float* c);
+
+// ---- tensor-level wrappers --------------------------------------------------
+
+/// C = alpha * op(A) * op(B) + beta * C for rank-2 tensors.  C must already
+/// have the result shape.
+void matmul_into(Tensor& c, const Tensor& a, Op op_a, const Tensor& b,
+                 Op op_b, float alpha = 1.0f, float beta = 0.0f,
+                 Precision prec = Precision::FP32);
+
+/// Returns A @ B for rank-2 tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ---- convolution support ----------------------------------------------------
+
+/// Unfold a (C, L) signal into im2col columns for a 1-D convolution with
+/// `kernel` taps and `stride`.  Output is (C*kernel) x L_out, column j
+/// holding the receptive field of output position j.  `out` must have
+/// C*kernel*L_out elements.
+void im2col_1d(const float* x, Index channels, Index length, Index kernel,
+               Index stride, float* out);
+
+/// Scatter-add the transpose of im2col_1d: accumulate columns back into the
+/// (C, L) signal gradient.  `dx` must be zeroed by the caller if it should
+/// not accumulate on existing contents.
+void col2im_1d(const float* cols, Index channels, Index length, Index kernel,
+               Index stride, float* dx);
+
+/// Number of output positions of a 1-D convolution (valid padding).
+inline Index conv_out_length(Index length, Index kernel, Index stride) {
+  CANDLE_CHECK(kernel >= 1 && stride >= 1 && length >= kernel,
+               "invalid conv geometry");
+  return (length - kernel) / stride + 1;
+}
+
+/// 2-D im2col for (C, H, W) with a square kernel and stride, valid padding.
+/// Output is (C*kh*kw) x (H_out*W_out).
+void im2col_2d(const float* x, Index channels, Index height, Index width,
+               Index kernel, Index stride, float* out);
+
+/// Transpose-scatter of im2col_2d (accumulates into dx).
+void col2im_2d(const float* cols, Index channels, Index height, Index width,
+               Index kernel, Index stride, float* dx);
+
+}  // namespace candle

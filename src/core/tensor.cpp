@@ -1,0 +1,183 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace candle {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  CANDLE_CHECK(static_cast<Index>(data_.size()) == shape_numel(shape_),
+               "value count does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::randn(Shape shape, Pcg32& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Pcg32& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = lo + (hi - lo) * rng.next_float();
+  }
+  return t;
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({static_cast<Index>(values.size())},
+                std::vector<float>(values));
+}
+
+Index Tensor::dim(Index i) const {
+  const Index n = ndim();
+  if (i < 0) i += n;
+  CANDLE_CHECK(i >= 0 && i < n, "dim index out of range for shape " +
+                                    shape_to_string(shape_));
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+Tensor& Tensor::reshape(Shape shape) {
+  Index known = 1;
+  Index infer_at = -1;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      CANDLE_CHECK(infer_at < 0, "at most one -1 dimension in reshape");
+      infer_at = static_cast<Index>(i);
+    } else {
+      CANDLE_CHECK(shape[i] >= 0, "invalid reshape dimension");
+      known *= shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    CANDLE_CHECK(known > 0 && numel() % known == 0,
+                 "cannot infer -1 dimension in reshape to " +
+                     shape_to_string(shape));
+    shape[static_cast<std::size_t>(infer_at)] = numel() / known;
+  }
+  CANDLE_CHECK(shape_numel(shape) == numel(),
+               "reshape " + shape_to_string(shape_) + " -> " +
+                   shape_to_string(shape) + " changes element count");
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(shape));
+  return t;
+}
+
+std::span<float> Tensor::row(Index r) {
+  CANDLE_CHECK(ndim() == 2, "row() requires a rank-2 tensor");
+  CANDLE_CHECK(r >= 0 && r < dim(0), "row index out of range");
+  const Index cols = dim(1);
+  return {data_.data() + static_cast<std::size_t>(r * cols),
+          static_cast<std::size_t>(cols)};
+}
+
+std::span<const float> Tensor::row(Index r) const {
+  CANDLE_CHECK(ndim() == 2, "row() requires a rank-2 tensor");
+  CANDLE_CHECK(r >= 0 && r < dim(0), "row index out of range");
+  const Index cols = dim(1);
+  return {data_.data() + static_cast<std::size_t>(r * cols),
+          static_cast<std::size_t>(cols)};
+}
+
+Tensor& Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::scale(float factor) {
+  for (float& v : data_) v *= factor;
+  return *this;
+}
+
+Tensor& Tensor::axpy(float alpha, const Tensor& other) {
+  CANDLE_CHECK(same_shape(other), "axpy shape mismatch: " +
+                                      shape_to_string(shape_) + " vs " +
+                                      shape_to_string(other.shape_));
+  const float* src = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * src[i];
+  return *this;
+}
+
+Tensor& Tensor::copy_from(const Tensor& other) {
+  CANDLE_CHECK(same_shape(other), "copy_from shape mismatch");
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  return *this;
+}
+
+float Tensor::sum() const {
+  // Pairwise-ish: accumulate in double to keep reductions stable for the
+  // large activation tensors the benchmarks produce.
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v);
+  return static_cast<float>(acc);
+}
+
+float Tensor::min() const {
+  CANDLE_CHECK(!data_.empty(), "min() of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  CANDLE_CHECK(!data_.empty(), "max() of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * static_cast<double>(v);
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Index Tensor::argmax() const {
+  CANDLE_CHECK(!data_.empty(), "argmax() of empty tensor");
+  return static_cast<Index>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::size_t Tensor::offset_of(std::initializer_list<Index> ix) const {
+  CANDLE_CHECK(static_cast<Index>(ix.size()) == ndim(),
+               "index rank mismatch for shape " + shape_to_string(shape_));
+  std::size_t off = 0;
+  std::size_t d = 0;
+  for (Index i : ix) {
+    CANDLE_CHECK(i >= 0 && i < shape_[d], "index out of range in dim " +
+                                              std::to_string(d));
+    off = off * static_cast<std::size_t>(shape_[d]) +
+          static_cast<std::size_t>(i);
+    ++d;
+  }
+  return off;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  CANDLE_CHECK(a.same_shape(b), "max_abs_diff shape mismatch");
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+}  // namespace candle

@@ -1,0 +1,145 @@
+// Dense row-major tensor of float32 — the storage type for all model
+// parameters, activations, and datasets in candle-hpc.
+//
+// Scope: this is deliberately a *storage* class (shape + contiguous buffer +
+// element access + cheap reshapes).  Compute lives in core/kernels.hpp and
+// the nn layers; numeric-format emulation lives in core/formats.hpp.  The
+// paper's workloads (2017-era CANDLE nets) need rank 1–4 tensors:
+// (features), (batch, features), (batch, channels, length) and
+// (batch, channels, height, width).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/error.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle {
+
+using Index = std::int64_t;
+using Shape = std::vector<Index>;
+
+/// Number of elements described by a shape (1 for the empty shape).
+inline Index shape_numel(const Shape& shape) {
+  Index n = 1;
+  for (Index d : shape) {
+    CANDLE_CHECK(d >= 0, "negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+/// Human-readable "[a, b, c]" rendering for error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Contiguous row-major float tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty rank-0 tensor with a single element (scalar zero).
+  Tensor() : shape_{}, data_(1, 0.0f) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_numel(shape_)), value) {}
+
+  /// Tensor adopting explicit contents (must match the shape's numel).
+  Tensor(Shape shape, std::vector<float> values);
+
+  // ---- factories -----------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// I.i.d. N(mean, stddev^2) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Pcg32& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor uniform(Shape shape, Pcg32& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// 1-D tensor from a braced list: Tensor::of({1, 2, 3}).
+  static Tensor of(std::initializer_list<float> values);
+
+  // ---- shape ---------------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  Index ndim() const { return static_cast<Index>(shape_.size()); }
+  Index numel() const { return static_cast<Index>(data_.size()); }
+  /// Size of dimension `i`; negative `i` counts from the end.
+  Index dim(Index i) const;
+
+  /// Reinterpret as `shape` (same numel).  One dimension may be -1 and is
+  /// inferred.  O(1) aside from the shape copy.
+  Tensor& reshape(Shape shape);
+  /// Reshaped copy.
+  Tensor reshaped(Shape shape) const;
+
+  // ---- element access ------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](Index i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](Index i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked multidimensional access, e.g. t.at(n, c, h, w).
+  template <typename... Ix>
+  float& at(Ix... ix) {
+    return data_[offset_of({static_cast<Index>(ix)...})];
+  }
+  template <typename... Ix>
+  float at(Ix... ix) const {
+    return data_[offset_of({static_cast<Index>(ix)...})];
+  }
+
+  /// Row `r` of a rank-2 tensor as a span (length = dim(1)).
+  std::span<float> row(Index r);
+  std::span<const float> row(Index r) const;
+
+  // ---- simple in-place ops used throughout ---------------------------------
+
+  Tensor& fill(float value);
+  Tensor& scale(float factor);
+  /// this += alpha * other (elementwise, shapes must match).
+  Tensor& axpy(float alpha, const Tensor& other);
+  /// this = other (shapes must match; keeps capacity).
+  Tensor& copy_from(const Tensor& other);
+
+  // ---- reductions ----------------------------------------------------------
+
+  float sum() const;
+  float mean() const { return numel() > 0 ? sum() / static_cast<float>(numel()) : 0.0f; }
+  float min() const;
+  float max() const;
+  /// sqrt(sum of squares).
+  float l2_norm() const;
+  /// Index of the maximum element (first on ties).
+  Index argmax() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::size_t offset_of(std::initializer_list<Index> ix) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max elementwise absolute difference; tensors must have equal shapes.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace candle

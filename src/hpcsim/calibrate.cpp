@@ -1,0 +1,84 @@
+#include "hpcsim/calibrate.hpp"
+
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle::hpcsim {
+
+CalibrationResult calibrate_host(Index gemm_size, Index gemv_size) {
+  CANDLE_CHECK(gemm_size >= 32 && gemv_size >= 32,
+               "calibration sizes too small to be meaningful");
+  CalibrationResult result;
+  Stopwatch total;
+  Pcg32 rng(0xca11b);
+
+  {
+    const Index n = gemm_size;
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    Tensor c({n, n});
+    // Warm up, then time enough reps for ~100 ms.
+    gemm(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    const double flop = 2.0 * static_cast<double>(n) * n * n;
+    Index reps = 1;
+    double secs = 0.0;
+    for (;;) {
+      Stopwatch sw;
+      for (Index r = 0; r < reps; ++r) {
+        gemm(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n,
+             0.0f, c.data(), n);
+      }
+      secs = sw.seconds();
+      if (secs > 0.1 || reps > 1024) break;
+      reps *= 2;
+    }
+    result.gemm_gflops = flop * static_cast<double>(reps) / secs / 1e9;
+  }
+
+  {
+    const Index n = gemv_size;
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor x = Tensor::randn({n}, rng);
+    Tensor y({n});
+    const double flop = 2.0 * static_cast<double>(n) * n;
+    const double bytes = 4.0 * static_cast<double>(n) * n;  // A dominates
+    Index reps = 4;
+    double secs = 0.0;
+    for (;;) {
+      Stopwatch sw;
+      for (Index r = 0; r < reps; ++r) {
+        gemv(Op::None, n, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+      }
+      secs = sw.seconds();
+      if (secs > 0.05 || reps > 4096) break;
+      reps *= 2;
+    }
+    result.gemv_gflops = flop * static_cast<double>(reps) / secs / 1e9;
+    result.stream_gbs = bytes * static_cast<double>(reps) / secs / 1e9;
+  }
+
+  result.seconds_spent = total.seconds();
+  return result;
+}
+
+NodeSpec calibrated_host_node(const CalibrationResult& calibration) {
+  CANDLE_CHECK(calibration.gemm_gflops > 0.0 && calibration.stream_gbs > 0.0,
+               "calibration has not been run");
+  NodeSpec node;
+  node.name = "calibrated-host";
+  node.peak_fp32_gflops = calibration.gemm_gflops;
+  node.peak_fp64_gflops = calibration.gemm_gflops / 2.0;
+  node.peak_bf16_gflops = calibration.gemm_gflops;  // no hardware units
+  node.peak_fp16_gflops = calibration.gemm_gflops;
+  node.peak_int8_gops = calibration.gemm_gflops;
+  node.pj_per_fp32_flop = 20.0;  // server-CPU class
+  node.tiers = {{"DRAM", calibration.stream_gbs, 0.1, 64.0, 20.0},
+                {"SSD", 2.0, 100.0, 1000.0, 150.0},
+                {"PFS", 1.0, 5000.0, 1.0e6, 500.0}};
+  return node;
+}
+
+}  // namespace candle::hpcsim

@@ -1,0 +1,30 @@
+// Host calibration: build a NodeSpec from rates measured on THIS machine by
+// the library's own kernels, so the machine model's projections are
+// anchored in executed reality rather than only in spec sheets.
+#pragma once
+
+#include "hpcsim/machine.hpp"
+
+namespace candle::hpcsim {
+
+using Index = std::int64_t;
+
+struct CalibrationResult {
+  double gemm_gflops = 0.0;    // large blocked GEMM rate (fp32)
+  double gemv_gflops = 0.0;    // memory-bound rate
+  double stream_gbs = 0.0;     // effective streaming bandwidth (from GEMV)
+  double seconds_spent = 0.0;  // calibration cost
+};
+
+/// Time the library's kernels (a few hundred ms) and report host rates.
+CalibrationResult calibrate_host(Index gemm_size = 384,
+                                 Index gemv_size = 2048);
+
+/// A NodeSpec describing this host: fp32 peak = measured GEMM rate, one
+/// memory tier with the measured streaming bandwidth, reduced-precision
+/// peaks equal to fp32 (no special units — emulation is software here).
+/// Energy constants are taken from typical server-CPU figures and only
+/// matter for relative comparisons.
+NodeSpec calibrated_host_node(const CalibrationResult& calibration);
+
+}  // namespace candle::hpcsim

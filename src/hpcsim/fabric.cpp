@@ -1,0 +1,170 @@
+#include "hpcsim/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::hpcsim {
+
+std::string topology_name(Topology t) {
+  switch (t) {
+    case Topology::FatTree: return "fat-tree";
+    case Topology::Torus3D: return "torus3d";
+    case Topology::Dragonfly: return "dragonfly";
+  }
+  CANDLE_FAIL("unknown Topology");
+}
+
+std::string allreduce_algo_name(AllReduceAlgo a) {
+  switch (a) {
+    case AllReduceAlgo::Ring: return "ring";
+    case AllReduceAlgo::BinomialTree: return "tree";
+    case AllReduceAlgo::HalvingDoubling: return "halving-doubling";
+  }
+  CANDLE_FAIL("unknown AllReduceAlgo");
+}
+
+double Fabric::average_hops(Index p) const {
+  CANDLE_CHECK(p >= 1, "fabric needs at least one rank");
+  if (p == 1) return 0.0;
+  const double pd = static_cast<double>(p);
+  switch (topology) {
+    case Topology::FatTree: {
+      // Up-down route through ceil(log_radix p) switch levels.
+      const double levels =
+          std::ceil(std::log(pd) / std::log(static_cast<double>(radix)));
+      return 2.0 * std::max(1.0, levels);
+    }
+    case Topology::Torus3D: {
+      // Average Manhattan distance on a k x k x k torus: k/4 per dimension.
+      const double k = std::cbrt(pd);
+      return std::max(1.0, 3.0 * k / 4.0);
+    }
+    case Topology::Dragonfly:
+      // Minimal routing: local -> global -> local.
+      return 3.0;
+  }
+  CANDLE_FAIL("unknown Topology");
+}
+
+namespace {
+
+double ring_chunk_term(const Fabric& f, Index p, double bytes) {
+  const double pd = static_cast<double>(p);
+  return 2.0 * (pd - 1.0) / pd * bytes * f.seconds_per_byte();
+}
+
+}  // namespace
+
+double allreduce_time_s(const Fabric& fabric, AllReduceAlgo algo, Index p,
+                        double bytes) {
+  CANDLE_CHECK(p >= 1 && bytes >= 0.0, "invalid all-reduce arguments");
+  if (p == 1) return 0.0;
+  const double pd = static_cast<double>(p);
+  const double alpha_nbr = fabric.message_latency_s(1.0);
+  const double alpha_avg = fabric.message_latency_s(fabric.average_hops(p));
+  switch (algo) {
+    case AllReduceAlgo::Ring:
+      return 2.0 * (pd - 1.0) * alpha_nbr + ring_chunk_term(fabric, p, bytes);
+    case AllReduceAlgo::BinomialTree: {
+      const double rounds = 2.0 * std::ceil(std::log2(pd));
+      return rounds * (alpha_avg + bytes * fabric.seconds_per_byte());
+    }
+    case AllReduceAlgo::HalvingDoubling: {
+      const double rounds = 2.0 * std::ceil(std::log2(pd));
+      return rounds * alpha_avg + ring_chunk_term(fabric, p, bytes);
+    }
+  }
+  CANDLE_FAIL("unknown AllReduceAlgo");
+}
+
+double allgather_time_s(const Fabric& fabric, Index p,
+                        double bytes_per_rank) {
+  CANDLE_CHECK(p >= 1 && bytes_per_rank >= 0.0, "invalid all-gather args");
+  if (p == 1) return 0.0;
+  const double pd = static_cast<double>(p);
+  return (pd - 1.0) * fabric.message_latency_s(1.0) +
+         (pd - 1.0) * bytes_per_rank * fabric.seconds_per_byte();
+}
+
+double broadcast_time_s(const Fabric& fabric, Index p, double bytes) {
+  CANDLE_CHECK(p >= 1 && bytes >= 0.0, "invalid broadcast args");
+  if (p == 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(p)));
+  return rounds * (fabric.message_latency_s(fabric.average_hops(p)) +
+                   bytes * fabric.seconds_per_byte());
+}
+
+double reduce_scatter_time_s(const Fabric& fabric, Index p, double bytes) {
+  CANDLE_CHECK(p >= 1 && bytes >= 0.0, "invalid reduce-scatter args");
+  if (p == 1) return 0.0;
+  const double pd = static_cast<double>(p);
+  return (pd - 1.0) * fabric.message_latency_s(1.0) +
+         (pd - 1.0) / pd * bytes * fabric.seconds_per_byte();
+}
+
+double allreduce_bytes_on_wire(AllReduceAlgo algo, Index p, double bytes) {
+  if (p <= 1) return 0.0;
+  const double pd = static_cast<double>(p);
+  switch (algo) {
+    case AllReduceAlgo::Ring:
+    case AllReduceAlgo::HalvingDoubling:
+      return 2.0 * (pd - 1.0) / pd * bytes;  // per rank, bandwidth-optimal
+    case AllReduceAlgo::BinomialTree:
+      return 2.0 * std::ceil(std::log2(pd)) * bytes;
+  }
+  CANDLE_FAIL("unknown AllReduceAlgo");
+}
+
+AllReduceAlgo best_allreduce_algo(const Fabric& fabric, Index p,
+                                  double bytes) {
+  AllReduceAlgo best = AllReduceAlgo::Ring;
+  double best_t = allreduce_time_s(fabric, best, p, bytes);
+  for (AllReduceAlgo a :
+       {AllReduceAlgo::BinomialTree, AllReduceAlgo::HalvingDoubling}) {
+    const double t = allreduce_time_s(fabric, a, p, bytes);
+    if (t < best_t) {
+      best = a;
+      best_t = t;
+    }
+  }
+  return best;
+}
+
+Fabric fat_tree_fabric() {
+  Fabric f;
+  f.topology = Topology::FatTree;
+  f.link_bandwidth_gbs = 12.5;
+  f.link_latency_us = 0.5;
+  f.software_overhead_us = 1.0;
+  f.radix = 36;
+  f.pj_per_byte = 60.0;
+  return f;
+}
+
+Fabric torus_fabric() {
+  Fabric f;
+  f.topology = Topology::Torus3D;
+  f.link_bandwidth_gbs = 5.0;
+  f.link_latency_us = 0.25;
+  f.software_overhead_us = 1.5;
+  f.radix = 6;
+  f.pj_per_byte = 40.0;
+  return f;
+}
+
+Fabric dragonfly_fabric() {
+  Fabric f;
+  f.topology = Topology::Dragonfly;
+  f.link_bandwidth_gbs = 25.0;
+  f.link_latency_us = 0.3;
+  f.software_overhead_us = 0.8;
+  f.radix = 32;
+  f.pj_per_byte = 50.0;
+  return f;
+}
+
+std::vector<Fabric> all_fabric_presets() {
+  return {fat_tree_fabric(), torus_fabric(), dragonfly_fabric()};
+}
+
+}  // namespace candle::hpcsim

@@ -1,0 +1,101 @@
+// Interconnect model: topologies + alpha-beta collective cost models.
+//
+// Claim C6 ("a high-bandwidth communication fabric between perhaps modest
+// scale groups of processors to support network model parallelism") and the
+// communication half of claim C3 (poor strong scaling) are evaluated on
+// this model.  Collective costs are the standard closed forms from the
+// Thakur/Rabenseifner literature; they are unit-tested against those forms
+// and against an executable shared-memory ring all-reduce (src/parallel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace candle::hpcsim {
+
+using Index = std::int64_t;
+
+enum class Topology { FatTree, Torus3D, Dragonfly };
+
+std::string topology_name(Topology t);
+
+/// Interconnect description.  alpha/beta terms:
+///   * `link_latency_us` per hop, `software_overhead_us` per message;
+///   * `link_bandwidth_gbs` per link per direction.
+struct Fabric {
+  Topology topology = Topology::FatTree;
+  double link_bandwidth_gbs = 12.5;  // ~100 Gb/s EDR-class
+  double link_latency_us = 0.5;
+  double software_overhead_us = 1.0;
+  Index radix = 16;                  // switch radix (fat-tree) / group size
+  double pj_per_byte = 60.0;         // network data-motion energy
+
+  /// Average switch hops between two random endpoints among `p` ranks.
+  double average_hops(Index p) const;
+
+  /// Latency (seconds) of one message over d hops.
+  double message_latency_s(double hops) const {
+    return software_overhead_us * 1e-6 + hops * link_latency_us * 1e-6;
+  }
+
+  /// Seconds per byte on one link.
+  double seconds_per_byte() const { return 1.0 / (link_bandwidth_gbs * 1e9); }
+
+  /// Point-to-point time for `bytes` over the average distance among p ranks.
+  double p2p_time_s(Index p, double bytes) const {
+    return message_latency_s(average_hops(p)) + bytes * seconds_per_byte();
+  }
+
+  /// Energy of moving `bytes` across the fabric once.
+  double transfer_energy_j(double bytes) const {
+    return bytes * pj_per_byte * 1e-12;
+  }
+};
+
+/// Collective algorithms modeled for gradient reduction.
+enum class AllReduceAlgo { Ring, BinomialTree, HalvingDoubling };
+
+std::string allreduce_algo_name(AllReduceAlgo a);
+
+/// Time for an all-reduce of `bytes` across `p` ranks.
+///   Ring:            2(p-1) neighbour steps, bandwidth-optimal:
+///                    2(p-1)*alpha_nbr + 2 (p-1)/p * n * beta
+///   BinomialTree:    reduce + broadcast, latency-optimal for small n:
+///                    2 ceil(log2 p) * (alpha_avg + n*beta)
+///   HalvingDoubling: reduce-scatter + all-gather:
+///                    2 log2 p * alpha_avg + 2 (p-1)/p * n * beta
+double allreduce_time_s(const Fabric& fabric, AllReduceAlgo algo, Index p,
+                        double bytes);
+
+/// Time for an all-gather of `bytes` per rank across `p` ranks (ring).
+double allgather_time_s(const Fabric& fabric, Index p, double bytes_per_rank);
+
+/// Time for a broadcast of `bytes` from one rank to p-1 others (binomial).
+double broadcast_time_s(const Fabric& fabric, Index p, double bytes);
+
+/// Time for a reduce-scatter of `bytes` across `p` ranks (ring).
+double reduce_scatter_time_s(const Fabric& fabric, Index p, double bytes);
+
+/// Total bytes a rank injects during an all-reduce (for energy accounting).
+double allreduce_bytes_on_wire(AllReduceAlgo algo, Index p, double bytes);
+
+/// Pick the cheaper of the modeled algorithms for a message size/scale.
+AllReduceAlgo best_allreduce_algo(const Fabric& fabric, Index p, double bytes);
+
+// ---- presets -------------------------------------------------------------------
+
+/// Full-bisection EDR fat-tree (Summit-like).
+Fabric fat_tree_fabric();
+
+/// 3-D torus (Titan/BlueGene-like): cheap links, more hops.
+Fabric torus_fabric();
+
+/// Dragonfly (Aurora/Slingshot-like): low diameter, high link rate.
+Fabric dragonfly_fabric();
+
+std::vector<Fabric> all_fabric_presets();
+
+}  // namespace candle::hpcsim

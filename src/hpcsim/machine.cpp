@@ -1,0 +1,98 @@
+#include "hpcsim/machine.hpp"
+
+#include <algorithm>
+
+namespace candle::hpcsim {
+
+double NodeSpec::peak_gflops(Precision p) const {
+  switch (p) {
+    case Precision::FP64: return peak_fp64_gflops;
+    case Precision::FP32: return peak_fp32_gflops;
+    case Precision::BF16: return peak_bf16_gflops;
+    case Precision::FP16: return peak_fp16_gflops;
+    case Precision::INT8: return peak_int8_gops;
+  }
+  CANDLE_FAIL("unknown Precision");
+}
+
+const MemoryTier& NodeSpec::tier_named(const std::string& tier_name) const {
+  for (const MemoryTier& t : tiers) {
+    if (t.name == tier_name) return t;
+  }
+  throw Error("node '" + name + "' has no memory tier named '" + tier_name +
+              "'");
+}
+
+KernelEstimate roofline(const NodeSpec& node, double flops, double bytes,
+                        Precision prec, std::size_t tier_index) {
+  CANDLE_CHECK(flops >= 0.0 && bytes >= 0.0, "negative work in roofline");
+  const MemoryTier& mem = node.tier(tier_index);
+  const double peak = node.peak_gflops(prec) * 1e9;
+  CANDLE_CHECK(peak > 0.0, "node has zero peak for " + precision_name(prec));
+
+  KernelEstimate e;
+  e.compute_s = flops / peak;
+  e.memory_s = bytes / (mem.bandwidth_gbs * 1e9) + mem.latency_us * 1e-6;
+  e.time_s = std::max(e.compute_s, e.memory_s);
+  e.memory_bound = e.memory_s > e.compute_s;
+  e.energy_j = flops * node.pj_per_flop(prec) * 1e-12 +
+               bytes * mem.pj_per_byte * 1e-12;
+  e.achieved_gflops = e.time_s > 0.0 ? flops / e.time_s / 1e9 : 0.0;
+  return e;
+}
+
+double ridge_intensity(const NodeSpec& node, Precision prec,
+                       std::size_t tier_index) {
+  const MemoryTier& mem = node.tier(tier_index);
+  return node.peak_gflops(prec) / mem.bandwidth_gbs;
+}
+
+NodeSpec titan_node() {
+  return NodeSpec{
+      .name = "titan-k20x",
+      .peak_fp64_gflops = 1310.0,
+      .peak_fp32_gflops = 3935.0,
+      .peak_bf16_gflops = 3935.0,  // no reduced-precision units: fp32 rate
+      .peak_fp16_gflops = 3935.0,
+      .peak_int8_gops = 3935.0,
+      .pj_per_fp32_flop = 30.0,
+      .tiers = {{"GDDR5", 250.0, 0.5, 6.0, 25.0},
+                {"DDR", 50.0, 0.2, 32.0, 30.0},
+                {"PFS", 2.0, 5000.0, 1.0e6, 500.0}}};
+}
+
+NodeSpec summit_node() {
+  return NodeSpec{
+      .name = "summit-v100",
+      .peak_fp64_gflops = 7800.0,
+      .peak_fp32_gflops = 15700.0,
+      .peak_bf16_gflops = 31400.0,   // 2x via half-rate paths
+      .peak_fp16_gflops = 125000.0,  // tensor cores
+      .peak_int8_gops = 62800.0,
+      .pj_per_fp32_flop = 12.0,
+      .tiers = {{"HBM", 900.0, 0.3, 16.0, 7.0},
+                {"DDR", 135.0, 0.15, 512.0, 20.0},
+                {"NVRAM", 6.0, 50.0, 1600.0, 100.0},
+                {"PFS", 2.5, 5000.0, 1.0e6, 500.0}}};
+}
+
+NodeSpec future_node() {
+  return NodeSpec{
+      .name = "future-exa",
+      .peak_fp64_gflops = 30000.0,
+      .peak_fp32_gflops = 60000.0,
+      .peak_bf16_gflops = 240000.0,
+      .peak_fp16_gflops = 240000.0,
+      .peak_int8_gops = 480000.0,
+      .pj_per_fp32_flop = 5.0,
+      .tiers = {{"HBM", 3000.0, 0.2, 96.0, 4.0},
+                {"DDR", 400.0, 0.1, 1024.0, 15.0},
+                {"NVRAM", 25.0, 20.0, 4096.0, 60.0},
+                {"PFS", 4.0, 3000.0, 1.0e7, 400.0}}};
+}
+
+std::vector<NodeSpec> all_node_presets() {
+  return {titan_node(), summit_node(), future_node()};
+}
+
+}  // namespace candle::hpcsim

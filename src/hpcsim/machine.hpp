@@ -1,0 +1,102 @@
+// Analytic machine model: nodes with per-precision compute peaks and a
+// tiered memory system (HBM / DDR / NVRAM / PFS share).  This is the
+// substitute for the leadership-class hardware the paper targets (see the
+// substitution table in DESIGN.md): scaling, data-motion and energy claims
+// are evaluated against this model, calibrated where possible by measured
+// kernel rates from bench_kernels.
+//
+// Energy accounting follows the standard pJ/op + pJ/byte decomposition used
+// in the exascale-report literature: moving a byte from far memory costs
+// an order of magnitude more than computing on it, which is precisely the
+// paper's claim C5 ("high-bandwidth memory physically close to arithmetic
+// units to reduce costs of data motion").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/formats.hpp"
+#include "runtime/error.hpp"
+
+namespace candle::hpcsim {
+
+/// One level of the memory hierarchy.
+struct MemoryTier {
+  std::string name;        // "HBM", "DDR", "NVRAM", "PFS"
+  double bandwidth_gbs;    // sustained GB/s per node
+  double latency_us;       // access latency
+  double capacity_gb;      // per-node capacity
+  double pj_per_byte;      // energy to move one byte to the core
+};
+
+/// A compute node: peak dense-GEMM rates per numeric format + memory tiers
+/// ordered nearest-first.
+struct NodeSpec {
+  std::string name;
+  double peak_fp64_gflops;
+  double peak_fp32_gflops;
+  double peak_bf16_gflops;
+  double peak_fp16_gflops;
+  double peak_int8_gops;
+  double pj_per_fp32_flop;       // compute energy at fp32
+  std::vector<MemoryTier> tiers; // [0] is nearest to the ALUs
+
+  /// Peak rate for a format, in GFLOP/s (GOP/s for int8).
+  double peak_gflops(Precision p) const;
+
+  /// Energy per op at a format: scales with operand width relative to fp32
+  /// (narrower datapaths move and switch fewer bits).
+  double pj_per_flop(Precision p) const {
+    return pj_per_fp32_flop * static_cast<double>(precision_bits(p)) / 32.0;
+  }
+
+  const MemoryTier& tier(std::size_t i) const {
+    CANDLE_CHECK(i < tiers.size(), "memory tier index out of range");
+    return tiers[i];
+  }
+  const MemoryTier& nearest() const { return tier(0); }
+
+  /// Find a tier by name; throws if absent.
+  const MemoryTier& tier_named(const std::string& tier_name) const;
+};
+
+/// Roofline estimate for one kernel on one node.
+struct KernelEstimate {
+  double compute_s;  // flops / peak
+  double memory_s;   // bytes / tier bandwidth
+  double time_s;     // max of the two (perfect overlap assumption)
+  double energy_j;   // compute + data-motion energy
+  double achieved_gflops;
+  bool memory_bound;
+};
+
+/// Time+energy for `flops` operations touching `bytes` of traffic resident
+/// in memory tier `tier_index`, at numeric format `prec`.
+KernelEstimate roofline(const NodeSpec& node, double flops, double bytes,
+                        Precision prec, std::size_t tier_index = 0);
+
+/// Arithmetic intensity (flops per byte) at which a format transitions from
+/// memory-bound to compute-bound on the given tier.
+double ridge_intensity(const NodeSpec& node, Precision prec,
+                       std::size_t tier_index = 0);
+
+// ---- presets -------------------------------------------------------------------
+//
+// Three generations bracketing the paper's timeline.  Numbers are public
+// spec-sheet figures (sustained ~= peak here; the model's comparisons are
+// relative so absolute calibration washes out).
+
+/// 2013-era Titan node: K20X GPU, GDDR5, no reduced-precision speedup.
+NodeSpec titan_node();
+
+/// 2018-era Summit node: V100, HBM2, fp16 tensor cores, NVMe burst buffer.
+NodeSpec summit_node();
+
+/// Speculative exascale-class node of the kind the paper argues for:
+/// wide low-precision units, HBM close to ALUs, large NVRAM.
+NodeSpec future_node();
+
+/// All presets, for sweeps.
+std::vector<NodeSpec> all_node_presets();
+
+}  // namespace candle::hpcsim

@@ -1,0 +1,199 @@
+#include "hpcsim/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::hpcsim {
+
+double gemm_efficiency(Index local_batch) {
+  CANDLE_CHECK(local_batch >= 0, "negative batch");
+  if (local_batch == 0) return 0.0;
+  const double b = static_cast<double>(local_batch);
+  const double b_half = 32.0;  // batch at 50% of peak
+  return b / (b + b_half);
+}
+
+StepEstimate estimate_step(const NodeSpec& node, const Fabric& fabric,
+                           const TrainingWorkload& workload,
+                           const ParallelPlan& plan) {
+  CANDLE_CHECK(plan.data_replicas >= 1 && plan.model_shards >= 1,
+               "invalid parallel plan");
+  CANDLE_CHECK(plan.batch_per_replica >= 1, "empty replica batch");
+  CANDLE_CHECK(workload.flops_per_sample > 0.0 && workload.parameters > 0.0,
+               "workload not populated");
+
+  StepEstimate e;
+  const double b = static_cast<double>(plan.batch_per_replica);
+  const double shards = static_cast<double>(plan.model_shards);
+  const double replicas = static_cast<double>(plan.data_replicas);
+
+  // --- compute: fwd + 2 backward GEMMs = 3x forward flops; work divides
+  // across model shards; efficiency depends on per-shard batch volume.
+  const double step_flops = 3.0 * workload.flops_per_sample * b / shards;
+  const double eff = gemm_efficiency(plan.batch_per_replica);
+  const double peak = node.peak_gflops(plan.precision) * 1e9;
+  e.compute_s = step_flops / (peak * std::max(1e-6, eff));
+
+  // --- memory: weights read 3x (fwd, bwd, update) + activations written
+  // and re-read once each; from the nearest tier unless the resident
+  // working set (weights + grads + optimizer state + activations) exceeds
+  // its capacity, in which case traffic spills to the next tier.
+  const double weight_bytes = workload.parameters / shards * 4.0 * 3.0;
+  const double act_bytes = workload.activation_bytes_per_sample * b / shards * 2.0;
+  const double input_bytes = workload.bytes_per_sample * b;
+  const double mem_bytes = weight_bytes + act_bytes + input_bytes;
+  const double resident_gb =
+      (workload.parameters / shards * 4.0 * 3.0 +
+       workload.activation_bytes_per_sample * b / shards) /
+      1e9;
+  std::size_t tier_index = 0;
+  if (resident_gb > node.nearest().capacity_gb && node.tiers.size() > 1) {
+    tier_index = 1;
+    e.spills_nearest_tier = true;
+  }
+  e.memory_s = mem_bytes / (node.tier(tier_index).bandwidth_gbs * 1e9);
+
+  // --- data-parallel gradient all-reduce across replicas.
+  const double grad_bytes =
+      workload.parameters / shards * plan.gradient_wire_bytes;
+  e.dp_comm_s = plan.data_replicas > 1
+                    ? allreduce_time_s(fabric, plan.allreduce,
+                                       plan.data_replicas, grad_bytes)
+                    : 0.0;
+
+  // --- model-parallel activation exchange: each of the shard boundaries
+  // passes the boundary activations forward and gradients back, with
+  // latency paid per microbatch message inside the (modest) group.
+  if (plan.model_shards > 1) {
+    const double boundary_bytes =
+        workload.activation_bytes_per_sample * b / shards;
+    const double alpha = fabric.message_latency_s(1.0);  // tight group
+    const double per_boundary =
+        2.0 * (alpha + boundary_bytes * fabric.seconds_per_byte());
+    e.mp_comm_s = (shards - 1.0) * per_boundary;
+  }
+
+  // --- assembly: compute overlaps memory (roofline max); collectives are
+  // exposed (synchronous SGD).
+  const double math_s = std::max(e.compute_s, e.memory_s);
+  e.step_s = math_s + e.dp_comm_s + e.mp_comm_s;
+
+  // --- energy across the whole allocation.
+  const double nodes = replicas * shards;
+  const double flop_energy = step_flops * shards *  // per-replica total
+                             node.pj_per_flop(plan.precision) * 1e-12;
+  const double mem_energy = mem_bytes * shards *
+                            node.nearest().pj_per_byte * 1e-12;
+  const double wire_bytes =
+      allreduce_bytes_on_wire(plan.allreduce, plan.data_replicas, grad_bytes) +
+      (plan.model_shards > 1
+           ? 2.0 * (shards - 1.0) * workload.activation_bytes_per_sample * b /
+                 shards
+           : 0.0);
+  const double net_energy = fabric.transfer_energy_j(wire_bytes);
+  e.energy_j = replicas * (flop_energy + mem_energy) + replicas * net_energy;
+
+  const double global_batch = b * replicas;
+  e.samples_per_s = global_batch / e.step_s;
+  const double total_peak = peak * nodes;
+  e.flops_utilization =
+      (3.0 * workload.flops_per_sample * global_batch / e.step_s) / total_peak;
+  return e;
+}
+
+namespace {
+
+ScalingPoint make_point(const StepEstimate& est, Index nodes,
+                        double base_step_s, double base_nodes_ratio) {
+  ScalingPoint p;
+  p.nodes = nodes;
+  p.step_s = est.step_s;
+  p.speedup = base_step_s / est.step_s * base_nodes_ratio;
+  p.efficiency = p.speedup / static_cast<double>(nodes);
+  p.comm_fraction = (est.dp_comm_s + est.mp_comm_s) / est.step_s;
+  p.samples_per_s = est.samples_per_s;
+  return p;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> strong_scaling(
+    const NodeSpec& node, const Fabric& fabric,
+    const TrainingWorkload& workload, Index global_batch,
+    const std::vector<Index>& node_counts, Precision prec) {
+  CANDLE_CHECK(global_batch >= 1, "empty global batch");
+  std::vector<ScalingPoint> out;
+  double base_step = 0.0;
+  for (Index n : node_counts) {
+    CANDLE_CHECK(n >= 1, "invalid node count");
+    ParallelPlan plan;
+    plan.data_replicas = n;
+    plan.batch_per_replica = std::max<Index>(1, global_batch / n);
+    plan.precision = prec;
+    const StepEstimate est = estimate_step(node, fabric, workload, plan);
+    if (out.empty()) base_step = est.step_s;
+    out.push_back(make_point(est, n, base_step,
+                             static_cast<double>(node_counts.front())));
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> weak_scaling(const NodeSpec& node,
+                                       const Fabric& fabric,
+                                       const TrainingWorkload& workload,
+                                       Index batch_per_replica,
+                                       const std::vector<Index>& node_counts,
+                                       Precision prec) {
+  std::vector<ScalingPoint> out;
+  double base_step = 0.0;
+  for (Index n : node_counts) {
+    CANDLE_CHECK(n >= 1, "invalid node count");
+    ParallelPlan plan;
+    plan.data_replicas = n;
+    plan.batch_per_replica = batch_per_replica;
+    plan.precision = prec;
+    const StepEstimate est = estimate_step(node, fabric, workload, plan);
+    if (out.empty()) base_step = est.step_s;
+    // Weak-scaling speedup counts the growing work: speedup = n * t1/tn.
+    ScalingPoint p;
+    p.nodes = n;
+    p.step_s = est.step_s;
+    p.speedup = static_cast<double>(n) * base_step / est.step_s *
+                static_cast<double>(node_counts.front());
+    p.efficiency = base_step / est.step_s;
+    p.comm_fraction = (est.dp_comm_s + est.mp_comm_s) / est.step_s;
+    p.samples_per_s = est.samples_per_s;
+    out.push_back(p);
+  }
+  return out;
+}
+
+ParallelPlan best_hybrid_plan(const NodeSpec& node, const Fabric& fabric,
+                              const TrainingWorkload& workload, Index nodes,
+                              Index global_batch, Precision prec) {
+  CANDLE_CHECK(nodes >= 1, "invalid node count");
+  ParallelPlan best;
+  double best_rate = -1.0;
+  for (Index shards = 1; shards <= nodes; shards *= 2) {
+    if (nodes % shards != 0) continue;
+    const Index replicas = nodes / shards;
+    if (replicas > global_batch) continue;  // cannot split the batch further
+    ParallelPlan plan;
+    plan.data_replicas = replicas;
+    plan.model_shards = shards;
+    plan.batch_per_replica = std::max<Index>(1, global_batch / replicas);
+    plan.precision = prec;
+    plan.allreduce = best_allreduce_algo(
+        fabric, replicas, workload.parameters / static_cast<double>(shards) *
+                              plan.gradient_wire_bytes);
+    const StepEstimate est = estimate_step(node, fabric, workload, plan);
+    if (est.samples_per_s > best_rate) {
+      best_rate = est.samples_per_s;
+      best = plan;
+    }
+  }
+  CANDLE_CHECK(best_rate > 0.0, "no feasible hybrid plan");
+  return best;
+}
+
+}  // namespace candle::hpcsim

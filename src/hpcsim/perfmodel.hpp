@@ -1,0 +1,110 @@
+// Training-step performance model: combines the node roofline, the fabric
+// collective model, and a parallel decomposition into a per-step time /
+// energy / efficiency estimate at any scale.
+//
+// This is the instrument behind experiments E1 (modeled speedups), E3
+// (strong vs weak scaling), E4 (hybrid model+data+search decompositions)
+// and E5 (data-motion energy).  The key structural facts it encodes:
+//
+//   * Compute shrinks with the local batch, but GEMM efficiency also
+//     *drops* with the local batch (small matrices can't fill the machine)
+//     — the first mechanism behind "DNNs do not have good strong scaling".
+//   * Data-parallel gradient all-reduce cost is independent of the batch,
+//     so at fixed global batch the communication fraction grows with p —
+//     the second mechanism.
+//   * Model parallelism exchanges activations (which shrink with shard
+//     count) inside small groups, trading parameter traffic for latency-
+//     sensitive fine-grained messages — why the paper wants high-bandwidth
+//     fabric between "modest scale groups".
+#pragma once
+
+#include "hpcsim/fabric.hpp"
+#include "hpcsim/machine.hpp"
+
+namespace candle::hpcsim {
+
+/// Static description of one training workload (extracted from an nn::Model
+/// via `workload_from_model` in src/parallel, or filled by hand).
+struct TrainingWorkload {
+  std::string name;
+  double flops_per_sample = 0.0;       // forward MACs*2
+  double parameters = 0.0;             // trainable scalar count
+  double bytes_per_sample = 0.0;       // input record size
+  double activation_bytes_per_sample = 0.0;  // peak inter-layer activations
+};
+
+/// A parallel decomposition of one training job.
+struct ParallelPlan {
+  Index data_replicas = 1;   // gradient-averaged copies
+  Index model_shards = 1;    // layer/tensor shards per replica
+  Index batch_per_replica = 32;
+  Precision precision = Precision::FP32;
+  AllReduceAlgo allreduce = AllReduceAlgo::Ring;
+  /// Bytes per gradient element on the wire (2 = fp16-compressed comms).
+  double gradient_wire_bytes = 4.0;
+
+  Index total_nodes() const { return data_replicas * model_shards; }
+};
+
+/// Per-step estimate at the modeled scale.
+struct StepEstimate {
+  double compute_s = 0.0;   // GEMM time on the critical path
+  double memory_s = 0.0;    // weight/activation traffic time
+  double dp_comm_s = 0.0;   // data-parallel gradient all-reduce
+  double mp_comm_s = 0.0;   // model-parallel activation exchange
+  double step_s = 0.0;      // total (compute/memory overlap, comm exposed)
+  double energy_j = 0.0;    // whole-machine energy for the step
+  double samples_per_s = 0.0;
+  double flops_utilization = 0.0;  // achieved / peak over all nodes
+  /// True when the per-shard working set (weights x3 for master/grad/opt +
+  /// activations) exceeds the nearest tier's capacity: traffic is then
+  /// priced at the next tier's bandwidth (capacity-induced spill).
+  bool spills_nearest_tier = false;
+};
+
+/// GEMM efficiency as a function of the per-shard batch: saturating curve
+/// eff = b / (b + b_half), calibrated so batch 256 reaches ~89% of peak.
+/// Exposed so tests can pin the curve's shape.
+double gemm_efficiency(Index local_batch);
+
+/// Estimate one synchronous training step (fwd + bwd + update + gradient
+/// reduction) for the workload under the plan on the machine.
+StepEstimate estimate_step(const NodeSpec& node, const Fabric& fabric,
+                           const TrainingWorkload& workload,
+                           const ParallelPlan& plan);
+
+/// One row of a scaling study.
+struct ScalingPoint {
+  Index nodes = 1;
+  double step_s = 0.0;
+  double speedup = 1.0;     // vs 1 node
+  double efficiency = 1.0;  // speedup / nodes
+  double comm_fraction = 0.0;
+  double samples_per_s = 0.0;
+};
+
+/// Strong scaling: fixed global batch, replicas = nodes (data parallel).
+std::vector<ScalingPoint> strong_scaling(const NodeSpec& node,
+                                         const Fabric& fabric,
+                                         const TrainingWorkload& workload,
+                                         Index global_batch,
+                                         const std::vector<Index>& node_counts,
+                                         Precision prec = Precision::FP32);
+
+/// Weak scaling: fixed per-replica batch, global batch grows with nodes.
+std::vector<ScalingPoint> weak_scaling(const NodeSpec& node,
+                                       const Fabric& fabric,
+                                       const TrainingWorkload& workload,
+                                       Index batch_per_replica,
+                                       const std::vector<Index>& node_counts,
+                                       Precision prec = Precision::FP32);
+
+/// Search over (data_replicas, model_shards) factorizations of `nodes` for
+/// the plan with the highest samples/s; used by E4 together with search
+/// parallelism (splitting `nodes` across concurrent HPO trainings).
+ParallelPlan best_hybrid_plan(const NodeSpec& node, const Fabric& fabric,
+                              const TrainingWorkload& workload, Index nodes,
+                              Index global_batch,
+                              Precision prec = Precision::FP32);
+
+}  // namespace candle::hpcsim

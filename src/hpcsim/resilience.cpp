@@ -1,0 +1,109 @@
+#include "hpcsim/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/error.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle::hpcsim {
+
+namespace {
+void validate(const ResilienceConfig& cfg) {
+  CANDLE_CHECK(cfg.nodes >= 1 && cfg.node_mtbf_hours > 0.0 &&
+                   cfg.checkpoint_state_gb > 0.0 &&
+                   cfg.checkpoint_bandwidth_gbs > 0.0 &&
+                   cfg.restart_overhead_s >= 0.0,
+               "invalid resilience config");
+}
+}  // namespace
+
+double job_mtbf_s(const ResilienceConfig& cfg) {
+  validate(cfg);
+  return cfg.node_mtbf_hours * 3600.0 / static_cast<double>(cfg.nodes);
+}
+
+double checkpoint_cost_s(const ResilienceConfig& cfg) {
+  validate(cfg);
+  return cfg.checkpoint_state_gb / cfg.checkpoint_bandwidth_gbs;
+}
+
+double optimal_checkpoint_interval_s(const ResilienceConfig& cfg) {
+  return std::sqrt(2.0 * checkpoint_cost_s(cfg) * job_mtbf_s(cfg));
+}
+
+double expected_runtime_s(const ResilienceConfig& cfg, double work_s,
+                          double interval_s) {
+  validate(cfg);
+  CANDLE_CHECK(work_s > 0.0 && interval_s > 0.0, "invalid runtime query");
+  const double mtbf = job_mtbf_s(cfg);
+  const double c = checkpoint_cost_s(cfg);
+  // Time per completed interval including its checkpoint.
+  const double segment = interval_s + c;
+  const double segments = work_s / interval_s;
+  const double base = segments * segment;
+  // Expected failures over the run; each costs half a segment of lost work
+  // plus the restart overhead.
+  const double failures = base / mtbf;
+  const double loss_per_failure = 0.5 * segment + cfg.restart_overhead_s;
+  return base + failures * loss_per_failure;
+}
+
+double optimal_overhead_factor(const ResilienceConfig& cfg, double work_s) {
+  const double interval =
+      std::min(optimal_checkpoint_interval_s(cfg), work_s);
+  return expected_runtime_s(cfg, work_s, interval) / work_s;
+}
+
+double simulate_runtime_s(const ResilienceConfig& cfg, double work_s,
+                          double interval_s, Index trials,
+                          std::uint64_t seed) {
+  validate(cfg);
+  CANDLE_CHECK(work_s > 0.0 && interval_s > 0.0 && trials >= 1,
+               "invalid simulation query");
+  const double mtbf = job_mtbf_s(cfg);
+  const double c = checkpoint_cost_s(cfg);
+  Pcg32 rng(seed, 0xda1e);
+  double total = 0.0;
+  for (Index t = 0; t < trials; ++t) {
+    double clock = 0.0;
+    double done = 0.0;      // checkpointed work
+    double segment = 0.0;   // uncheckpointed progress in this interval
+    // Draw the next failure time; redraw after every failure.
+    auto draw_failure = [&] {
+      double u = rng.next_double();
+      if (u < 1e-15) u = 1e-15;
+      return -mtbf * std::log(u);
+    };
+    double until_failure = draw_failure();
+    while (done < work_s) {
+      const double want = std::min(interval_s, work_s - done) - segment;
+      if (until_failure <= want) {
+        // Failure mid-interval: lose the segment, pay restart.
+        clock += until_failure + cfg.restart_overhead_s;
+        segment = 0.0;
+        until_failure = draw_failure();
+        continue;
+      }
+      // Interval (or the final partial one) completes; checkpoint it.
+      clock += want;
+      until_failure -= want;
+      segment += want;
+      if (until_failure <= c) {
+        // Failure during the checkpoint write: interval not committed.
+        clock += until_failure + cfg.restart_overhead_s;
+        segment = 0.0;
+        until_failure = draw_failure();
+        continue;
+      }
+      clock += c;
+      until_failure -= c;
+      done += segment;
+      segment = 0.0;
+    }
+    total += clock;
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace candle::hpcsim

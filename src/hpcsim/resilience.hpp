@@ -1,0 +1,54 @@
+// Checkpoint/restart model for long training campaigns: at the 4096-node
+// scales the paper targets, the machine's MTBF per job drops to hours, and
+// the checkpoint interval becomes a first-order term in time-to-solution.
+// Standard Young/Daly analysis applied to training-state checkpoints
+// (weights + optimizer state written to the burst buffer or PFS).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "hpcsim/machine.hpp"
+
+namespace candle::hpcsim {
+
+using Index = std::int64_t;
+
+struct ResilienceConfig {
+  Index nodes = 4096;
+  double node_mtbf_hours = 20000.0;  // per-node mean time between failures
+  double checkpoint_state_gb = 1.0;  // weights + optimizer state
+  double checkpoint_bandwidth_gbs = 50.0;  // aggregate write rate
+  double restart_overhead_s = 60.0;  // relaunch + reload time
+};
+
+/// Job-level MTBF in seconds: node MTBF / nodes (independent exponential
+/// failures).
+double job_mtbf_s(const ResilienceConfig& cfg);
+
+/// Seconds to write one checkpoint.
+double checkpoint_cost_s(const ResilienceConfig& cfg);
+
+/// Young/Daly near-optimal checkpoint interval: sqrt(2 * C * MTBF).
+double optimal_checkpoint_interval_s(const ResilienceConfig& cfg);
+
+/// Expected wall-clock to complete `work_s` seconds of failure-free work
+/// when checkpointing every `interval_s` seconds (first-order exponential
+/// failure model: each failure loses on average half an interval plus the
+/// restart overhead).
+double expected_runtime_s(const ResilienceConfig& cfg, double work_s,
+                          double interval_s);
+
+/// Overhead factor (expected runtime / ideal runtime) at the optimal
+/// interval.
+double optimal_overhead_factor(const ResilienceConfig& cfg, double work_s);
+
+/// Monte-Carlo validation of the analytic model: simulate `trials` runs
+/// with exponential failures (seeded), checkpointing every `interval_s`,
+/// and return the mean wall-clock.  Used by tests to pin the closed form
+/// against an executable discrete-event simulation.
+double simulate_runtime_s(const ResilienceConfig& cfg, double work_s,
+                          double interval_s, Index trials,
+                          std::uint64_t seed);
+
+}  // namespace candle::hpcsim

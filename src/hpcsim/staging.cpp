@@ -1,0 +1,122 @@
+#include "hpcsim/staging.hpp"
+
+#include <algorithm>
+
+namespace candle::hpcsim {
+
+std::string staging_strategy_name(StagingStrategy s) {
+  switch (s) {
+    case StagingStrategy::PfsEveryEpoch: return "pfs-every-epoch";
+    case StagingStrategy::NvramCached: return "nvram-cached";
+    case StagingStrategy::GenerateOnNode: return "generate-on-node";
+  }
+  CANDLE_FAIL("unknown StagingStrategy");
+}
+
+namespace {
+
+void validate(const StagingConfig& cfg) {
+  CANDLE_CHECK(cfg.dataset_gb > 0.0 && cfg.nodes >= 1 && cfg.epochs >= 1,
+               "invalid staging config");
+  CANDLE_CHECK(cfg.pfs_aggregate_gbs > 0.0 && cfg.nvram_node_gbs > 0.0 &&
+                   cfg.generate_gbs > 0.0 && cfg.pfs_per_node_cap_gbs > 0.0,
+               "staging bandwidths must be positive");
+}
+
+/// Seconds to pull the full dataset from PFS with all nodes reading their
+/// shards concurrently: limited by the shared aggregate OR per-node cap.
+double pfs_epoch_time(const StagingConfig& cfg) {
+  const double shard_gb = cfg.dataset_gb / static_cast<double>(cfg.nodes);
+  const double per_node_rate =
+      std::min(cfg.pfs_per_node_cap_gbs,
+               cfg.pfs_aggregate_gbs / static_cast<double>(cfg.nodes));
+  return shard_gb / per_node_rate;
+}
+
+}  // namespace
+
+double epoch_ingest_time_s(StagingStrategy strategy, const StagingConfig& cfg,
+                           Index epoch) {
+  validate(cfg);
+  CANDLE_CHECK(epoch >= 0 && epoch < cfg.epochs, "epoch out of range");
+  const double shard_gb = cfg.dataset_gb / static_cast<double>(cfg.nodes);
+  switch (strategy) {
+    case StagingStrategy::PfsEveryEpoch:
+      return pfs_epoch_time(cfg);
+    case StagingStrategy::NvramCached: {
+      const double cached_gb = std::min(shard_gb, cfg.nvram_capacity_gb);
+      const double spilled_gb = shard_gb - cached_gb;
+      if (epoch == 0) {
+        // Populate the cache (reads stream through the node once).
+        return pfs_epoch_time(cfg);
+      }
+      const double local = cached_gb / cfg.nvram_node_gbs;
+      const double spill =
+          spilled_gb > 0.0
+              ? spilled_gb / std::min(cfg.pfs_per_node_cap_gbs,
+                                      cfg.pfs_aggregate_gbs /
+                                          static_cast<double>(cfg.nodes))
+              : 0.0;
+      return local + spill;
+    }
+    case StagingStrategy::GenerateOnNode:
+      return shard_gb / cfg.generate_gbs;
+  }
+  CANDLE_FAIL("unknown StagingStrategy");
+}
+
+double campaign_ingest_time_s(StagingStrategy strategy,
+                              const StagingConfig& cfg) {
+  validate(cfg);
+  double total = 0.0;
+  for (Index e = 0; e < cfg.epochs; ++e) {
+    total += epoch_ingest_time_s(strategy, cfg, e);
+  }
+  return total;
+}
+
+double campaign_ingest_energy_j(StagingStrategy strategy,
+                                const StagingConfig& cfg,
+                                const NodeSpec& node) {
+  validate(cfg);
+  const double dataset_bytes = cfg.dataset_gb * 1e9;
+  const double pfs_pj = node.tier_named("PFS").pj_per_byte;
+  switch (strategy) {
+    case StagingStrategy::PfsEveryEpoch:
+      return static_cast<double>(cfg.epochs) * dataset_bytes * pfs_pj * 1e-12;
+    case StagingStrategy::NvramCached: {
+      const double nvram_pj = node.tier_named("NVRAM").pj_per_byte;
+      const double shard_gb = cfg.dataset_gb / static_cast<double>(cfg.nodes);
+      const double cached_fraction =
+          std::min(1.0, cfg.nvram_capacity_gb / shard_gb);
+      const double first = dataset_bytes * pfs_pj;
+      const double later =
+          static_cast<double>(cfg.epochs - 1) * dataset_bytes *
+          (cached_fraction * nvram_pj + (1.0 - cached_fraction) * pfs_pj);
+      return (first + later) * 1e-12;
+    }
+    case StagingStrategy::GenerateOnNode: {
+      // Synthesis writes + reads through near memory only.
+      const double near_pj = node.nearest().pj_per_byte;
+      return static_cast<double>(cfg.epochs) * dataset_bytes * 2.0 * near_pj *
+             1e-12;
+    }
+  }
+  CANDLE_FAIL("unknown StagingStrategy");
+}
+
+StagingStrategy best_staging_strategy(const StagingConfig& cfg) {
+  StagingStrategy best = StagingStrategy::PfsEveryEpoch;
+  double best_t = campaign_ingest_time_s(best, cfg);
+  for (StagingStrategy s :
+       {StagingStrategy::NvramCached, StagingStrategy::GenerateOnNode}) {
+    const double t = campaign_ingest_time_s(s, cfg);
+    if (t < best_t) {
+      best = s;
+      best_t = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace candle::hpcsim

@@ -1,0 +1,57 @@
+// NVRAM data-staging model (claim C7: "training data ... made available or
+// generated at each node, thus providing opportunities for NVRAM").
+//
+// Three strategies for delivering an epoch's worth of training data to
+// every node of a data-parallel job:
+//   * PfsEveryEpoch  — stream the shard from the parallel filesystem every
+//     epoch (the 2016 status quo; PFS bandwidth is shared by all nodes).
+//   * NvramCached    — epoch 0 streams from PFS into node-local NVRAM;
+//     later epochs re-read locally.  Spills to PFS if the shard exceeds
+//     NVRAM capacity.
+//   * GenerateOnNode — synthesize data in place at a compute-rate-limited
+//     generation bandwidth (the simulation-coupled workloads in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcsim/machine.hpp"
+
+namespace candle::hpcsim {
+
+using Index = std::int64_t;
+
+enum class StagingStrategy { PfsEveryEpoch, NvramCached, GenerateOnNode };
+
+std::string staging_strategy_name(StagingStrategy s);
+
+struct StagingConfig {
+  double dataset_gb = 512.0;       // global training set size
+  Index nodes = 128;               // data-parallel width
+  double pfs_aggregate_gbs = 200.0;  // shared PFS read bandwidth
+  double pfs_per_node_cap_gbs = 2.0; // injection limit per node
+  double nvram_node_gbs = 6.0;     // node-local NVRAM read bandwidth
+  double nvram_capacity_gb = 1600.0;
+  double generate_gbs = 1.0;       // on-node synthesis rate
+  Index epochs = 10;
+};
+
+/// Seconds to deliver one epoch's shard to every node (critical path =
+/// slowest node; shards are dataset_gb / nodes).
+double epoch_ingest_time_s(StagingStrategy strategy, const StagingConfig& cfg,
+                           Index epoch);
+
+/// Total ingest seconds across the whole campaign.
+double campaign_ingest_time_s(StagingStrategy strategy,
+                              const StagingConfig& cfg);
+
+/// Data-motion energy of the campaign (J), using the tier energies of
+/// `node` ("PFS" and "NVRAM" tiers must exist).
+double campaign_ingest_energy_j(StagingStrategy strategy,
+                                const StagingConfig& cfg,
+                                const NodeSpec& node);
+
+/// The strategy with the lowest campaign time.
+StagingStrategy best_staging_strategy(const StagingConfig& cfg);
+
+}  // namespace candle::hpcsim

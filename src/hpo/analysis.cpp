@@ -1,0 +1,85 @@
+#include "hpo/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace candle::hpo {
+
+std::vector<ParameterImportance> parameter_importance(
+    const SearchSpace& space, const std::vector<Observation>& history,
+    Index bins) {
+  CANDLE_CHECK(bins >= 2, "need at least two bins");
+  CANDLE_CHECK(history.size() >= 4, "need at least four observations");
+
+  // Global moments.
+  double mean = 0.0;
+  for (const Observation& o : history) mean += o.objective;
+  mean /= static_cast<double>(history.size());
+  double var = 0.0;
+  for (const Observation& o : history) {
+    const double d = o.objective - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(history.size());
+
+  std::vector<ParameterImportance> out;
+  for (Index p = 0; p < space.dims(); ++p) {
+    ParameterImportance imp;
+    imp.name = space.param(p).name;
+    if (var <= 1e-18) {
+      out.push_back(imp);
+      continue;
+    }
+    std::vector<double> bin_sum(static_cast<std::size_t>(bins), 0.0);
+    std::vector<Index> bin_n(static_cast<std::size_t>(bins), 0);
+    for (const Observation& o : history) {
+      CANDLE_CHECK(static_cast<Index>(o.config.size()) == space.dims(),
+                   "history config dimensionality mismatch");
+      auto b = static_cast<std::size_t>(o.config[static_cast<std::size_t>(p)] *
+                                        static_cast<double>(bins));
+      b = std::min(b, static_cast<std::size_t>(bins - 1));
+      bin_sum[b] += o.objective;
+      ++bin_n[b];
+    }
+    // Weighted between-bin variance of conditional means.
+    double between = 0.0;
+    Index used = 0;
+    double best_mean = 1e300;
+    std::size_t best_bin = 0;
+    for (std::size_t b = 0; b < bin_sum.size(); ++b) {
+      if (bin_n[b] < 2) continue;
+      const double bm = bin_sum[b] / static_cast<double>(bin_n[b]);
+      between += static_cast<double>(bin_n[b]) * (bm - mean) * (bm - mean);
+      used += bin_n[b];
+      if (bm < best_mean) {
+        best_mean = bm;
+        best_bin = b;
+      }
+    }
+    if (used > 0) {
+      between /= static_cast<double>(used);
+      imp.importance = std::max(0.0, between / var);
+      imp.best_bin_center = (static_cast<double>(best_bin) + 0.5) /
+                            static_cast<double>(bins);
+    }
+    out.push_back(imp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ParameterImportance& a, const ParameterImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+std::string importance_report(const std::vector<ParameterImportance>& imp) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < imp.size(); ++i) {
+    if (i > 0) os << "  ";
+    os << imp[i].name << ": "
+       << static_cast<int>(std::lround(100.0 * imp[i].importance)) << '%';
+  }
+  return os.str();
+}
+
+}  // namespace candle::hpo

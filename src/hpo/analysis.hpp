@@ -1,0 +1,34 @@
+// Post-hoc analysis of search history: which hyperparameters mattered?
+//
+// A campaign of tens of thousands of configurations (claim C8) is also a
+// dataset; fANOVA-style variance decomposition over it tells the scientist
+// which knobs drive the objective.  This implements the binned first-order
+// decomposition: importance(param) = Var_bins(mean objective | bin) /
+// Var(objective), with equal-mass bins over each unit coordinate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpo/searchers.hpp"
+
+namespace candle::hpo {
+
+struct ParameterImportance {
+  std::string name;
+  double importance = 0.0;  // fraction of variance explained (>= 0)
+  double best_bin_center = 0.0;  // unit-coordinate centre of the best bin
+};
+
+/// First-order importance of every parameter from observed (config,
+/// objective) pairs.  `bins` equal-width bins per coordinate; bins with
+/// fewer than 2 observations are ignored.  Results sum to <= 1 only for
+/// purely additive objectives; interactions inflate the residual.
+std::vector<ParameterImportance> parameter_importance(
+    const SearchSpace& space, const std::vector<Observation>& history,
+    Index bins = 8);
+
+/// Render an importance report ("lr: 62%  units1: 21% ...").
+std::string importance_report(const std::vector<ParameterImportance>& imp);
+
+}  // namespace candle::hpo

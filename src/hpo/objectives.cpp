@@ -1,0 +1,123 @@
+#include "hpo/objectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/metrics.hpp"
+
+namespace candle::hpo {
+
+Objective make_sphere_objective(const SearchSpace& space,
+                                std::uint64_t seed) {
+  Pcg32 rng(seed, 0x5b1e);
+  UnitConfig opt = space.sample(rng);
+  return [opt](const UnitConfig& x) {
+    CANDLE_CHECK(x.size() == opt.size(), "objective dimensionality mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - opt[i];
+      s += d * d;
+    }
+    return s;
+  };
+}
+
+Objective make_rastrigin_objective(const SearchSpace& space,
+                                   std::uint64_t seed) {
+  Pcg32 rng(seed, 0x7a57);
+  UnitConfig opt = space.sample(rng);
+  return [opt](const UnitConfig& x) {
+    CANDLE_CHECK(x.size() == opt.size(), "objective dimensionality mismatch");
+    // Scaled Rastrigin around `opt`: ripples of period 0.2 on the cube.
+    double s = 0.0;
+    const double two_pi = 6.283185307179586;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = 3.0 * (x[i] - opt[i]);
+      s += d * d + 1.0 - std::cos(two_pi * 5.0 * d) ;
+    }
+    return s;
+  };
+}
+
+Objective make_embedded_valley_objective(const SearchSpace& space,
+                                         std::uint64_t seed) {
+  Pcg32 rng(seed, 0xeb3d);
+  CANDLE_CHECK(space.dims() >= 2, "valley objective needs >= 2 dims");
+  const auto i0 = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint32_t>(space.dims())));
+  auto i1 = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint32_t>(space.dims())));
+  if (i1 == i0) i1 = (i0 + 1) % static_cast<std::size_t>(space.dims());
+  const double a = rng.next_double(), b = rng.next_double();
+  return [i0, i1, a, b](const UnitConfig& x) {
+    // Curved valley: minimum along x[i1] = (x[i0]-a)^2 + b (clipped).
+    const double u = x[i0] - a;
+    const double valley = std::clamp(u * u + b, 0.0, 1.0);
+    const double across = x[i1] - valley;
+    return 10.0 * across * across + 0.5 * u * u;
+  };
+}
+
+SearchSpace make_mlp_space() {
+  SearchSpace s;
+  s.add_log_float("lr", 1e-4, 1e-1);
+  s.add_int("units1", 8, 128);
+  s.add_int("units2", 4, 64);
+  s.add_float("dropout", 0.0, 0.5);
+  s.add_int("batch", 16, 128);
+  s.add_categorical("optimizer", {"sgd", "momentum", "rmsprop", "adam"});
+  return s;
+}
+
+TrainObjective::TrainObjective(const SearchSpace& space, Dataset train,
+                               Dataset val, TrainObjectiveOptions options)
+    : space_(&space), options_(options) {
+  CANDLE_CHECK(train.size() >= 1 && val.size() >= 1,
+               "objective needs non-empty datasets");
+  train_ = train.size() > options.max_train
+               ? slice(train, 0, options.max_train)
+               : std::move(train);
+  val_ = val.size() > options.max_val ? slice(val, 0, options.max_val)
+                                      : std::move(val);
+}
+
+double TrainObjective::evaluate(const UnitConfig& config,
+                                Index epochs) const {
+  CANDLE_CHECK(epochs >= 1, "objective needs at least one epoch");
+  const SearchSpace& s = *space_;
+  const auto lr = static_cast<float>(s.decode_float(config, "lr"));
+  const Index units1 = s.decode_int(config, "units1");
+  const Index units2 = s.decode_int(config, "units2");
+  const auto dropout = static_cast<float>(s.decode_float(config, "dropout"));
+  const Index batch = s.decode_int(config, "batch");
+  const std::string& opt_name = s.decode_categorical(config, "optimizer");
+
+  Model m;
+  m.add(make_dense(units1)).add(make_relu());
+  if (dropout > 0.0f) m.add(make_dropout(dropout));
+  m.add(make_dense(units2)).add(make_relu());
+  m.add(make_dense(options_.classification ? options_.classes : 1));
+  Shape in = train_.sample_shape();
+  m.build(in, options_.seed ^ 0xabcdu);
+
+  std::unique_ptr<Loss> loss;
+  if (options_.classification) {
+    loss = make_softmax_cross_entropy();
+  } else {
+    loss = make_mse();
+  }
+  auto opt = make_optimizer(opt_name, lr);
+
+  FitOptions fo;
+  fo.epochs = epochs;
+  fo.batch_size = std::min<Index>(batch, train_.size());
+  fo.seed = options_.seed ^ 0x77u;
+  const FitHistory h = fit(m, train_, &val_, *loss, *opt, fo);
+  ++evaluations_;
+  epochs_consumed_ += epochs;
+  const float best = h.best_val_loss();
+  // Divergent configs (NaN/inf losses) rank behind everything finite.
+  return std::isfinite(best) ? static_cast<double>(best) : 1e9;
+}
+
+}  // namespace candle::hpo

@@ -1,0 +1,86 @@
+// Objectives for hyperparameter search: cheap synthetic landscapes for
+// strategy benchmarking, and a real training objective that maps a
+// configuration to a trained candle model's validation loss.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "hpo/space.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace candle::hpo {
+
+/// A single-fidelity objective (lower is better).
+using Objective = std::function<double(const UnitConfig&)>;
+
+// ---- synthetic landscapes ---------------------------------------------------
+
+/// Separable quadratic bowl with optimum at a seeded random point.
+/// Smooth, unimodal — every intelligent strategy should crush random here.
+Objective make_sphere_objective(const SearchSpace& space, std::uint64_t seed);
+
+/// Rastrigin-style multimodal surface on the unit cube: a global bowl with
+/// a lattice of local minima.  Stress-tests exploitation vs exploration.
+Objective make_rastrigin_objective(const SearchSpace& space,
+                                   std::uint64_t seed);
+
+/// Branin-like 2-effective-dimension objective embedded in d dims (the
+/// remaining coordinates are inert), mimicking HPO's low effective
+/// dimensionality.
+Objective make_embedded_valley_objective(const SearchSpace& space,
+                                         std::uint64_t seed);
+
+// ---- real training objective ---------------------------------------------------
+
+/// The CANDLE-style model search space used by E7 and the examples:
+///   lr          log-uniform [1e-4, 1e-1]
+///   units1      int [8, 128]
+///   units2      int [4, 64]
+///   dropout     float [0, 0.5]
+///   batch       int [16, 128]
+///   optimizer   {sgd, momentum, rmsprop, adam}
+/// Cardinality comfortably exceeds the paper's "tens of thousands of model
+/// configurations".
+SearchSpace make_mlp_space();
+
+struct TrainObjectiveOptions {
+  Index epochs = 8;         // full-budget epochs
+  Index max_train = 512;    // subsample caps to keep trials fast
+  Index max_val = 256;
+  std::uint64_t seed = 0;
+  bool classification = true;  // softmax-xent vs mse
+  Index classes = 2;
+};
+
+/// Build an objective that trains a 2-hidden-layer MLP described by a
+/// config from make_mlp_space() on (train, val) and returns the best
+/// validation loss.  `epochs_override` (>0) supports multi-fidelity (ASHA).
+class TrainObjective {
+ public:
+  TrainObjective(const SearchSpace& space, Dataset train, Dataset val,
+                 TrainObjectiveOptions options);
+
+  /// Evaluate at the full budget.
+  double operator()(const UnitConfig& config) const {
+    return evaluate(config, options_.epochs);
+  }
+
+  /// Evaluate at a reduced epoch budget (for successive halving).
+  double evaluate(const UnitConfig& config, Index epochs) const;
+
+  /// Trials executed so far (for budget accounting).
+  Index evaluations() const { return evaluations_; }
+  /// Total training epochs consumed (the HPO cost unit).
+  Index epochs_consumed() const { return epochs_consumed_; }
+
+ private:
+  const SearchSpace* space_;
+  Dataset train_, val_;
+  TrainObjectiveOptions options_;
+  mutable Index evaluations_ = 0;
+  mutable Index epochs_consumed_ = 0;
+};
+
+}  // namespace candle::hpo

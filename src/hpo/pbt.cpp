@@ -1,0 +1,111 @@
+#include "hpo/pbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::hpo {
+
+PbtResult population_based_training(const std::function<Model()>& factory,
+                                    const Dataset& train, const Dataset& val,
+                                    const Loss& loss,
+                                    const PbtOptions& options,
+                                    Model* out_model) {
+  CANDLE_CHECK(options.population >= 2, "PBT needs a population of >= 2");
+  CANDLE_CHECK(options.rounds >= 1 && options.epochs_per_round >= 1,
+               "invalid PBT schedule");
+  CANDLE_CHECK(options.exploit_fraction > 0.0 &&
+                   options.exploit_fraction < 0.5,
+               "exploit fraction must be in (0, 0.5)");
+  CANDLE_CHECK(val.size() >= 1, "PBT needs a validation set");
+  Pcg32 rng(options.seed, 0x9b7);
+
+  struct Slot {
+    Model model;
+    std::unique_ptr<Optimizer> opt;
+    PbtMember member;
+  };
+  std::vector<Slot> population;
+  std::vector<float> weights_buf;
+  for (Index i = 0; i < options.population; ++i) {
+    Slot slot{factory(), nullptr, {}};
+    CANDLE_CHECK(slot.model.built(), "factory must return built models");
+    slot.member.id = i;
+    // Log-uniform initial learning rates.
+    slot.member.lr = static_cast<float>(
+        1e-4 * std::pow(1e-1 / 1e-4, rng.next_double()));
+    slot.opt = make_adam(slot.member.lr);
+    population.push_back(std::move(slot));
+  }
+  weights_buf.resize(
+      static_cast<std::size_t>(population[0].model.num_params()));
+
+  PbtResult result;
+  for (Index round = 0; round < options.rounds; ++round) {
+    // Train every member for the round.
+    for (Slot& slot : population) {
+      FitOptions fo;
+      fo.epochs = options.epochs_per_round;
+      fo.batch_size = options.batch_size;
+      fo.seed = options.seed ^ (0x51eeull * (slot.member.id + 1)) ^
+                static_cast<std::uint64_t>(round);
+      slot.opt->set_learning_rate(slot.member.lr);
+      const FitHistory h =
+          fit(slot.model, train, &val, loss, *slot.opt, fo);
+      slot.member.val_loss = h.final_val_loss();
+    }
+    // Rank by validation loss.
+    std::vector<Index> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<Index>(i);
+    }
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+      return population[static_cast<std::size_t>(a)].member.val_loss <
+             population[static_cast<std::size_t>(b)].member.val_loss;
+    });
+    result.best_loss_per_round.push_back(
+        population[static_cast<std::size_t>(order[0])].member.val_loss);
+
+    // Exploit + explore: bottom fraction copies a random top member.
+    const auto cut = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options.exploit_fraction *
+                                    static_cast<double>(order.size())));
+    if (round + 1 < options.rounds) {
+      for (std::size_t b = order.size() - cut; b < order.size(); ++b) {
+        Slot& loser = population[static_cast<std::size_t>(order[b])];
+        const auto winner_rank =
+            static_cast<std::size_t>(rng.next_below(static_cast<std::uint32_t>(cut)));
+        Slot& winner =
+            population[static_cast<std::size_t>(order[winner_rank])];
+        winner.model.copy_weights_to(weights_buf);
+        loser.model.set_weights_from(weights_buf);
+        // Fresh optimizer state for the copied weights.
+        loser.opt = make_adam(winner.member.lr);
+        // Explore: perturb the copied learning rate up or down.
+        const float factor = rng.next_float() < 0.5f
+                                 ? options.perturb_factor
+                                 : 1.0f / options.perturb_factor;
+        loser.member.lr = std::clamp(winner.member.lr * factor,
+                                     options.lr_min, options.lr_max);
+        ++loser.member.exploits;
+        ++result.total_exploits;
+      }
+    }
+  }
+
+  // Final ranking.
+  std::sort(population.begin(), population.end(),
+            [](const Slot& a, const Slot& b) {
+              return a.member.val_loss < b.member.val_loss;
+            });
+  for (const Slot& slot : population) {
+    result.final_population.push_back(slot.member);
+  }
+  if (out_model != nullptr) {
+    *out_model = factory();
+    population.front().model.copy_weights_to(weights_buf);
+    out_model->set_weights_from(weights_buf);
+  }
+  return result;
+}
+
+}  // namespace candle::hpo

@@ -1,0 +1,58 @@
+// Population-based training (Jaderberg et al. 2017 — contemporaneous with
+// the keynote): a population of trainings runs in parallel; periodically
+// the stragglers EXPLOIT (copy weights + hyperparameters from a top
+// performer) and EXPLORE (perturb the copied hyperparameters).  PBT fuses
+// the paper's data parallelism and search parallelism into one schedule —
+// the search happens *during* training instead of between trainings.
+//
+// This implementation is executable: population members are real models
+// trained on real data; only the fleet wall-clock belongs to hpcsim.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace candle::hpo {
+
+struct PbtOptions {
+  Index population = 8;
+  Index rounds = 6;             // exploit/explore cycles
+  Index epochs_per_round = 2;
+  Index batch_size = 32;
+  double exploit_fraction = 0.25;  // bottom fraction copies a top member
+  float perturb_factor = 1.3f;     // lr multiplied/divided on explore
+  float lr_min = 1e-5f;
+  float lr_max = 1.0f;
+  std::uint64_t seed = 0;
+};
+
+struct PbtMember {
+  Index id = 0;
+  float lr = 1e-3f;
+  float val_loss = 0.0f;
+  Index exploits = 0;  // times this slot copied another member
+};
+
+struct PbtResult {
+  std::vector<PbtMember> final_population;  // sorted best-first
+  std::vector<float> best_loss_per_round;
+  Index total_exploits = 0;
+
+  const PbtMember& best() const { return final_population.front(); }
+};
+
+/// Run PBT over learning rates for models produced by `factory` (each
+/// member gets its own replica; members must be architecture-identical).
+/// Returns the population trajectory; the best member's weights land in
+/// `out_model` if provided.
+PbtResult population_based_training(
+    const std::function<Model()>& factory, const Dataset& train,
+    const Dataset& val, const Loss& loss, const PbtOptions& options,
+    Model* out_model = nullptr);
+
+}  // namespace candle::hpo

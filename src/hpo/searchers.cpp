@@ -1,0 +1,466 @@
+#include "hpo/searchers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace candle::hpo {
+
+// ---- Searcher base -------------------------------------------------------------
+
+void Searcher::observe(const UnitConfig& config, double objective) {
+  CANDLE_CHECK(static_cast<Index>(config.size()) == space_->dims(),
+               "observed config has wrong dimensionality");
+  CANDLE_CHECK(std::isfinite(objective), "objective must be finite");
+  history_.push_back({config, objective});
+  if (best_index_ < 0 ||
+      objective < history_[static_cast<std::size_t>(best_index_)].objective) {
+    best_index_ = static_cast<Index>(history_.size()) - 1;
+  }
+}
+
+const Observation& Searcher::best() const {
+  CANDLE_CHECK(best_index_ >= 0, "no observations yet");
+  return history_[static_cast<std::size_t>(best_index_)];
+}
+
+// ---- Grid ---------------------------------------------------------------------
+
+GridSearcher::GridSearcher(const SearchSpace& space, Index budget)
+    : Searcher(space) {
+  CANDLE_CHECK(budget >= 1, "grid budget must be positive");
+  const double d = static_cast<double>(space.dims());
+  resolution_ = std::max<Index>(
+      1, static_cast<Index>(std::ceil(std::pow(static_cast<double>(budget),
+                                               1.0 / d))));
+}
+
+UnitConfig GridSearcher::suggest() {
+  const Index d = space().dims();
+  UnitConfig c(static_cast<std::size_t>(d));
+  Index idx = cursor_++;
+  for (Index i = 0; i < d; ++i) {
+    const Index level = idx % resolution_;
+    idx /= resolution_;
+    // Cell centres so categorical bins are hit evenly.
+    c[static_cast<std::size_t>(i)] =
+        (static_cast<double>(level) + 0.5) / static_cast<double>(resolution_);
+  }
+  space().clamp(c);
+  return c;
+}
+
+// ---- Random --------------------------------------------------------------------
+
+RandomSearcher::RandomSearcher(const SearchSpace& space, std::uint64_t seed)
+    : Searcher(space), rng_(seed, 0x4a2d) {}
+
+UnitConfig RandomSearcher::suggest() { return space().sample(rng_); }
+
+// ---- Latin hypercube -------------------------------------------------------------
+
+LatinHypercubeSearcher::LatinHypercubeSearcher(const SearchSpace& space,
+                                               Index block,
+                                               std::uint64_t seed)
+    : Searcher(space), block_(block), rng_(seed, 0x1b5) {
+  CANDLE_CHECK(block >= 1, "LHS block must be positive");
+}
+
+void LatinHypercubeSearcher::refill() {
+  const Index d = space().dims();
+  // One random permutation of strata per dimension.
+  std::vector<std::vector<Index>> perms(static_cast<std::size_t>(d));
+  for (auto& perm : perms) {
+    perm.resize(static_cast<std::size_t>(block_));
+    for (Index i = 0; i < block_; ++i) perm[static_cast<std::size_t>(i)] = i;
+    std::shuffle(perm.begin(), perm.end(), rng_);
+  }
+  for (Index s = 0; s < block_; ++s) {
+    UnitConfig c(static_cast<std::size_t>(d));
+    for (Index i = 0; i < d; ++i) {
+      const double stratum = static_cast<double>(
+          perms[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]);
+      c[static_cast<std::size_t>(i)] =
+          (stratum + rng_.next_double()) / static_cast<double>(block_);
+    }
+    space().clamp(c);
+    pending_.push_back(std::move(c));
+  }
+}
+
+UnitConfig LatinHypercubeSearcher::suggest() {
+  if (pending_.empty()) refill();
+  UnitConfig c = std::move(pending_.front());
+  pending_.pop_front();
+  return c;
+}
+
+// ---- Evolution -----------------------------------------------------------------
+
+EvolutionSearcher::EvolutionSearcher(const SearchSpace& space,
+                                     Index population, std::uint64_t seed,
+                                     double mutation_sigma)
+    : Searcher(space),
+      population_size_(population),
+      sigma_(mutation_sigma),
+      rng_(seed, 0xe701) {
+  CANDLE_CHECK(population >= 2, "evolution needs a population of >= 2");
+}
+
+UnitConfig EvolutionSearcher::suggest() {
+  if (static_cast<Index>(population_.size()) < population_size_) {
+    return space().sample(rng_);  // seed the population randomly
+  }
+  // Tournament of 2 among the population; mutate one coordinate of the
+  // winner with Gaussian noise (wrap-free clamp keeps it in the cube).
+  const auto pick = [&] {
+    return population_[static_cast<std::size_t>(
+        rng_.next_below(static_cast<std::uint32_t>(population_.size())))];
+  };
+  const Observation a = pick();
+  const Observation b = pick();
+  UnitConfig child = (a.objective <= b.objective ? a : b).config;
+  const auto dim = static_cast<std::size_t>(
+      rng_.next_below(static_cast<std::uint32_t>(space().dims())));
+  child[dim] += sigma_ * rng_.normal();
+  space().clamp(child);
+  return child;
+}
+
+void EvolutionSearcher::observe(const UnitConfig& config, double objective) {
+  Searcher::observe(config, objective);
+  population_.push_back({config, objective});
+  if (static_cast<Index>(population_.size()) > population_size_) {
+    population_.pop_front();  // regularized evolution: oldest out
+  }
+}
+
+// ---- Surrogate -----------------------------------------------------------------
+
+SurrogateSearcher::SurrogateSearcher(const SearchSpace& space,
+                                     std::uint64_t seed, Index candidate_pool,
+                                     double kappa, Index warmup)
+    : Searcher(space),
+      rng_(seed, 0x5a6),
+      pool_(candidate_pool),
+      kappa_(kappa),
+      warmup_(warmup) {
+  CANDLE_CHECK(candidate_pool >= 1 && warmup >= 1, "invalid surrogate config");
+}
+
+void SurrogateSearcher::predict(const UnitConfig& x, double* mean,
+                                double* sigma) const {
+  // Nadaraya–Watson kernel regression over all observations + the distance
+  // to the nearest observation as an uncertainty proxy.
+  double wsum = 0.0, ysum = 0.0;
+  double nearest = std::numeric_limits<double>::infinity();
+  for (const Observation& o : history_) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - o.config[i];
+      d2 += d * d;
+    }
+    nearest = std::min(nearest, d2);
+    const double w = std::exp(-d2 / (2.0 * bandwidth_ * bandwidth_));
+    wsum += w;
+    ysum += w * o.objective;
+  }
+  if (wsum < 1e-12) {
+    // Far from all evidence: fall back to the global mean, max uncertainty.
+    double m = 0.0;
+    for (const Observation& o : history_) m += o.objective;
+    *mean = m / static_cast<double>(history_.size());
+    *sigma = 1.0;
+    return;
+  }
+  *mean = ysum / wsum;
+  *sigma = std::sqrt(nearest);
+}
+
+UnitConfig SurrogateSearcher::suggest() {
+  if (num_observed() < warmup_) return space().sample(rng_);
+  // Objective scale for the LCB trade-off.
+  double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+  for (const Observation& o : history_) {
+    lo = std::min(lo, o.objective);
+    hi = std::max(hi, o.objective);
+  }
+  const double scale = std::max(1e-12, hi - lo);
+
+  UnitConfig best_c;
+  double best_acq = std::numeric_limits<double>::infinity();
+  for (Index i = 0; i < pool_; ++i) {
+    UnitConfig c = space().sample(rng_);
+    double mean = 0.0, sigma = 0.0;
+    predict(c, &mean, &sigma);
+    const double acq = (mean - lo) / scale - kappa_ * sigma;
+    if (acq < best_acq) {
+      best_acq = acq;
+      best_c = std::move(c);
+    }
+  }
+  return best_c;
+}
+
+// ---- Generative ----------------------------------------------------------------
+
+GenerativeSearcher::GenerativeSearcher(const SearchSpace& space,
+                                       std::uint64_t seed, Index latent_dim,
+                                       double elite_fraction, Index warmup,
+                                       Index retrain_every)
+    : Searcher(space),
+      rng_(seed, 0x6e4),
+      latent_dim_(latent_dim),
+      elite_fraction_(elite_fraction),
+      warmup_(warmup),
+      retrain_every_(retrain_every) {
+  CANDLE_CHECK(latent_dim >= 1 && retrain_every >= 1 && warmup >= 2,
+               "invalid generative searcher config");
+  CANDLE_CHECK(elite_fraction > 0.0 && elite_fraction <= 1.0,
+               "elite fraction must be in (0,1]");
+  generator_.add(make_dense(16)).add(make_tanh());
+  generator_.add(make_dense(space.dims())).add(make_sigmoid());
+  generator_.build({latent_dim_}, seed ^ 0x93f1u);
+}
+
+void GenerativeSearcher::retrain() {
+  // Elite set: best `elite_fraction` of all observations.
+  std::vector<const Observation*> sorted;
+  sorted.reserve(history_.size());
+  for (const Observation& o : history_) sorted.push_back(&o);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->objective < b->objective;
+            });
+  const auto n_elite = std::max<std::size_t>(
+      2, static_cast<std::size_t>(elite_fraction_ *
+                                  static_cast<double>(sorted.size())));
+  const Index d = space().dims();
+
+  // IMLE round: draw a latent pool, match each elite to its nearest
+  // generated sample, regress those latents onto the elites.
+  const Index pool = static_cast<Index>(n_elite) * 4;
+  Tensor z_pool = Tensor::randn({pool, latent_dim_}, rng_);
+  const Tensor g_pool = generator_.predict(z_pool);
+
+  Tensor z_train({static_cast<Index>(n_elite), latent_dim_});
+  Tensor target({static_cast<Index>(n_elite), d});
+  for (std::size_t e = 0; e < n_elite; ++e) {
+    const UnitConfig& elite = sorted[e]->config;
+    Index best_j = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (Index j = 0; j < pool; ++j) {
+      double d2 = 0.0;
+      for (Index k = 0; k < d; ++k) {
+        const double diff =
+            g_pool.at(j, k) - elite[static_cast<std::size_t>(k)];
+        d2 += diff * diff;
+      }
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_j = j;
+      }
+    }
+    for (Index k = 0; k < latent_dim_; ++k) {
+      z_train.at(static_cast<Index>(e), k) = z_pool.at(best_j, k);
+    }
+    for (Index k = 0; k < d; ++k) {
+      target.at(static_cast<Index>(e), k) =
+          static_cast<float>(elite[static_cast<std::size_t>(k)]);
+    }
+  }
+
+  MeanSquaredError mse;
+  Adam opt(0.02f);
+  for (int step = 0; step < 120; ++step) {
+    generator_.train_batch(z_train, target, mse, opt);
+  }
+  trained_ = true;
+}
+
+UnitConfig GenerativeSearcher::generate() {
+  Tensor z = Tensor::randn({1, latent_dim_}, rng_);
+  const Tensor g = generator_.predict(z);
+  UnitConfig c(static_cast<std::size_t>(space().dims()));
+  // Exploration noise decays with evidence.
+  const double noise =
+      0.25 / std::sqrt(1.0 + static_cast<double>(num_observed()) / 8.0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = static_cast<double>(g[static_cast<Index>(i)]) +
+           noise * rng_.normal();
+  }
+  space().clamp(c);
+  return c;
+}
+
+UnitConfig GenerativeSearcher::suggest() {
+  if (num_observed() < warmup_) return space().sample(rng_);
+  if (!trained_ || since_retrain_ >= retrain_every_) {
+    retrain();
+    since_retrain_ = 0;
+  }
+  ++since_retrain_;
+  // Keep a random exploration floor (epsilon-greedy over the generator).
+  if (rng_.next_float() < 0.2f) return space().sample(rng_);
+  return generate();
+}
+
+// ---- Successive halving -----------------------------------------------------------
+
+SuccessiveHalving::SuccessiveHalving(std::unique_ptr<Searcher> base,
+                                     Index min_budget, Index max_budget,
+                                     Index reduction)
+    : base_(std::move(base)),
+      min_budget_(min_budget),
+      max_budget_(max_budget),
+      reduction_(reduction) {
+  CANDLE_CHECK(base_ != nullptr, "null base searcher");
+  CANDLE_CHECK(min_budget >= 1 && max_budget >= min_budget && reduction >= 2,
+               "invalid halving schedule");
+  Index rungs = 1;
+  for (Index b = min_budget; b < max_budget; b *= reduction) ++rungs;
+  rungs_.resize(static_cast<std::size_t>(rungs));
+}
+
+SuccessiveHalving::Task SuccessiveHalving::suggest() {
+  // ASHA promotion rule: promote from the deepest rung whose top
+  // 1/reduction fraction contains a not-yet-promoted entry.  Promotion is
+  // tracked per entry (not by count): entries arriving later can reshuffle
+  // the top fraction, and only unpromoted members of it are eligible.
+  for (Index r = static_cast<Index>(rungs_.size()) - 2; r >= 0; --r) {
+    auto& rung = rungs_[static_cast<std::size_t>(r)];
+    const auto promotable = static_cast<std::size_t>(
+        static_cast<Index>(rung.size()) / reduction_);
+    if (promotable == 0) continue;
+    std::vector<std::size_t> order(rung.size());
+    for (std::size_t i = 0; i < rung.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return rung[a].objective < rung[b].objective;
+    });
+    for (std::size_t rank = 0; rank < promotable; ++rank) {
+      RungEntry& entry = rung[order[rank]];
+      if (entry.promoted) continue;
+      entry.promoted = true;
+      Task t;
+      t.config = entry.config;
+      t.rung = r + 1;
+      t.budget = min_budget_;
+      for (Index i = 0; i < t.rung; ++i) t.budget *= reduction_;
+      t.budget = std::min(t.budget, max_budget_);
+      return t;
+    }
+  }
+  // Otherwise start a fresh configuration at the bottom rung.
+  Task t;
+  t.config = base_->suggest();
+  t.rung = 0;
+  t.budget = min_budget_;
+  return t;
+}
+
+void SuccessiveHalving::observe(const Task& task, double objective) {
+  CANDLE_CHECK(task.rung >= 0 &&
+                   task.rung < static_cast<Index>(rungs_.size()),
+               "task rung out of range");
+  rungs_[static_cast<std::size_t>(task.rung)].push_back(
+      {task.config, objective});
+  ++observed_;
+  base_->observe(task.config, objective);
+  const bool full = task.budget >= max_budget_ ||
+                    task.rung == static_cast<Index>(rungs_.size()) - 1;
+  if (full && (!has_full_ || objective < best_full_.objective)) {
+    best_full_ = {task.config, objective};
+    has_full_ = true;
+  }
+  if (!has_any_ || objective < best_any_.objective) {
+    best_any_ = {task.config, objective};
+    has_any_ = true;
+  }
+}
+
+Observation SuccessiveHalving::best() const {
+  CANDLE_CHECK(has_any_, "no observations yet");
+  return has_full_ ? best_full_ : best_any_;
+}
+
+// ---- Hyperband -----------------------------------------------------------------
+
+Hyperband::Hyperband(const SearchSpace& space, std::uint64_t seed,
+                     Index max_budget, Index reduction) {
+  CANDLE_CHECK(max_budget >= 1 && reduction >= 2, "invalid hyperband config");
+  // Bracket s uses min budget max/eta^s; s from the most aggressive
+  // (several rungs) down to full-fidelity-only.
+  Index min_budget = std::max<Index>(1, max_budget);
+  std::vector<Index> mins;
+  for (Index b = max_budget; b >= 1; b /= reduction) {
+    mins.push_back(b);
+    if (b == 1) break;
+  }
+  std::uint64_t salt = 0;
+  for (auto it = mins.rbegin(); it != mins.rend(); ++it) {
+    brackets_.push_back(std::make_unique<SuccessiveHalving>(
+        std::make_unique<RandomSearcher>(space, seed ^ (0x9e37u + salt++)),
+        *it, max_budget, reduction));
+  }
+  (void)min_budget;
+  CANDLE_CHECK(!brackets_.empty(), "hyperband built no brackets");
+}
+
+Hyperband::Task Hyperband::suggest() {
+  Task t;
+  t.bracket = cursor_;
+  t.inner = brackets_[static_cast<std::size_t>(cursor_)]->suggest();
+  cursor_ = (cursor_ + 1) % static_cast<Index>(brackets_.size());
+  return t;
+}
+
+void Hyperband::observe(const Task& task, double objective) {
+  CANDLE_CHECK(task.bracket >= 0 &&
+                   task.bracket < static_cast<Index>(brackets_.size()),
+               "bracket index out of range");
+  brackets_[static_cast<std::size_t>(task.bracket)]->observe(task.inner,
+                                                             objective);
+}
+
+Observation Hyperband::best() const {
+  bool found = false;
+  Observation best_obs;
+  for (const auto& bracket : brackets_) {
+    if (bracket->num_observed() == 0) continue;
+    const Observation o = bracket->best();
+    if (!found || o.objective < best_obs.objective) {
+      best_obs = o;
+      found = true;
+    }
+  }
+  CANDLE_CHECK(found, "no observations yet");
+  return best_obs;
+}
+
+Index Hyperband::num_observed() const {
+  Index n = 0;
+  for (const auto& bracket : brackets_) n += bracket->num_observed();
+  return n;
+}
+
+// ---- factory -------------------------------------------------------------------
+
+std::unique_ptr<Searcher> make_searcher(const std::string& name,
+                                        const SearchSpace& space,
+                                        std::uint64_t seed, Index budget) {
+  if (name == "grid") return std::make_unique<GridSearcher>(space, budget);
+  if (name == "random") return std::make_unique<RandomSearcher>(space, seed);
+  if (name == "lhs") {
+    return std::make_unique<LatinHypercubeSearcher>(
+        space, std::max<Index>(8, budget / 4), seed);
+  }
+  if (name == "evolution") {
+    return std::make_unique<EvolutionSearcher>(
+        space, std::max<Index>(8, budget / 8), seed);
+  }
+  if (name == "surrogate") return std::make_unique<SurrogateSearcher>(space, seed);
+  if (name == "generative") return std::make_unique<GenerativeSearcher>(space, seed);
+  throw Error("unknown searcher: " + name);
+}
+
+}  // namespace candle::hpo

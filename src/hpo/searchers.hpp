@@ -1,0 +1,252 @@
+// Hyperparameter search strategies (claim C8: "Naive searches are
+// outperformed by various intelligent searching strategies, including new
+// approaches that use generative neural networks to manage the search
+// space").
+//
+// All searchers share one ask/tell interface over the unit hypercube; the
+// objective is minimized.  The roster covers the 2017 landscape:
+//   * GridSearcher / RandomSearcher / LatinHypercubeSearcher — the "naive"
+//     baselines;
+//   * EvolutionSearcher — regularized evolution (tournament + 1-coordinate
+//     mutation, oldest-out population);
+//   * SurrogateSearcher — Bayesian-style: an RBF (kernel-regression)
+//     surrogate with a distance-based uncertainty term scores a candidate
+//     pool by a lower-confidence-bound acquisition;
+//   * GenerativeSearcher — the paper's generative-NN idea: a small MLP
+//     generator (latent z -> config) trained IMLE-style on the elite set
+//     each round proposes new configurations near the elite manifold;
+//   * SuccessiveHalving (ASHA) — multi-fidelity wrapper that promotes
+//     configurations through epoch rungs, implemented over any base
+//     searcher.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpo/space.hpp"
+#include "nn/model.hpp"
+
+namespace candle::hpo {
+
+/// One evaluated configuration.
+struct Observation {
+  UnitConfig config;
+  double objective = 0.0;  // lower is better
+};
+
+/// Ask/tell searcher interface (single fidelity).
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+  virtual std::string name() const = 0;
+
+  /// Propose the next configuration to evaluate.
+  virtual UnitConfig suggest() = 0;
+
+  /// Report the objective of a previously suggested configuration.
+  virtual void observe(const UnitConfig& config, double objective);
+
+  /// Best observation so far.
+  const Observation& best() const;
+  Index num_observed() const { return static_cast<Index>(history_.size()); }
+  const std::vector<Observation>& history() const { return history_; }
+
+ protected:
+  explicit Searcher(const SearchSpace& space) : space_(&space) {}
+  const SearchSpace& space() const { return *space_; }
+
+  std::vector<Observation> history_;
+
+ private:
+  const SearchSpace* space_;
+  Index best_index_ = -1;
+};
+
+/// Full-factorial lattice with per-dimension resolution chosen to cover at
+/// least `budget` points; cycles if asked for more.
+class GridSearcher : public Searcher {
+ public:
+  GridSearcher(const SearchSpace& space, Index budget);
+  std::string name() const override { return "grid"; }
+  UnitConfig suggest() override;
+
+  Index points_per_dim() const { return resolution_; }
+
+ private:
+  Index resolution_;
+  Index cursor_ = 0;
+};
+
+/// I.i.d. uniform sampling.
+class RandomSearcher : public Searcher {
+ public:
+  RandomSearcher(const SearchSpace& space, std::uint64_t seed);
+  std::string name() const override { return "random"; }
+  UnitConfig suggest() override;
+
+ private:
+  Pcg32 rng_;
+};
+
+/// Latin hypercube: a fresh stratified block of `block` samples at a time.
+class LatinHypercubeSearcher : public Searcher {
+ public:
+  LatinHypercubeSearcher(const SearchSpace& space, Index block,
+                         std::uint64_t seed);
+  std::string name() const override { return "lhs"; }
+  UnitConfig suggest() override;
+
+ private:
+  void refill();
+
+  Index block_;
+  Pcg32 rng_;
+  std::deque<UnitConfig> pending_;
+};
+
+/// Regularized evolution (Real et al. 2019, already folklore in 2017 HPO):
+/// keep a sliding population, mutate a tournament winner, retire oldest.
+class EvolutionSearcher : public Searcher {
+ public:
+  EvolutionSearcher(const SearchSpace& space, Index population,
+                    std::uint64_t seed, double mutation_sigma = 0.15);
+  std::string name() const override { return "evolution"; }
+  UnitConfig suggest() override;
+  void observe(const UnitConfig& config, double objective) override;
+
+ private:
+  Index population_size_;
+  double sigma_;
+  Pcg32 rng_;
+  std::deque<Observation> population_;
+};
+
+/// RBF-surrogate search with LCB acquisition over a random candidate pool.
+class SurrogateSearcher : public Searcher {
+ public:
+  SurrogateSearcher(const SearchSpace& space, std::uint64_t seed,
+                    Index candidate_pool = 256, double kappa = 1.0,
+                    Index warmup = 8);
+  std::string name() const override { return "surrogate"; }
+  UnitConfig suggest() override;
+
+ private:
+  /// Kernel-regression mean and a nearest-distance uncertainty proxy.
+  void predict(const UnitConfig& x, double* mean, double* sigma) const;
+
+  Pcg32 rng_;
+  Index pool_;
+  double kappa_;
+  Index warmup_;
+  double bandwidth_ = 0.2;
+};
+
+/// Generative-NN-managed search: an MLP generator G: z -> config is
+/// retrained (IMLE-style nearest-sample matching) on the elite fraction of
+/// observations every `retrain_every` suggestions; proposals are G(z) plus
+/// exploration noise that decays as evidence accumulates.
+class GenerativeSearcher : public Searcher {
+ public:
+  GenerativeSearcher(const SearchSpace& space, std::uint64_t seed,
+                     Index latent_dim = 4, double elite_fraction = 0.25,
+                     Index warmup = 12, Index retrain_every = 8);
+  std::string name() const override { return "generative"; }
+  UnitConfig suggest() override;
+
+ private:
+  void retrain();
+  UnitConfig generate();
+
+  Pcg32 rng_;
+  Index latent_dim_;
+  double elite_fraction_;
+  Index warmup_;
+  Index retrain_every_;
+  Index since_retrain_ = 0;
+  bool trained_ = false;
+  Model generator_;  // latent -> unit config
+};
+
+/// Asynchronous successive halving over epoch rungs.  Drives any base
+/// searcher: configurations start at `min_budget` epochs; the top
+/// 1/reduction fraction of each rung is promoted to the next (budget x
+/// reduction) until `max_budget`.
+class SuccessiveHalving {
+ public:
+  SuccessiveHalving(std::unique_ptr<Searcher> base, Index min_budget,
+                    Index max_budget, Index reduction = 3);
+
+  std::string name() const { return "asha(" + base_->name() + ")"; }
+
+  struct Task {
+    UnitConfig config;
+    Index budget = 0;  // epochs to train for (cumulative)
+    Index rung = 0;
+  };
+
+  /// Next (config, budget) to evaluate.
+  Task suggest();
+
+  /// Report objective for a task (at its budget).
+  void observe(const Task& task, double objective);
+
+  /// Best full-budget observation (falls back to best at any budget).
+  Observation best() const;
+  Index num_observed() const { return observed_; }
+  Index num_rungs() const { return static_cast<Index>(rungs_.size()); }
+
+ private:
+  struct RungEntry {
+    UnitConfig config;
+    double objective;
+    bool promoted = false;  // this exact entry has been sent up a rung
+  };
+
+  std::unique_ptr<Searcher> base_;
+  Index min_budget_, max_budget_, reduction_;
+  std::vector<std::vector<RungEntry>> rungs_;
+  Index observed_ = 0;
+  Observation best_full_;
+  bool has_full_ = false;
+  Observation best_any_;
+  bool has_any_ = false;
+};
+
+/// Hyperband (Li et al. 2017 — contemporaneous with the paper): a portfolio
+/// of successive-halving brackets with different exploration/exploitation
+/// trade-offs (aggressive brackets start many configs at tiny budgets;
+/// conservative ones run fewer configs at full budget).  suggest() cycles
+/// the brackets round-robin.
+class Hyperband {
+ public:
+  Hyperband(const SearchSpace& space, std::uint64_t seed, Index max_budget,
+            Index reduction = 3);
+
+  std::string name() const { return "hyperband"; }
+  Index num_brackets() const { return static_cast<Index>(brackets_.size()); }
+
+  struct Task {
+    SuccessiveHalving::Task inner;
+    Index bracket = 0;
+    Index budget() const { return inner.budget; }
+    const UnitConfig& config() const { return inner.config; }
+  };
+
+  Task suggest();
+  void observe(const Task& task, double objective);
+  Observation best() const;
+  Index num_observed() const;
+
+ private:
+  std::vector<std::unique_ptr<SuccessiveHalving>> brackets_;
+  Index cursor_ = 0;
+};
+
+/// Factory for the single-fidelity strategies benchmarked in E7.
+std::unique_ptr<Searcher> make_searcher(const std::string& name,
+                                        const SearchSpace& space,
+                                        std::uint64_t seed, Index budget);
+
+}  // namespace candle::hpo

@@ -1,0 +1,174 @@
+#include "hpo/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace candle::hpo {
+
+SearchSpace& SearchSpace::add_categorical(std::string name,
+                                          std::vector<std::string> values) {
+  CANDLE_CHECK(!values.empty(), "categorical parameter needs values");
+  Param p;
+  p.name = std::move(name);
+  p.kind = ParamKind::Categorical;
+  p.categories = std::move(values);
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_int(std::string name, Index lo, Index hi) {
+  CANDLE_CHECK(lo <= hi, "empty integer range");
+  Param p;
+  p.name = std::move(name);
+  p.kind = ParamKind::Int;
+  p.lo = static_cast<double>(lo);
+  p.hi = static_cast<double>(hi);
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_float(std::string name, double lo, double hi) {
+  CANDLE_CHECK(lo < hi, "empty float range");
+  Param p;
+  p.name = std::move(name);
+  p.kind = ParamKind::Float;
+  p.lo = lo;
+  p.hi = hi;
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_log_float(std::string name, double lo,
+                                        double hi) {
+  CANDLE_CHECK(0.0 < lo && lo < hi, "log range requires 0 < lo < hi");
+  Param p;
+  p.name = std::move(name);
+  p.kind = ParamKind::LogFloat;
+  p.lo = lo;
+  p.hi = hi;
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+const Param& SearchSpace::param(Index i) const {
+  CANDLE_CHECK(i >= 0 && i < dims(), "parameter index out of range");
+  return params_[static_cast<std::size_t>(i)];
+}
+
+Index SearchSpace::index_of(const std::string& name) const {
+  for (Index i = 0; i < dims(); ++i) {
+    if (params_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  throw Error("no parameter named '" + name + "'");
+}
+
+const Param& SearchSpace::named(const std::string& name) const {
+  return param(index_of(name));
+}
+
+UnitConfig SearchSpace::sample(Pcg32& rng) const {
+  UnitConfig c(static_cast<std::size_t>(dims()));
+  for (double& v : c) v = rng.next_double();
+  return c;
+}
+
+void SearchSpace::clamp(UnitConfig& config) const {
+  CANDLE_CHECK(static_cast<Index>(config.size()) == dims(),
+               "config dimensionality mismatch");
+  for (double& v : config) {
+    v = std::clamp(v, 0.0, std::nextafter(1.0, 0.0));
+  }
+}
+
+double SearchSpace::coordinate(const UnitConfig& config,
+                               const Param& p) const {
+  CANDLE_CHECK(static_cast<Index>(config.size()) == dims(),
+               "config dimensionality mismatch");
+  const auto i = static_cast<std::size_t>(&p - params_.data());
+  const double u = config[i];
+  CANDLE_CHECK(u >= 0.0 && u < 1.0,
+               "coordinate for '" + p.name + "' outside [0,1)");
+  return u;
+}
+
+double SearchSpace::decode_float(const UnitConfig& config,
+                                 const std::string& name) const {
+  const Param& p = named(name);
+  const double u = coordinate(config, p);
+  switch (p.kind) {
+    case ParamKind::Float:
+      return p.lo + (p.hi - p.lo) * u;
+    case ParamKind::LogFloat:
+      return p.lo * std::pow(p.hi / p.lo, u);
+    case ParamKind::Int:
+      return static_cast<double>(decode_int(config, name));
+    case ParamKind::Categorical:
+      throw Error("'" + name + "' is categorical; use decode_categorical");
+  }
+  CANDLE_FAIL("unknown ParamKind");
+}
+
+Index SearchSpace::decode_int(const UnitConfig& config,
+                              const std::string& name) const {
+  const Param& p = named(name);
+  CANDLE_CHECK(p.kind == ParamKind::Int,
+               "'" + name + "' is not an integer parameter");
+  const double u = coordinate(config, p);
+  const double span = p.hi - p.lo + 1.0;
+  return static_cast<Index>(p.lo + std::floor(u * span));
+}
+
+const std::string& SearchSpace::decode_categorical(
+    const UnitConfig& config, const std::string& name) const {
+  const Param& p = named(name);
+  CANDLE_CHECK(p.kind == ParamKind::Categorical,
+               "'" + name + "' is not categorical");
+  const double u = coordinate(config, p);
+  const auto bin = static_cast<std::size_t>(
+      u * static_cast<double>(p.categories.size()));
+  return p.categories[std::min(bin, p.categories.size() - 1)];
+}
+
+std::string SearchSpace::describe(const UnitConfig& config) const {
+  std::ostringstream os;
+  for (Index i = 0; i < dims(); ++i) {
+    const Param& p = params_[static_cast<std::size_t>(i)];
+    if (i > 0) os << ", ";
+    os << p.name << '=';
+    switch (p.kind) {
+      case ParamKind::Categorical:
+        os << decode_categorical(config, p.name);
+        break;
+      case ParamKind::Int:
+        os << decode_int(config, p.name);
+        break;
+      case ParamKind::Float:
+      case ParamKind::LogFloat:
+        os << decode_float(config, p.name);
+        break;
+    }
+  }
+  return os.str();
+}
+
+double SearchSpace::cardinality(Index continuous_levels) const {
+  double card = 1.0;
+  for (const Param& p : params_) {
+    switch (p.kind) {
+      case ParamKind::Categorical:
+        card *= static_cast<double>(p.categories.size());
+        break;
+      case ParamKind::Int:
+        card *= p.hi - p.lo + 1.0;
+        break;
+      case ParamKind::Float:
+      case ParamKind::LogFloat:
+        card *= static_cast<double>(continuous_levels);
+        break;
+    }
+  }
+  return card;
+}
+
+}  // namespace candle::hpo

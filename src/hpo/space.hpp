@@ -1,0 +1,74 @@
+// Hyperparameter search space over mixed parameter types.
+//
+// Internally every configuration is a point in the unit hypercube [0,1)^d —
+// one coordinate per parameter — which makes all search strategies
+// (random, LHS, evolution, surrogates, neural generators) operate in a
+// common geometry.  Decoding maps a coordinate to the parameter's native
+// value: categorical bins, integer ranges, linear or log-scaled floats.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/error.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle::hpo {
+
+using Index = std::int64_t;
+
+/// A configuration: one coordinate per parameter, each in [0, 1).
+using UnitConfig = std::vector<double>;
+
+enum class ParamKind { Categorical, Int, Float, LogFloat };
+
+struct Param {
+  std::string name;
+  ParamKind kind = ParamKind::Float;
+  std::vector<std::string> categories;  // Categorical only
+  double lo = 0.0;                      // numeric kinds
+  double hi = 1.0;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace& add_categorical(std::string name,
+                               std::vector<std::string> values);
+  SearchSpace& add_int(std::string name, Index lo, Index hi);  // inclusive
+  SearchSpace& add_float(std::string name, double lo, double hi);
+  /// Log-uniform: decode(u) = lo * (hi/lo)^u.  Requires 0 < lo < hi.
+  SearchSpace& add_log_float(std::string name, double lo, double hi);
+
+  Index dims() const { return static_cast<Index>(params_.size()); }
+  const Param& param(Index i) const;
+  Index index_of(const std::string& name) const;
+
+  /// Uniform random configuration.
+  UnitConfig sample(Pcg32& rng) const;
+
+  /// Clamp every coordinate into [0, 1).
+  void clamp(UnitConfig& config) const;
+
+  // ---- decoding ---------------------------------------------------------------
+
+  double decode_float(const UnitConfig& config, const std::string& name) const;
+  Index decode_int(const UnitConfig& config, const std::string& name) const;
+  const std::string& decode_categorical(const UnitConfig& config,
+                                        const std::string& name) const;
+
+  /// Human-readable "lr=3.2e-3, units=64, opt=adam" rendering.
+  std::string describe(const UnitConfig& config) const;
+
+  /// Number of distinct decoded configurations (product of categorical /
+  /// integer cardinalities; continuous dims count as `continuous_levels`).
+  /// Used to report the size of the searched space.
+  double cardinality(Index continuous_levels = 100) const;
+
+ private:
+  const Param& named(const std::string& name) const;
+  double coordinate(const UnitConfig& config, const Param& p) const;
+
+  std::vector<Param> params_;
+};
+
+}  // namespace candle::hpo

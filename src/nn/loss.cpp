@@ -1,0 +1,135 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/error.hpp"
+
+namespace candle {
+
+// ---- MSE ---------------------------------------------------------------------
+
+float MeanSquaredError::value(const Tensor& pred, const Tensor& target) const {
+  CANDLE_CHECK(pred.same_shape(target), "MSE shape mismatch");
+  double acc = 0.0;
+  const float* p = pred.data();
+  const float* t = target.data();
+  for (Index i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+Tensor MeanSquaredError::grad(const Tensor& pred, const Tensor& target) const {
+  CANDLE_CHECK(pred.same_shape(target), "MSE shape mismatch");
+  Tensor g = pred;
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  const float* t = target.data();
+  float* gp = g.data();
+  for (Index i = 0; i < g.numel(); ++i) gp[i] = scale * (gp[i] - t[i]);
+  return g;
+}
+
+// ---- Softmax cross entropy ----------------------------------------------------
+
+Tensor SoftmaxCrossEntropy::softmax(const Tensor& logits) {
+  CANDLE_CHECK(logits.ndim() == 2, "softmax expects (batch, classes)");
+  Tensor p = logits;
+  const Index b = p.dim(0), c = p.dim(1);
+  for (Index i = 0; i < b; ++i) {
+    float* row = p.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    float z = 0.0f;
+    for (Index j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - m);
+      z += row[j];
+    }
+    const float inv = 1.0f / z;
+    for (Index j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return p;
+}
+
+namespace {
+Index class_index(const Tensor& target, Index i, Index classes) {
+  const auto idx = static_cast<Index>(std::lround(target[i]));
+  CANDLE_CHECK(idx >= 0 && idx < classes,
+               "class index " + std::to_string(idx) + " out of range");
+  return idx;
+}
+}  // namespace
+
+float SoftmaxCrossEntropy::value(const Tensor& pred,
+                                 const Tensor& target) const {
+  CANDLE_CHECK(pred.ndim() == 2, "logits must be (batch, classes)");
+  CANDLE_CHECK(target.numel() == pred.dim(0),
+               "target must hold one class index per sample");
+  const Index b = pred.dim(0), c = pred.dim(1);
+  double acc = 0.0;
+  for (Index i = 0; i < b; ++i) {
+    const float* row = pred.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double z = 0.0;
+    for (Index j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - m));
+    const Index y = class_index(target, i, c);
+    acc += std::log(z) - static_cast<double>(row[y] - m);
+  }
+  return static_cast<float>(acc / static_cast<double>(b));
+}
+
+Tensor SoftmaxCrossEntropy::grad(const Tensor& pred,
+                                 const Tensor& target) const {
+  CANDLE_CHECK(pred.ndim() == 2, "logits must be (batch, classes)");
+  CANDLE_CHECK(target.numel() == pred.dim(0),
+               "target must hold one class index per sample");
+  Tensor g = softmax(pred);
+  const Index b = pred.dim(0), c = pred.dim(1);
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (Index i = 0; i < b; ++i) {
+    float* row = g.data() + i * c;
+    row[class_index(target, i, c)] -= 1.0f;
+    for (Index j = 0; j < c; ++j) row[j] *= inv_b;
+  }
+  return g;
+}
+
+// ---- Binary cross entropy ------------------------------------------------------
+
+float BinaryCrossEntropy::value(const Tensor& pred,
+                                const Tensor& target) const {
+  CANDLE_CHECK(pred.numel() == target.numel(), "BCE shape mismatch");
+  double acc = 0.0;
+  const float* z = pred.data();
+  const float* y = target.data();
+  for (Index i = 0; i < pred.numel(); ++i) {
+    // log(1 + e^-|z|) + max(z,0) - z*y  (numerically stable logits form)
+    const double zi = z[i];
+    acc += std::log1p(std::exp(-std::abs(zi))) + std::max(zi, 0.0) - zi * y[i];
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+Tensor BinaryCrossEntropy::grad(const Tensor& pred,
+                                const Tensor& target) const {
+  CANDLE_CHECK(pred.numel() == target.numel(), "BCE shape mismatch");
+  Tensor g = pred;
+  const float* y = target.data();
+  float* gp = g.data();
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  for (Index i = 0; i < g.numel(); ++i) {
+    const float sig = 1.0f / (1.0f + std::exp(-gp[i]));
+    gp[i] = (sig - y[i]) * inv_n;
+  }
+  return g;
+}
+
+std::unique_ptr<Loss> make_mse() { return std::make_unique<MeanSquaredError>(); }
+std::unique_ptr<Loss> make_softmax_cross_entropy() {
+  return std::make_unique<SoftmaxCrossEntropy>();
+}
+std::unique_ptr<Loss> make_binary_cross_entropy() {
+  return std::make_unique<BinaryCrossEntropy>();
+}
+
+}  // namespace candle

@@ -1,0 +1,61 @@
+// Loss functions.  Each provides the scalar batch-mean loss and the gradient
+// of that mean with respect to the network output (logits/predictions).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace candle {
+
+/// Base class: value() and grad() must be called with the same pair.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual std::string name() const = 0;
+
+  /// Mean loss over the batch.
+  virtual float value(const Tensor& pred, const Tensor& target) const = 0;
+
+  /// d(mean loss)/d(pred), same shape as pred.
+  virtual Tensor grad(const Tensor& pred, const Tensor& target) const = 0;
+};
+
+/// Mean squared error over all prediction elements.
+/// pred: (B, D); target: (B, D).
+class MeanSquaredError : public Loss {
+ public:
+  std::string name() const override { return "mse"; }
+  float value(const Tensor& pred, const Tensor& target) const override;
+  Tensor grad(const Tensor& pred, const Tensor& target) const override;
+};
+
+/// Softmax + categorical cross-entropy on logits.
+/// pred: (B, C) logits; target: (B) class indices stored as floats.
+/// Fusing softmax with the loss gives the numerically stable gradient
+/// (softmax - onehot)/B.
+class SoftmaxCrossEntropy : public Loss {
+ public:
+  std::string name() const override { return "softmax_xent"; }
+  float value(const Tensor& pred, const Tensor& target) const override;
+  Tensor grad(const Tensor& pred, const Tensor& target) const override;
+
+  /// Row-wise softmax of logits (utility shared with metrics/tests).
+  static Tensor softmax(const Tensor& logits);
+};
+
+/// Sigmoid + binary cross-entropy on logits.
+/// pred: (B, 1) or (B) logits; target: same shape with 0/1 labels.
+class BinaryCrossEntropy : public Loss {
+ public:
+  std::string name() const override { return "bce"; }
+  float value(const Tensor& pred, const Tensor& target) const override;
+  Tensor grad(const Tensor& pred, const Tensor& target) const override;
+};
+
+std::unique_ptr<Loss> make_mse();
+std::unique_ptr<Loss> make_softmax_cross_entropy();
+std::unique_ptr<Loss> make_binary_cross_entropy();
+
+}  // namespace candle

@@ -1,0 +1,100 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace candle {
+
+double accuracy(const Tensor& logits, const Tensor& labels) {
+  CANDLE_CHECK(logits.ndim() == 2, "accuracy expects (batch, classes)");
+  const Index b = logits.dim(0), c = logits.dim(1);
+  CANDLE_CHECK(labels.numel() == b, "one label per sample required");
+  Index correct = 0;
+  for (Index i = 0; i < b; ++i) {
+    const float* row = logits.data() + i * c;
+    const Index pred =
+        static_cast<Index>(std::max_element(row, row + c) - row);
+    if (pred == static_cast<Index>(std::lround(labels[i]))) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(b);
+}
+
+double r2_score(const Tensor& pred, const Tensor& target) {
+  CANDLE_CHECK(pred.numel() == target.numel(), "r2 size mismatch");
+  const Index n = pred.numel();
+  CANDLE_CHECK(n >= 2, "r2 needs at least two points");
+  double mean = 0.0;
+  for (Index i = 0; i < n; ++i) mean += target[i];
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double r = static_cast<double>(target[i]) - pred[i];
+    const double t = static_cast<double>(target[i]) - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double roc_auc(const Tensor& scores, const Tensor& labels) {
+  const Index n = scores.numel();
+  CANDLE_CHECK(labels.numel() == n, "auc size mismatch");
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](Index a, Index b) { return scores[a] < scores[b]; });
+  // Midrank assignment for tied scores, then the Mann–Whitney identity:
+  // AUC = (sum of positive ranks - n_pos(n_pos+1)/2) / (n_pos * n_neg).
+  std::vector<double> rank(static_cast<std::size_t>(n));
+  Index i = 0;
+  while (i < n) {
+    Index j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (Index t = i; t <= j; ++t) rank[static_cast<std::size_t>(order[t])] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  Index n_pos = 0;
+  for (Index s = 0; s < n; ++s) {
+    if (labels[s] > 0.5f) {
+      pos_rank_sum += rank[static_cast<std::size_t>(s)];
+      ++n_pos;
+    }
+  }
+  const Index n_neg = n - n_pos;
+  CANDLE_CHECK(n_pos > 0 && n_neg > 0,
+               "auc needs both positive and negative samples");
+  return (pos_rank_sum -
+          0.5 * static_cast<double>(n_pos) * static_cast<double>(n_pos + 1)) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double pearson_r(const Tensor& a, const Tensor& b) {
+  CANDLE_CHECK(a.numel() == b.numel(), "pearson size mismatch");
+  const Index n = a.numel();
+  CANDLE_CHECK(n >= 2, "pearson needs at least two points");
+  double ma = 0, mb = 0;
+  for (Index i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (Index i = 0; i < n; ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace candle

@@ -1,0 +1,25 @@
+// Evaluation metrics for the biomedical workloads: classification accuracy,
+// regression R^2, and ROC AUC (the standard report for drug-response and
+// AMR-prediction models).
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace candle {
+
+/// Fraction of rows whose argmax over logits equals the class index stored
+/// (as float) in `labels`.  logits: (B, C); labels: (B).
+double accuracy(const Tensor& logits, const Tensor& labels);
+
+/// Coefficient of determination 1 - SS_res/SS_tot over all elements.
+/// Returns -inf-ish negative values for models worse than the mean.
+double r2_score(const Tensor& pred, const Tensor& target);
+
+/// Area under the ROC curve via the rank statistic (ties get midranks).
+/// scores: (B) or (B,1) real-valued; labels: same count of 0/1 values.
+double roc_auc(const Tensor& scores, const Tensor& labels);
+
+/// Pearson correlation over all elements.
+double pearson_r(const Tensor& a, const Tensor& b);
+
+}  // namespace candle

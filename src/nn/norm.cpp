@@ -1,0 +1,174 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+namespace candle {
+
+// ---- BatchNorm -----------------------------------------------------------------
+
+Shape BatchNorm::build(const Shape& input, Pcg32& /*rng*/) {
+  CANDLE_CHECK(input.size() == 1,
+               "BatchNorm expects flat input, got " + shape_to_string(input));
+  features_ = input[0];
+  gamma_ = Tensor::ones({features_});
+  beta_ = Tensor::zeros({features_});
+  dgamma_ = Tensor::zeros({features_});
+  dbeta_ = Tensor::zeros({features_});
+  running_mean_ = Tensor::zeros({features_});
+  running_var_ = Tensor::ones({features_});
+  return input;
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool training) {
+  CANDLE_CHECK(x.ndim() == 2 && x.dim(1) == features_,
+               "BatchNorm forward shape mismatch");
+  const Index b = x.dim(0);
+  Tensor y(x.shape());
+
+  if (!training) {
+    for (Index i = 0; i < b; ++i) {
+      const float* xr = x.data() + i * features_;
+      float* yr = y.data() + i * features_;
+      for (Index f = 0; f < features_; ++f) {
+        const float inv =
+            1.0f / std::sqrt(running_var_[f] + eps_);
+        yr[f] = gamma_[f] * (xr[f] - running_mean_[f]) * inv + beta_[f];
+      }
+    }
+    xhat_cache_ = Tensor();  // invalidate training cache
+    return y;
+  }
+
+  CANDLE_CHECK(b >= 2, "BatchNorm training needs batch >= 2");
+  xhat_cache_ = Tensor(x.shape());
+  inv_std_cache_.assign(static_cast<std::size_t>(features_), 0.0f);
+  for (Index f = 0; f < features_; ++f) {
+    double mean = 0.0;
+    for (Index i = 0; i < b; ++i) mean += x.at(i, f);
+    mean /= static_cast<double>(b);
+    double var = 0.0;
+    for (Index i = 0; i < b; ++i) {
+      const double d = x.at(i, f) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(b);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    inv_std_cache_[static_cast<std::size_t>(f)] = inv;
+    for (Index i = 0; i < b; ++i) {
+      const float xh = (x.at(i, f) - static_cast<float>(mean)) * inv;
+      xhat_cache_.at(i, f) = xh;
+      y.at(i, f) = gamma_[f] * xh + beta_[f];
+    }
+    running_mean_[f] = momentum_ * running_mean_[f] +
+                       (1.0f - momentum_) * static_cast<float>(mean);
+    running_var_[f] = momentum_ * running_var_[f] +
+                      (1.0f - momentum_) * static_cast<float>(var);
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& dy) {
+  CANDLE_CHECK(xhat_cache_.numel() > 1,
+               "BatchNorm backward requires a training forward");
+  CANDLE_CHECK(dy.same_shape(xhat_cache_), "BatchNorm backward shape mismatch");
+  const Index b = dy.dim(0);
+  const float inv_b = 1.0f / static_cast<float>(b);
+  Tensor dx(dy.shape());
+  dgamma_.fill(0.0f);
+  dbeta_.fill(0.0f);
+  for (Index f = 0; f < features_; ++f) {
+    float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+    for (Index i = 0; i < b; ++i) {
+      sum_dy += dy.at(i, f);
+      sum_dy_xhat += dy.at(i, f) * xhat_cache_.at(i, f);
+    }
+    dgamma_[f] = sum_dy_xhat;
+    dbeta_[f] = sum_dy;
+    const float g_inv =
+        gamma_[f] * inv_std_cache_[static_cast<std::size_t>(f)];
+    for (Index i = 0; i < b; ++i) {
+      // Standard fused batchnorm gradient.
+      dx.at(i, f) = g_inv * (dy.at(i, f) - inv_b * sum_dy -
+                             inv_b * xhat_cache_.at(i, f) * sum_dy_xhat);
+    }
+  }
+  return dx;
+}
+
+// ---- LayerNorm -----------------------------------------------------------------
+
+Shape LayerNorm::build(const Shape& input, Pcg32& /*rng*/) {
+  CANDLE_CHECK(input.size() == 1,
+               "LayerNorm expects flat input, got " + shape_to_string(input));
+  features_ = input[0];
+  gamma_ = Tensor::ones({features_});
+  beta_ = Tensor::zeros({features_});
+  dgamma_ = Tensor::zeros({features_});
+  dbeta_ = Tensor::zeros({features_});
+  return input;
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool /*training*/) {
+  CANDLE_CHECK(x.ndim() == 2 && x.dim(1) == features_,
+               "LayerNorm forward shape mismatch");
+  const Index b = x.dim(0);
+  Tensor y(x.shape());
+  xhat_cache_ = Tensor(x.shape());
+  inv_std_cache_.assign(static_cast<std::size_t>(b), 0.0f);
+  const float inv_f = 1.0f / static_cast<float>(features_);
+  for (Index i = 0; i < b; ++i) {
+    const float* xr = x.data() + i * features_;
+    double mean = 0.0;
+    for (Index f = 0; f < features_; ++f) mean += xr[f];
+    mean *= inv_f;
+    double var = 0.0;
+    for (Index f = 0; f < features_; ++f) {
+      const double d = xr[f] - mean;
+      var += d * d;
+    }
+    var *= inv_f;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    inv_std_cache_[static_cast<std::size_t>(i)] = inv;
+    for (Index f = 0; f < features_; ++f) {
+      const float xh = (xr[f] - static_cast<float>(mean)) * inv;
+      xhat_cache_.at(i, f) = xh;
+      y.at(i, f) = gamma_[f] * xh + beta_[f];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy) {
+  CANDLE_CHECK(dy.same_shape(xhat_cache_), "LayerNorm backward shape mismatch");
+  const Index b = dy.dim(0);
+  const float inv_f = 1.0f / static_cast<float>(features_);
+  Tensor dx(dy.shape());
+  dgamma_.fill(0.0f);
+  dbeta_.fill(0.0f);
+  for (Index i = 0; i < b; ++i) {
+    float sum_g = 0.0f, sum_g_xhat = 0.0f;
+    for (Index f = 0; f < features_; ++f) {
+      const float g = dy.at(i, f) * gamma_[f];
+      sum_g += g;
+      sum_g_xhat += g * xhat_cache_.at(i, f);
+      dgamma_[f] += dy.at(i, f) * xhat_cache_.at(i, f);
+      dbeta_[f] += dy.at(i, f);
+    }
+    const float inv = inv_std_cache_[static_cast<std::size_t>(i)];
+    for (Index f = 0; f < features_; ++f) {
+      const float g = dy.at(i, f) * gamma_[f];
+      dx.at(i, f) = inv * (g - inv_f * sum_g -
+                           inv_f * xhat_cache_.at(i, f) * sum_g_xhat);
+    }
+  }
+  return dx;
+}
+
+std::unique_ptr<Layer> make_batchnorm(float momentum, float eps) {
+  return std::make_unique<BatchNorm>(momentum, eps);
+}
+std::unique_ptr<Layer> make_layernorm(float eps) {
+  return std::make_unique<LayerNorm>(eps);
+}
+
+}  // namespace candle

@@ -1,0 +1,71 @@
+// Normalization layers (BatchNorm was standard equipment in the CANDLE
+// benchmark networks; LayerNorm is its batch-size-independent successor —
+// relevant to the strong-scaling story, where shrinking per-replica batches
+// degrade BatchNorm statistics).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace candle {
+
+/// Batch normalization over the feature axis of (B, F) inputs.
+///   train: y = gamma * (x - mu_B) / sqrt(var_B + eps) + beta,
+///          running stats updated with `momentum`;
+///   infer: y uses the running statistics.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(float momentum = 0.9f, float eps = 1e-5f)
+      : momentum_(momentum), eps_(eps) {
+    CANDLE_CHECK(momentum >= 0.0f && momentum < 1.0f,
+                 "batchnorm momentum must be in [0,1)");
+    CANDLE_CHECK(eps > 0.0f, "batchnorm eps must be positive");
+  }
+
+  std::string name() const override { return "batchnorm"; }
+  Shape build(const Shape& input, Pcg32& rng) override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  float momentum_, eps_;
+  Index features_ = 0;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  Tensor running_mean_, running_var_;
+  // Backward caches (training forward only).
+  Tensor xhat_cache_;
+  std::vector<float> inv_std_cache_;
+};
+
+/// Layer normalization over the feature axis of (B, F) inputs: statistics
+/// are per-sample, so behaviour is independent of the (per-replica) batch.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(float eps = 1e-5f) : eps_(eps) {
+    CANDLE_CHECK(eps > 0.0f, "layernorm eps must be positive");
+  }
+
+  std::string name() const override { return "layernorm"; }
+  Shape build(const Shape& input, Pcg32& rng) override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
+
+ private:
+  float eps_;
+  Index features_ = 0;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  Tensor xhat_cache_;
+  std::vector<float> inv_std_cache_;
+};
+
+std::unique_ptr<Layer> make_batchnorm(float momentum = 0.9f,
+                                      float eps = 1e-5f);
+std::unique_ptr<Layer> make_layernorm(float eps = 1e-5f);
+
+}  // namespace candle

@@ -1,0 +1,146 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "runtime/error.hpp"
+
+namespace candle {
+
+void Optimizer::step(std::span<Tensor* const> params,
+                     std::span<Tensor* const> grads) {
+  CANDLE_CHECK(params.size() == grads.size(),
+               "optimizer params/grads list size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    CANDLE_CHECK(params[i] != nullptr && grads[i] != nullptr,
+                 "null tensor passed to optimizer");
+    CANDLE_CHECK(params[i]->same_shape(*grads[i]),
+                 "param/grad shape mismatch at slot " + std::to_string(i));
+  }
+  if (weight_decay_ > 0.0f) apply_weight_decay(params, grads);
+  if (clip_norm_ > 0.0f) clip_gradients(grads);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    update(i, *params[i], *grads[i]);
+  }
+  round_params(params);
+}
+
+void Optimizer::set_weight_decay(float decay) {
+  CANDLE_CHECK(decay >= 0.0f, "weight decay must be non-negative");
+  weight_decay_ = decay;
+}
+
+void Optimizer::set_gradient_clip(float max_norm) {
+  CANDLE_CHECK(max_norm >= 0.0f, "clip norm must be non-negative");
+  clip_norm_ = max_norm;
+}
+
+void Optimizer::apply_weight_decay(std::span<Tensor* const> params,
+                                   std::span<Tensor* const> grads) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    grads[i]->axpy(weight_decay_, *params[i]);
+  }
+}
+
+void Optimizer::clip_gradients(std::span<Tensor* const> grads) const {
+  double sq = 0.0;
+  for (Tensor* g : grads) {
+    const double n = g->l2_norm();
+    sq += n * n;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > static_cast<double>(clip_norm_) && norm > 0.0) {
+    const auto scale = static_cast<float>(clip_norm_ / norm);
+    for (Tensor* g : grads) g->scale(scale);
+  }
+}
+
+void Optimizer::round_params(std::span<Tensor* const> params) {
+  const Precision fmt = update_precision_.format;
+  if (fmt == Precision::FP32 || fmt == Precision::FP64) return;
+  for (Tensor* p : params) {
+    if (!update_precision_.stochastic) {
+      round_through(fmt, p->flat());
+      continue;
+    }
+    for (float& v : p->flat()) {
+      v = fmt == Precision::FP16 ? round_fp16_stochastic(v, round_rng_)
+                                 : round_bf16_stochastic(v, round_rng_);
+    }
+  }
+}
+
+void Sgd::update(std::size_t /*slot*/, Tensor& param, const Tensor& grad) {
+  param.axpy(-lr_, grad);
+}
+
+void Momentum::update(std::size_t slot, Tensor& param, const Tensor& grad) {
+  if (velocity_.size() <= slot) velocity_.resize(slot + 1);
+  Tensor& v = velocity_[slot];
+  if (!v.same_shape(param)) v = Tensor::zeros(param.shape());
+  v.scale(mu_).axpy(1.0f, grad);
+  param.axpy(-lr_, v);
+}
+
+void RmsProp::update(std::size_t slot, Tensor& param, const Tensor& grad) {
+  if (sq_.size() <= slot) sq_.resize(slot + 1);
+  Tensor& s = sq_[slot];
+  if (!s.same_shape(param)) s = Tensor::zeros(param.shape());
+  float* sp = s.data();
+  float* wp = param.data();
+  const float* gp = grad.data();
+  for (Index i = 0; i < param.numel(); ++i) {
+    sp[i] = rho_ * sp[i] + (1.0f - rho_) * gp[i] * gp[i];
+    wp[i] -= lr_ * gp[i] / (std::sqrt(sp[i]) + eps_);
+  }
+}
+
+void Adam::update(std::size_t slot, Tensor& param, const Tensor& grad) {
+  if (m_.size() <= slot) {
+    m_.resize(slot + 1);
+    v_.resize(slot + 1);
+    t_.resize(slot + 1, 0);
+  }
+  Tensor& m = m_[slot];
+  Tensor& v = v_[slot];
+  if (!m.same_shape(param)) {
+    m = Tensor::zeros(param.shape());
+    v = Tensor::zeros(param.shape());
+  }
+  const long t = ++t_[slot];
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t));
+  float* mp = m.data();
+  float* vp = v.data();
+  float* wp = param.data();
+  const float* gp = grad.data();
+  for (Index i = 0; i < param.numel(); ++i) {
+    mp[i] = beta1_ * mp[i] + (1.0f - beta1_) * gp[i];
+    vp[i] = beta2_ * vp[i] + (1.0f - beta2_) * gp[i] * gp[i];
+    const float mhat = mp[i] / bc1;
+    const float vhat = vp[i] / bc2;
+    wp[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> make_sgd(float lr) {
+  return std::make_unique<Sgd>(lr);
+}
+std::unique_ptr<Optimizer> make_momentum(float lr, float mu) {
+  return std::make_unique<Momentum>(lr, mu);
+}
+std::unique_ptr<Optimizer> make_rmsprop(float lr, float rho) {
+  return std::make_unique<RmsProp>(lr, rho);
+}
+std::unique_ptr<Optimizer> make_adam(float lr) {
+  return std::make_unique<Adam>(lr);
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, float lr) {
+  if (name == "sgd") return make_sgd(lr);
+  if (name == "momentum") return make_momentum(lr);
+  if (name == "rmsprop") return make_rmsprop(lr);
+  if (name == "adam") return make_adam(lr);
+  throw Error("unknown optimizer: " + name);
+}
+
+}  // namespace candle

@@ -1,0 +1,140 @@
+// First-order optimizers.  An optimizer owns per-parameter state vectors,
+// keyed by position in the (params, grads) lists, which must stay stable
+// across steps (they do: Model::params() order is the layer order).
+//
+// Reduced-precision weight updates (claim C1 ablation): `update_precision`
+// optionally rounds each updated parameter through a format after the step,
+// either round-to-nearest or stochastically (stochastic rounding is the
+// standard fix for fp16 weight stagnation).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/formats.hpp"
+#include "core/tensor.hpp"
+
+namespace candle {
+
+/// Weight-storage rounding policy applied after each optimizer step.
+struct UpdatePrecision {
+  Precision format = Precision::FP32;
+  bool stochastic = false;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+
+  /// Apply one update: params[i] -= f(grads[i]).  Lists must be parallel and
+  /// identical (same tensors, same shapes) on every call.
+  void step(std::span<Tensor* const> params, std::span<Tensor* const> grads);
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+  /// L2 weight decay: grads[i] += decay * params[i] before the update
+  /// (coupled form, as Keras-1 regularizers behaved).
+  void set_weight_decay(float decay);
+  float weight_decay() const { return weight_decay_; }
+
+  /// Clip the *global* gradient norm to `max_norm` before the update
+  /// (0 disables).  Applied after weight decay.
+  void set_gradient_clip(float max_norm);
+  float gradient_clip() const { return clip_norm_; }
+
+  void set_update_precision(UpdatePrecision up) {
+    update_precision_ = up;
+    round_rng_ = Pcg32(up.seed, 0x0f7);
+  }
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+
+  /// Subclass hook: update a single parameter from its gradient.
+  virtual void update(std::size_t slot, Tensor& param, const Tensor& grad) = 0;
+
+  float lr_;
+
+ private:
+  void round_params(std::span<Tensor* const> params);
+  void apply_weight_decay(std::span<Tensor* const> params,
+                          std::span<Tensor* const> grads) const;
+  void clip_gradients(std::span<Tensor* const> grads) const;
+
+  UpdatePrecision update_precision_;
+  Pcg32 round_rng_{0x5eedULL, 0x0f7};
+  float weight_decay_ = 0.0f;
+  float clip_norm_ = 0.0f;
+};
+
+/// Plain stochastic gradient descent: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr) : Optimizer(lr) {}
+  std::string name() const override { return "sgd"; }
+
+ protected:
+  void update(std::size_t slot, Tensor& param, const Tensor& grad) override;
+};
+
+/// SGD with classical momentum: v = mu*v + g; w -= lr*v.
+class Momentum : public Optimizer {
+ public:
+  Momentum(float lr, float mu = 0.9f) : Optimizer(lr), mu_(mu) {}
+  std::string name() const override { return "momentum"; }
+
+ protected:
+  void update(std::size_t slot, Tensor& param, const Tensor& grad) override;
+
+ private:
+  float mu_;
+  std::vector<Tensor> velocity_;
+};
+
+/// RMSProp: s = rho*s + (1-rho)*g^2; w -= lr * g / (sqrt(s) + eps).
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(float lr, float rho = 0.9f, float eps = 1e-7f)
+      : Optimizer(lr), rho_(rho), eps_(eps) {}
+  std::string name() const override { return "rmsprop"; }
+
+ protected:
+  void update(std::size_t slot, Tensor& param, const Tensor& grad) override;
+
+ private:
+  float rho_, eps_;
+  std::vector<Tensor> sq_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  std::string name() const override { return "adam"; }
+
+ protected:
+  void update(std::size_t slot, Tensor& param, const Tensor& grad) override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  std::vector<long> t_;
+};
+
+std::unique_ptr<Optimizer> make_sgd(float lr);
+std::unique_ptr<Optimizer> make_momentum(float lr, float mu = 0.9f);
+std::unique_ptr<Optimizer> make_rmsprop(float lr, float rho = 0.9f);
+std::unique_ptr<Optimizer> make_adam(float lr = 1e-3f);
+
+/// Construct an optimizer by name ("sgd" | "momentum" | "rmsprop" | "adam")
+/// — used by the hyperparameter-search space.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, float lr);
+
+}  // namespace candle

@@ -1,0 +1,80 @@
+#include "nn/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle {
+
+PruningMask::PruningMask(Model& model) {
+  CANDLE_CHECK(model.built(), "PruningMask needs a built model");
+  for (Tensor* p : model.params()) {
+    keep_.emplace_back(static_cast<std::size_t>(p->numel()), 1);
+    maskable_.push_back(p->ndim() >= 2);  // weight matrices only
+  }
+}
+
+void PruningMask::prune_global_magnitude(Model& model, double target) {
+  CANDLE_CHECK(target >= 0.0 && target < 1.0, "sparsity must be in [0,1)");
+  const auto params = model.params();
+  CANDLE_CHECK(params.size() == keep_.size(), "mask does not match model");
+
+  // Gather all maskable magnitudes.
+  std::vector<float> mags;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    if (!maskable_[t]) continue;
+    for (Index i = 0; i < params[t]->numel(); ++i) {
+      mags.push_back(std::abs((*params[t])[i]));
+    }
+  }
+  CANDLE_CHECK(!mags.empty(), "model has no prunable weight matrices");
+  const auto cut = static_cast<std::size_t>(
+      std::llround(target * static_cast<double>(mags.size())));
+  if (cut == 0) return;
+  std::nth_element(mags.begin(), mags.begin() + (cut - 1), mags.end());
+  const float threshold = mags[cut - 1];
+
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    if (!maskable_[t]) continue;
+    Tensor& w = *params[t];
+    for (Index i = 0; i < w.numel(); ++i) {
+      if (std::abs(w[i]) <= threshold) {
+        w[i] = 0.0f;
+        keep_[t][static_cast<std::size_t>(i)] = 0;
+      }
+    }
+  }
+}
+
+void PruningMask::apply(Model& model) const {
+  const auto params = model.params();
+  CANDLE_CHECK(params.size() == keep_.size(), "mask does not match model");
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    if (!maskable_[t]) continue;
+    Tensor& w = *params[t];
+    for (Index i = 0; i < w.numel(); ++i) {
+      if (keep_[t][static_cast<std::size_t>(i)] == 0) w[i] = 0.0f;
+    }
+  }
+}
+
+double PruningMask::sparsity() const {
+  double total = 0.0, pruned = 0.0;
+  for (std::size_t t = 0; t < keep_.size(); ++t) {
+    if (!maskable_[t]) continue;
+    total += static_cast<double>(keep_[t].size());
+    for (std::uint8_t k : keep_[t]) pruned += k == 0 ? 1.0 : 0.0;
+  }
+  return total > 0.0 ? pruned / total : 0.0;
+}
+
+void prune_and_finetune(Model& model, PruningMask& mask, double sparsity,
+                        const Tensor& x, const Tensor& y, const Loss& loss,
+                        Optimizer& opt, Index finetune_steps) {
+  mask.prune_global_magnitude(model, sparsity);
+  for (Index s = 0; s < finetune_steps; ++s) {
+    model.train_batch(x, y, loss, opt);
+    mask.apply(model);  // keep pruned entries at zero
+  }
+}
+
+}  // namespace candle

@@ -1,0 +1,48 @@
+// Magnitude pruning: sparsify a trained network's weights and measure the
+// accuracy/FLOP trade-off — the concrete reading of the paper's "future
+// DNNs may rely less on dense ... patterns" remark, and the 2017-era
+// pruning literature (Han et al.) the remark gestures at.
+//
+// Pruning here is mask-based: pruned entries are zeroed and a mask records
+// them so fine-tuning steps can re-zero after each optimizer update.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace candle {
+
+/// A pruning mask over a model's parameter tensors (1 = kept, 0 = pruned).
+class PruningMask {
+ public:
+  /// Build the all-ones mask for a built model.
+  explicit PruningMask(Model& model);
+
+  /// Zero the smallest-magnitude `sparsity` fraction of the *weight matrix*
+  /// entries globally (bias vectors — rank-1 params — are never pruned),
+  /// and record them in the mask.
+  void prune_global_magnitude(Model& model, double sparsity);
+
+  /// Re-apply the mask (call after optimizer steps during fine-tuning).
+  void apply(Model& model) const;
+
+  /// Fraction of maskable (rank>=2) parameters currently pruned.
+  double sparsity() const;
+
+  /// Dense multiply-accumulate count saved per forward pass, as a fraction
+  /// (equal to sparsity() for the fully-connected layers pruned here).
+  double flop_savings() const { return sparsity(); }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> keep_;  // parallel to params()
+  std::vector<bool> maskable_;
+};
+
+/// Convenience: prune to `sparsity`, fine-tune for `finetune_steps` batches
+/// of (x, y) with the given loss/optimizer, re-masking after each step.
+void prune_and_finetune(Model& model, PruningMask& mask, double sparsity,
+                        const Tensor& x, const Tensor& y, const Loss& loss,
+                        Optimizer& opt, Index finetune_steps);
+
+}  // namespace candle

@@ -1,0 +1,88 @@
+#include "nn/residual.hpp"
+
+namespace candle {
+
+Residual& Residual::add(std::unique_ptr<Layer> layer) {
+  CANDLE_CHECK(!built_, "cannot add layers to a built Residual block");
+  CANDLE_CHECK(layer != nullptr, "null layer");
+  inner_.push_back(std::move(layer));
+  return *this;
+}
+
+std::string Residual::name() const {
+  std::string s = "residual(";
+  for (std::size_t i = 0; i < inner_.size(); ++i) {
+    if (i > 0) s += " -> ";
+    s += inner_[i]->name();
+  }
+  return s + ")";
+}
+
+Shape Residual::build(const Shape& input, Pcg32& rng) {
+  CANDLE_CHECK(!built_, "Residual already built");
+  CANDLE_CHECK(!inner_.empty(), "Residual block has no inner layers");
+  Shape shape = input;
+  std::uint64_t salt = 0;
+  for (auto& layer : inner_) {
+    Pcg32 layer_rng = rng.split(salt++);
+    shape = layer->build(shape, layer_rng);
+  }
+  CANDLE_CHECK(shape == input,
+               "residual inner stack must preserve shape: " +
+                   shape_to_string(input) + " -> " + shape_to_string(shape));
+  built_ = true;
+  return input;
+}
+
+Tensor Residual::forward(const Tensor& x, bool training) {
+  CANDLE_CHECK(built_, "build() the Residual block first");
+  Tensor h = x;
+  for (auto& layer : inner_) h = layer->forward(h, training);
+  h.axpy(1.0f, x);  // y = F(x) + x
+  return h;
+}
+
+Tensor Residual::backward(const Tensor& dy) {
+  CANDLE_CHECK(built_, "build() the Residual block first");
+  Tensor d = dy;
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
+    d = (*it)->backward(d);
+  }
+  d.axpy(1.0f, dy);  // dx = dF + identity path
+  return d;
+}
+
+std::vector<Tensor*> Residual::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : inner_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Residual::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : inner_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+double Residual::flops_per_sample() const {
+  double f = 0.0;
+  for (const auto& layer : inner_) f += layer->flops_per_sample();
+  return f;
+}
+
+void Residual::set_precision(Precision p) {
+  Layer::set_precision(p);
+  for (auto& layer : inner_) layer->set_precision(p);
+}
+
+std::unique_ptr<Layer> make_residual_mlp_block(Index width) {
+  auto block = std::make_unique<Residual>();
+  block->add(make_dense(width)).add(make_relu()).add(make_dense(width));
+  return block;
+}
+
+}  // namespace candle

@@ -1,0 +1,37 @@
+// Residual block: y = x + F(x), where F is a sub-stack of layers whose
+// output shape equals its input shape.  Residual topologies are what made
+// very deep networks trainable, and they change the communication pattern
+// of model parallelism (skip connections cross stage boundaries) — one of
+// the "future DNNs" wrinkles the paper anticipates.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace candle {
+
+class Residual : public Layer {
+ public:
+  Residual() = default;
+
+  /// Append a layer to the inner stack F.  Must be called before build.
+  Residual& add(std::unique_ptr<Layer> layer);
+
+  std::string name() const override;
+  Shape build(const Shape& input, Pcg32& rng) override;
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Tensor*> params() override;
+  std::vector<Tensor*> grads() override;
+  double flops_per_sample() const override;
+  void set_precision(Precision p) override;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> inner_;
+  bool built_ = false;
+};
+
+/// Convenience: residual block of [dense(width) -> relu -> dense(width)]
+/// (the classic two-layer MLP block; `width` must equal the input width).
+std::unique_ptr<Layer> make_residual_mlp_block(Index width);
+
+}  // namespace candle

@@ -1,0 +1,65 @@
+#include "nn/schedule.hpp"
+
+#include <cmath>
+
+#include "runtime/error.hpp"
+
+namespace candle {
+
+StepDecay::StepDecay(Index step, float factor) : step_(step), factor_(factor) {
+  CANDLE_CHECK(step >= 1, "step decay interval must be >= 1");
+  CANDLE_CHECK(factor > 0.0f && factor <= 1.0f,
+               "step decay factor must be in (0,1]");
+}
+
+float StepDecay::lr(Index epoch, float base_lr) const {
+  CANDLE_CHECK(epoch >= 0, "negative epoch");
+  return base_lr * std::pow(factor_, static_cast<float>(epoch / step_));
+}
+
+ExponentialDecay::ExponentialDecay(float decay) : decay_(decay) {
+  CANDLE_CHECK(decay > 0.0f && decay <= 1.0f,
+               "exponential decay must be in (0,1]");
+}
+
+float ExponentialDecay::lr(Index epoch, float base_lr) const {
+  CANDLE_CHECK(epoch >= 0, "negative epoch");
+  return base_lr * std::pow(decay_, static_cast<float>(epoch));
+}
+
+WarmupCosine::WarmupCosine(Index warmup, Index total, float floor)
+    : warmup_(warmup), total_(total), floor_(floor) {
+  CANDLE_CHECK(warmup >= 0 && total > warmup,
+               "warmup-cosine needs total > warmup >= 0");
+  CANDLE_CHECK(floor >= 0.0f && floor <= 1.0f, "floor must be in [0,1]");
+}
+
+float WarmupCosine::lr(Index epoch, float base_lr) const {
+  CANDLE_CHECK(epoch >= 0, "negative epoch");
+  if (epoch < warmup_) {
+    return base_lr * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup_);
+  }
+  const auto progress =
+      static_cast<float>(epoch - warmup_) /
+      static_cast<float>(std::max<Index>(1, total_ - warmup_));
+  const float clipped = std::min(1.0f, progress);
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265f * clipped));
+  return base_lr * (floor_ + (1.0f - floor_) * cosine);
+}
+
+std::unique_ptr<LrSchedule> make_constant_lr() {
+  return std::make_unique<ConstantLr>();
+}
+std::unique_ptr<LrSchedule> make_step_decay(Index step, float factor) {
+  return std::make_unique<StepDecay>(step, factor);
+}
+std::unique_ptr<LrSchedule> make_exponential_decay(float decay) {
+  return std::make_unique<ExponentialDecay>(decay);
+}
+std::unique_ptr<LrSchedule> make_warmup_cosine(Index warmup, Index total,
+                                               float floor) {
+  return std::make_unique<WarmupCosine>(warmup, total, floor);
+}
+
+}  // namespace candle

@@ -1,0 +1,72 @@
+// Learning-rate schedules (the CANDLE training scripts all decayed their
+// learning rates; warmup became standard for the large-batch training that
+// data parallelism forces — Goyal et al.'s linear-warmup recipe is the
+// canonical fix for the strong-scaling batch growth in claim C3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace candle {
+
+/// Maps (epoch, base_lr) -> lr for that epoch.  Epochs are 0-based.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual std::string name() const = 0;
+  virtual float lr(Index epoch, float base_lr) const = 0;
+};
+
+/// lr = base.
+class ConstantLr : public LrSchedule {
+ public:
+  std::string name() const override { return "constant"; }
+  float lr(Index /*epoch*/, float base_lr) const override { return base_lr; }
+};
+
+/// lr = base * factor^(epoch / step) (integer division).
+class StepDecay : public LrSchedule {
+ public:
+  StepDecay(Index step, float factor);
+  std::string name() const override { return "step"; }
+  float lr(Index epoch, float base_lr) const override;
+
+ private:
+  Index step_;
+  float factor_;
+};
+
+/// lr = base * decay^epoch.
+class ExponentialDecay : public LrSchedule {
+ public:
+  explicit ExponentialDecay(float decay);
+  std::string name() const override { return "exponential"; }
+  float lr(Index epoch, float base_lr) const override;
+
+ private:
+  float decay_;
+};
+
+/// Linear warmup over `warmup` epochs to base, then cosine decay to
+/// `floor * base` at `total` epochs.
+class WarmupCosine : public LrSchedule {
+ public:
+  WarmupCosine(Index warmup, Index total, float floor = 0.0f);
+  std::string name() const override { return "warmup-cosine"; }
+  float lr(Index epoch, float base_lr) const override;
+
+ private:
+  Index warmup_, total_;
+  float floor_;
+};
+
+std::unique_ptr<LrSchedule> make_constant_lr();
+std::unique_ptr<LrSchedule> make_step_decay(Index step, float factor);
+std::unique_ptr<LrSchedule> make_exponential_decay(float decay);
+std::unique_ptr<LrSchedule> make_warmup_cosine(Index warmup, Index total,
+                                               float floor = 0.0f);
+
+}  // namespace candle

@@ -1,0 +1,73 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace candle {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xCA9D1E01u;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  CANDLE_CHECK(static_cast<bool>(is), "checkpoint truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_weights(const Model& model, const std::string& path) {
+  CANDLE_CHECK(model.built(), "cannot save an unbuilt model");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CANDLE_CHECK(os.is_open(), "cannot open checkpoint for writing: " + path);
+
+  auto params = const_cast<Model&>(model).params();
+  write_pod(os, kMagic);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const Tensor* p : params) {
+    write_pod(os, static_cast<std::uint32_t>(p->ndim()));
+    for (Index d = 0; d < p->ndim(); ++d) {
+      write_pod(os, static_cast<std::int64_t>(p->dim(d)));
+    }
+    os.write(reinterpret_cast<const char*>(p->data()),
+             static_cast<std::streamsize>(p->numel() * sizeof(float)));
+  }
+  CANDLE_CHECK(static_cast<bool>(os), "checkpoint write failed: " + path);
+}
+
+void load_weights(Model& model, const std::string& path) {
+  CANDLE_CHECK(model.built(), "cannot load into an unbuilt model");
+  std::ifstream is(path, std::ios::binary);
+  CANDLE_CHECK(is.is_open(), "cannot open checkpoint: " + path);
+
+  CANDLE_CHECK(read_pod<std::uint32_t>(is) == kMagic,
+               "not a candle checkpoint: " + path);
+  const auto count = read_pod<std::uint64_t>(is);
+  auto params = model.params();
+  CANDLE_CHECK(count == params.size(),
+               "checkpoint has " + std::to_string(count) +
+                   " tensors; model expects " +
+                   std::to_string(params.size()));
+  for (Tensor* p : params) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    CANDLE_CHECK(rank == static_cast<std::uint32_t>(p->ndim()),
+                 "checkpoint tensor rank mismatch");
+    for (Index d = 0; d < p->ndim(); ++d) {
+      const auto dim = read_pod<std::int64_t>(is);
+      CANDLE_CHECK(dim == p->dim(d), "checkpoint tensor shape mismatch");
+    }
+    is.read(reinterpret_cast<char*>(p->data()),
+            static_cast<std::streamsize>(p->numel() * sizeof(float)));
+    CANDLE_CHECK(static_cast<bool>(is), "checkpoint truncated: " + path);
+  }
+}
+
+}  // namespace candle

@@ -1,0 +1,25 @@
+// Weight checkpointing: save/load a built model's parameters to a small
+// binary format.  HPC training campaigns checkpoint constantly (node-hours
+// are preemptible and HPO promotes configurations across rungs); this is
+// the minimal faithful mechanism.
+//
+// Format (little-endian):
+//   magic   u32   0xCA9D1E01
+//   count   u64   number of parameter tensors
+//   per tensor: rank u32, dims i64[rank], data f32[numel]
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace candle {
+
+/// Write all parameters of a built model.  Throws on I/O failure.
+void save_weights(const Model& model, const std::string& path);
+
+/// Load parameters into a built model whose architecture matches the file
+/// (same tensor count and shapes).  Throws on mismatch or I/O failure.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace candle

@@ -1,0 +1,108 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "runtime/timer.hpp"
+
+namespace candle {
+
+PrecisionPolicy PrecisionPolicy::standard(Precision compute) {
+  PrecisionPolicy p;
+  p.compute = compute;
+  switch (compute) {
+    case Precision::FP64:
+    case Precision::FP32:
+      break;
+    case Precision::BF16:
+      // bf16's fp32-sized exponent needs no loss scaling; storage follows
+      // the compute format with round-to-nearest.
+      p.weight_storage = Precision::BF16;
+      break;
+    case Precision::FP16:
+      p.loss_scale = 1024.0f;
+      p.weight_storage = Precision::FP32;  // fp32 master weights
+      break;
+    case Precision::INT8:
+      p.weight_storage = Precision::FP32;  // int8 compute, fp32 master
+      break;
+  }
+  return p;
+}
+
+float FitHistory::best_val_loss() const {
+  float best = std::numeric_limits<float>::infinity();
+  for (float v : val_loss) {
+    if (!std::isnan(v)) best = std::min(best, v);
+  }
+  return best;
+}
+
+FitHistory fit(Model& model, const Dataset& train, const Dataset* val,
+               const Loss& loss, Optimizer& opt, const FitOptions& options) {
+  CANDLE_CHECK(model.built(), "fit() requires a built model");
+  CANDLE_CHECK(options.epochs >= 1, "epochs must be positive");
+
+  const Precision saved = model.compute_precision();
+  model.set_compute_precision(options.precision.compute);
+  opt.set_update_precision(
+      {options.precision.weight_storage,
+       options.precision.stochastic_weight_rounding, options.seed ^ 0xf00d});
+
+  FitHistory history;
+  Stopwatch clock;
+  BatchIterator batches(train, options.batch_size, options.shuffle,
+                        options.seed);
+  const Index per_epoch = batches.batches_per_epoch();
+
+  const float base_lr = opt.learning_rate();
+  float best_val = std::numeric_limits<float>::infinity();
+  Index epochs_without_improvement = 0;
+
+  for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.lr_schedule != nullptr) {
+      opt.set_learning_rate(options.lr_schedule->lr(epoch, base_lr));
+    }
+    double epoch_loss = 0.0;
+    Index samples = 0;
+    for (Index b = 0; b < per_epoch; ++b) {
+      const Dataset batch = batches.next();
+      const float l = model.train_batch(batch.x, batch.y, loss, opt,
+                                        options.precision.loss_scale);
+      epoch_loss += static_cast<double>(l) * static_cast<double>(batch.size());
+      samples += batch.size();
+    }
+    history.train_loss.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(samples)));
+    float vloss = std::numeric_limits<float>::quiet_NaN();
+    if (val != nullptr && val->size() > 0) {
+      vloss = model.evaluate(val->x, val->y, loss);
+    }
+    history.val_loss.push_back(vloss);
+    if (options.on_epoch &&
+        !options.on_epoch(epoch, history.train_loss.back(), vloss)) {
+      break;
+    }
+    if (options.early_stop_patience > 0 && !std::isnan(vloss)) {
+      if (vloss < best_val - options.early_stop_min_delta) {
+        best_val = vloss;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >=
+                 options.early_stop_patience) {
+        break;
+      }
+    }
+  }
+  opt.set_learning_rate(base_lr);
+
+  history.seconds = clock.seconds();
+  const double total_samples = static_cast<double>(train.size()) *
+                               static_cast<double>(history.train_loss.size());
+  history.samples_per_second =
+      history.seconds > 0 ? total_samples / history.seconds : 0.0;
+  model.set_compute_precision(saved);
+  return history;
+}
+
+}  // namespace candle

@@ -1,0 +1,72 @@
+// Single-process training loop with mixed-precision policy support —
+// the serial baseline every parallel configuration is validated against.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/schedule.hpp"
+
+namespace candle {
+
+/// Mixed-precision training policy (claim C1):
+///   * `compute`  — format used inside layer GEMMs (activations/weights are
+///     rounded through it; accumulation stays fp32/int32).
+///   * `weight_storage` / `stochastic_weight_rounding` — format weights are
+///     rounded to after each optimizer update (master copy emulation).
+///   * `loss_scale` — constant loss scaling to keep fp16 gradients from
+///     underflowing.
+struct PrecisionPolicy {
+  Precision compute = Precision::FP32;
+  Precision weight_storage = Precision::FP32;
+  bool stochastic_weight_rounding = false;
+  float loss_scale = 1.0f;
+
+  /// The standard policy for a given compute format: fp16 gets loss scaling
+  /// + fp32 master weights; int8 trains with fp32 master weights too.
+  static PrecisionPolicy standard(Precision compute);
+};
+
+struct FitOptions {
+  Index epochs = 10;
+  Index batch_size = 32;
+  bool shuffle = true;
+  std::uint64_t seed = 0;
+  PrecisionPolicy precision;
+  /// Optional learning-rate schedule applied per epoch on top of the
+  /// optimizer's base learning rate (restored after fit()).
+  const LrSchedule* lr_schedule = nullptr;
+  /// Stop when val loss fails to improve by `min_delta` for `patience`
+  /// consecutive epochs (0 disables; requires a validation set).
+  Index early_stop_patience = 0;
+  float early_stop_min_delta = 0.0f;
+  /// Called after each epoch with (epoch, train_loss, val_loss); return
+  /// false to stop early (used by ASHA-style truncation).
+  std::function<bool(Index, float, float)> on_epoch;
+};
+
+struct FitHistory {
+  std::vector<float> train_loss;  // mean batch loss per epoch
+  std::vector<float> val_loss;    // evaluated per epoch (NaN if no val set)
+  double seconds = 0.0;           // wall-clock training time
+  double samples_per_second = 0.0;
+
+  float final_train_loss() const {
+    return train_loss.empty() ? 0.0f : train_loss.back();
+  }
+  float final_val_loss() const {
+    return val_loss.empty() ? 0.0f : val_loss.back();
+  }
+  float best_val_loss() const;
+};
+
+/// Train `model` on `train`, optionally evaluating on `val` each epoch.
+/// The model must already be built; its compute precision is set from the
+/// policy for the duration of the call.
+FitHistory fit(Model& model, const Dataset& train, const Dataset* val,
+               const Loss& loss, Optimizer& opt, const FitOptions& options);
+
+}  // namespace candle

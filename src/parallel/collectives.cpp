@@ -1,0 +1,92 @@
+#include "parallel/collectives.hpp"
+
+#include <algorithm>
+
+namespace candle::parallel {
+
+ShmCommunicator::ShmCommunicator(Index ranks)
+    : ranks_(ranks), barrier_(static_cast<std::ptrdiff_t>(ranks)) {
+  CANDLE_CHECK(ranks >= 1, "communicator needs at least one rank");
+  buffers_.resize(static_cast<std::size_t>(ranks));
+}
+
+void ShmCommunicator::barrier() { barrier_.arrive_and_wait(); }
+
+void ShmCommunicator::register_buffer(Index rank, std::span<float> data) {
+  CANDLE_CHECK(rank >= 0 && rank < ranks_, "rank out of range");
+  buffers_[static_cast<std::size_t>(rank)] = data;
+  barrier();
+  // Validate ALL buffers on EVERY rank after the barrier: on a mismatch all
+  // ranks throw together, so no rank is left blocked at a later barrier.
+  for (Index r = 0; r < ranks_; ++r) {
+    CANDLE_CHECK(buffers_[static_cast<std::size_t>(r)].size() == data.size(),
+                 "collective buffer sizes differ across ranks");
+  }
+}
+
+void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data) {
+  register_buffer(rank, data);
+  if (ranks_ == 1) {
+    barrier();
+    return;
+  }
+  const Index p = ranks_;
+  const Index n = static_cast<Index>(data.size());
+  // Chunk c covers [c*n/p, (c+1)*n/p).
+  auto chunk_begin = [&](Index c) { return c * n / p; };
+  auto chunk_end = [&](Index c) { return (c + 1) * n / p; };
+  const Index left = (rank - 1 + p) % p;
+
+  // Reduce-scatter: at step s, rank r accumulates its neighbour's partial
+  // for chunk (r - s - 1 mod p).  After p-1 steps rank r owns the fully
+  // reduced chunk (r + 1 mod p).
+  for (Index s = 0; s < p - 1; ++s) {
+    const Index c = ((rank - s - 1) % p + p) % p;
+    const std::span<float> src = buffers_[static_cast<std::size_t>(left)];
+    for (Index i = chunk_begin(c); i < chunk_end(c); ++i) {
+      data[static_cast<std::size_t>(i)] += src[static_cast<std::size_t>(i)];
+    }
+    barrier();  // everyone finished step s before buffers mutate further
+  }
+  // All-gather: rank r starts with reduced chunk (r + 1); at step s it
+  // copies chunk (r - s + 1) from its left neighbour (standard ring).
+  for (Index s = 0; s < p - 1; ++s) {
+    const Index c = ((rank - s) % p + p) % p;
+    const std::span<float> src = buffers_[static_cast<std::size_t>(left)];
+    std::copy(src.begin() + chunk_begin(c), src.begin() + chunk_end(c),
+              data.begin() + chunk_begin(c));
+    barrier();
+  }
+  barrier();  // release buffer registrations coherently
+}
+
+void ShmCommunicator::allreduce_flat(Index rank, std::span<float> data) {
+  register_buffer(rank, data);
+  if (ranks_ == 1) {
+    barrier();
+    return;
+  }
+  if (rank == 0) {
+    for (Index r = 1; r < ranks_; ++r) {
+      const std::span<float> src = buffers_[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
+    }
+  }
+  barrier();  // sum complete
+  if (rank != 0) {
+    const std::span<float> root = buffers_[0];
+    std::copy(root.begin(), root.end(), data.begin());
+  }
+  barrier();
+}
+
+void ShmCommunicator::broadcast(Index rank, std::span<float> data) {
+  register_buffer(rank, data);
+  if (rank != 0) {
+    const std::span<float> root = buffers_[0];
+    std::copy(root.begin(), root.end(), data.begin());
+  }
+  barrier();
+}
+
+}  // namespace candle::parallel

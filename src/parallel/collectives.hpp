@@ -1,0 +1,52 @@
+// Executable collectives among "virtual nodes" (threads).  Gradient *values*
+// move for real — the ring all-reduce below is the actual chunked
+// reduce-scatter + all-gather algorithm, not a shortcut — so numerical
+// results of distributed training are genuine.  Wall-clock at scale comes
+// from the hpcsim fabric model instead (see DESIGN.md).
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace candle::parallel {
+
+using Index = std::int64_t;
+
+/// Communicator for `ranks` participants.  Every collective must be entered
+/// by all ranks (from distinct threads, or sequentially rank-by-rank only
+/// for the registration phase).  Buffers are registered per operation.
+class ShmCommunicator {
+ public:
+  explicit ShmCommunicator(Index ranks);
+
+  Index ranks() const { return ranks_; }
+
+  /// Block until all ranks arrive.
+  void barrier();
+
+  /// Sum-all-reduce using the bandwidth-optimal ring algorithm: p-1
+  /// reduce-scatter steps followed by p-1 all-gather steps over p chunks.
+  /// `data` spans must all have the same length across ranks.
+  void allreduce_ring(Index rank, std::span<float> data);
+
+  /// Sum-all-reduce via a flat gather at rank 0 + broadcast.  Same result,
+  /// different schedule; used to cross-check the ring implementation.
+  void allreduce_flat(Index rank, std::span<float> data);
+
+  /// Broadcast rank 0's buffer to every rank.
+  void broadcast(Index rank, std::span<float> data);
+
+ private:
+  void register_buffer(Index rank, std::span<float> data);
+
+  Index ranks_;
+  std::barrier<> barrier_;
+  std::vector<std::span<float>> buffers_;
+};
+
+}  // namespace candle::parallel

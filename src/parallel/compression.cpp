@@ -1,0 +1,87 @@
+#include "parallel/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace candle::parallel {
+
+void SparseGradient::add_to(std::span<float> dense) const {
+  CANDLE_CHECK(static_cast<Index>(dense.size()) == dense_size,
+               "sparse gradient size mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    dense[static_cast<std::size_t>(indices[i])] += values[i];
+  }
+}
+
+SparseGradient top_k_sparsify(std::span<const float> grad, double fraction) {
+  CANDLE_CHECK(fraction > 0.0 && fraction <= 1.0,
+               "sparsification fraction must be in (0,1]");
+  CANDLE_CHECK(!grad.empty(), "empty gradient");
+  const auto n = static_cast<Index>(grad.size());
+  const auto k = std::max<Index>(
+      1, static_cast<Index>(std::llround(fraction * static_cast<double>(n))));
+
+  std::vector<Index> order(grad.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](Index a, Index b) {
+                     return std::abs(grad[static_cast<std::size_t>(a)]) >
+                            std::abs(grad[static_cast<std::size_t>(b)]);
+                   });
+  order.resize(static_cast<std::size_t>(k));
+  std::sort(order.begin(), order.end());  // deterministic output order
+
+  SparseGradient s;
+  s.dense_size = n;
+  s.indices = std::move(order);
+  s.values.reserve(static_cast<std::size_t>(k));
+  for (Index i : s.indices) {
+    s.values.push_back(grad[static_cast<std::size_t>(i)]);
+  }
+  return s;
+}
+
+ErrorFeedbackCompressor::ErrorFeedbackCompressor(Index size, double fraction)
+    : fraction_(fraction) {
+  CANDLE_CHECK(size >= 1, "compressor needs a positive size");
+  CANDLE_CHECK(fraction > 0.0 && fraction <= 1.0,
+               "sparsification fraction must be in (0,1]");
+  residual_.assign(static_cast<std::size_t>(size), 0.0f);
+}
+
+SparseGradient ErrorFeedbackCompressor::compress(std::span<const float> grad) {
+  CANDLE_CHECK(grad.size() == residual_.size(),
+               "gradient size changed under the compressor");
+  // Accumulate: corrected = grad + residual.
+  std::vector<float> corrected(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    corrected[i] = grad[i] + residual_[i];
+  }
+  SparseGradient s = top_k_sparsify(corrected, fraction_);
+  // New residual = corrected - sent.
+  residual_ = std::move(corrected);
+  for (std::size_t i = 0; i < s.indices.size(); ++i) {
+    residual_[static_cast<std::size_t>(s.indices[i])] = 0.0f;
+  }
+  return s;
+}
+
+double ErrorFeedbackCompressor::residual_norm() const {
+  double acc = 0.0;
+  for (float v : residual_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+std::vector<float> quantize_gradient_int8(std::span<const float> grad,
+                                          double* wire_bytes) {
+  const QuantizedTensor q = quantize_int8(grad);
+  std::vector<float> out(grad.size());
+  dequantize_int8(q, out);
+  if (wire_bytes != nullptr) {
+    *wire_bytes = static_cast<double>(grad.size()) + 4.0;  // 1B/entry + scale
+  }
+  return out;
+}
+
+}  // namespace candle::parallel

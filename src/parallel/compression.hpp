@@ -1,0 +1,66 @@
+// Gradient compression for data-parallel training: top-k sparsification
+// with error feedback (deep-gradient-compression style) and int8
+// quantization of the dense vector.
+//
+// This operationalizes the paper's observation that "future DNNs may rely
+// less on dense communication patterns": the gradient all-reduce of claim
+// C3 is the scaling bottleneck, and sending the top fraction of entries
+// (with the residual fed back into the next step) cuts wire bytes by
+// 10-100x at negligible accuracy cost.  Executable here; the wire-byte
+// savings feed the fabric model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/formats.hpp"
+#include "runtime/error.hpp"
+
+namespace candle::parallel {
+
+using Index = std::int64_t;
+
+/// A sparsified gradient: indices + values of the entries that survived.
+struct SparseGradient {
+  std::vector<Index> indices;
+  std::vector<float> values;
+  Index dense_size = 0;
+
+  Index nnz() const { return static_cast<Index>(indices.size()); }
+  /// Bytes on the wire: 4B value + 4B index per entry.
+  double wire_bytes() const { return 8.0 * static_cast<double>(nnz()); }
+
+  /// Scatter into a dense buffer (which must be zeroed by the caller if
+  /// accumulation is not wanted).
+  void add_to(std::span<float> dense) const;
+};
+
+/// Keep the `fraction` largest-magnitude entries of `grad` (at least one).
+SparseGradient top_k_sparsify(std::span<const float> grad, double fraction);
+
+/// Top-k compressor with error feedback: the dropped residual is carried
+/// into the next round so no gradient mass is ever lost, only delayed.
+class ErrorFeedbackCompressor {
+ public:
+  ErrorFeedbackCompressor(Index size, double fraction);
+
+  /// Compress `grad` (+ carried residual); updates the residual in place.
+  SparseGradient compress(std::span<const float> grad);
+
+  /// L2 norm of the residual currently being carried.
+  double residual_norm() const;
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+  std::vector<float> residual_;
+};
+
+/// Dense int8 gradient quantization round-trip (value-level emulation of an
+/// int8 wire format): returns the dequantized gradient and reports the wire
+/// bytes (1B per entry + scale).
+std::vector<float> quantize_gradient_int8(std::span<const float> grad,
+                                          double* wire_bytes = nullptr);
+
+}  // namespace candle::parallel

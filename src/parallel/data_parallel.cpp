@@ -1,0 +1,140 @@
+#include "parallel/data_parallel.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "parallel/collectives.hpp"
+#include "parallel/compression.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle::parallel {
+
+DataParallelResult train_data_parallel(const ModelFactory& factory,
+                                       const OptimizerFactory& opt_factory,
+                                       const Dataset& train, const Loss& loss,
+                                       const DataParallelOptions& options,
+                                       Model* out_model) {
+  CANDLE_CHECK(options.replicas >= 1, "need at least one replica");
+  CANDLE_CHECK(options.epochs >= 1, "need at least one epoch");
+  CANDLE_CHECK(options.batch_per_replica >= 1, "empty replica batch");
+  const Index p = options.replicas;
+  const Index global_batch = p * options.batch_per_replica;
+  CANDLE_CHECK(train.size() >= global_batch,
+               "dataset smaller than one global batch");
+
+  // Build replicas (identical by deterministic construction).
+  std::vector<Model> replicas;
+  std::vector<std::unique_ptr<Optimizer>> optimizers;
+  replicas.reserve(static_cast<std::size_t>(p));
+  for (Index r = 0; r < p; ++r) {
+    replicas.push_back(factory());
+    CANDLE_CHECK(replicas.back().built(),
+                 "model factory must return a built model");
+    replicas.back().set_compute_precision(options.precision.compute);
+    optimizers.push_back(opt_factory());
+    optimizers.back()->set_update_precision(
+        {options.precision.weight_storage,
+         options.precision.stochastic_weight_rounding,
+         options.seed ^ 0xf00d});
+  }
+  const Index grad_size = replicas[0].grad_size();
+  const bool compress = options.gradient_topk_fraction < 1.0;
+  CANDLE_CHECK(options.gradient_topk_fraction > 0.0 &&
+                   options.gradient_topk_fraction <= 1.0,
+               "top-k fraction must be in (0,1]");
+  std::vector<ErrorFeedbackCompressor> compressors;
+  if (compress) {
+    for (Index r = 0; r < p; ++r) {
+      compressors.emplace_back(grad_size, options.gradient_topk_fraction);
+    }
+  }
+
+  // Global batch stream; each global batch is sliced into replica shards.
+  BatchIterator batches(train, global_batch, options.shuffle, options.seed);
+  const Index steps_per_epoch = train.size() / global_batch;
+  CANDLE_CHECK(steps_per_epoch >= 1, "no full global batch available");
+
+  DataParallelResult result;
+  result.grad_bytes_per_step =
+      compress ? 8.0 * options.gradient_topk_fraction *
+                     static_cast<double>(grad_size)  // 4B index + 4B value
+               : 4.0 * static_cast<double>(grad_size);
+
+  ShmCommunicator comm(p);
+  Stopwatch clock;
+
+  for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    std::atomic<double> epoch_loss{0.0};
+    for (Index step = 0; step < steps_per_epoch; ++step) {
+      const Dataset global = batches.next();
+      // Launch one thread per replica for fwd/bwd + all-reduce.
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(p));
+      std::vector<std::vector<float>> grad_bufs(
+          static_cast<std::size_t>(p),
+          std::vector<float>(static_cast<std::size_t>(grad_size)));
+      for (Index r = 0; r < p; ++r) {
+        threads.emplace_back([&, r] {
+          const Index lo = r * options.batch_per_replica;
+          const Index hi = lo + options.batch_per_replica;
+          const Dataset shard = slice(global, lo, hi);
+          Model& m = replicas[static_cast<std::size_t>(r)];
+          const Tensor pred = m.forward(shard.x, /*training=*/true);
+          const float l = loss.value(pred, shard.y);
+          Tensor dy = loss.grad(pred, shard.y);
+          if (options.precision.loss_scale != 1.0f) {
+            dy.scale(options.precision.loss_scale);
+          }
+          m.backward(dy);
+          auto& buf = grad_bufs[static_cast<std::size_t>(r)];
+          m.copy_grads_to(buf);
+          if (compress) {
+            // Each replica contributes only its top-k entries; the dropped
+            // mass rides the error-feedback residual into the next step.
+            const SparseGradient sparse =
+                compressors[static_cast<std::size_t>(r)].compress(buf);
+            std::fill(buf.begin(), buf.end(), 0.0f);
+            sparse.add_to(buf);
+          }
+          // Average gradients across replicas: real ring all-reduce.
+          comm.allreduce_ring(r, buf);
+          const float scale =
+              1.0f / (static_cast<float>(p) * options.precision.loss_scale);
+          for (float& v : buf) v *= scale;
+          m.set_grads_from(buf);
+          const auto ps = m.params();
+          const auto gs = m.grads();
+          optimizers[static_cast<std::size_t>(r)]->step(ps, gs);
+          // Accumulate the global loss (pre-scaling) for reporting.
+          double expected = epoch_loss.load();
+          while (!epoch_loss.compare_exchange_weak(
+              expected, expected + static_cast<double>(l))) {
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      ++result.steps;
+    }
+    result.epoch_loss.push_back(static_cast<float>(
+        epoch_loss.load() / static_cast<double>(steps_per_epoch * p)));
+  }
+  result.measured_seconds = clock.seconds();
+
+  if (out_model != nullptr) {
+    *out_model = factory();
+    std::vector<float> weights(
+        static_cast<std::size_t>(replicas[0].num_params()));
+    replicas[0].copy_weights_to(weights);
+    out_model->set_weights_from(weights);
+  }
+  return result;
+}
+
+void annotate_with_fabric(DataParallelResult& result,
+                          const hpcsim::Fabric& fabric,
+                          hpcsim::AllReduceAlgo algo, Index replicas) {
+  result.modeled_comm_seconds_per_step = hpcsim::allreduce_time_s(
+      fabric, algo, replicas, result.grad_bytes_per_step);
+}
+
+}  // namespace candle::parallel

@@ -1,0 +1,65 @@
+// Synchronous data-parallel training over virtual nodes (threads).
+//
+// Each replica owns a full model copy (built from the same seed, hence
+// bit-identical), consumes its shard of every global batch, and the
+// replicas average gradients with a *real* ring all-reduce before applying
+// identical optimizer steps.  This is exactly the synchronous SGD the
+// CANDLE benchmarks ran over MPI; the fabric wall-clock at scale is
+// reported alongside from the hpcsim model, while the numerics here are
+// measured, not modeled.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hpcsim/fabric.hpp"
+#include "hpcsim/machine.hpp"
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace candle::parallel {
+
+/// Builds one model replica; must be deterministic (same layers, same
+/// build seed) so replicas start in sync.
+using ModelFactory = std::function<Model()>;
+/// Builds one optimizer instance per replica (identical hyperparameters).
+using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
+
+struct DataParallelOptions {
+  Index replicas = 4;
+  Index epochs = 5;
+  Index batch_per_replica = 32;  // global batch = replicas * this
+  std::uint64_t seed = 0;
+  PrecisionPolicy precision;
+  bool shuffle = true;
+  /// Top-k gradient sparsification with error feedback: each replica sends
+  /// only this fraction of its gradient entries per step (1.0 = dense).
+  double gradient_topk_fraction = 1.0;
+};
+
+struct DataParallelResult {
+  std::vector<float> epoch_loss;   // global mean training loss per epoch
+  Index steps = 0;                 // optimizer steps executed
+  double measured_seconds = 0.0;   // wall-clock of the threaded run
+  double grad_bytes_per_step = 0.0;  // wire bytes (after compression)
+  /// Modeled per-step wire time of the gradient all-reduce at this replica
+  /// count on `fabric` (filled by annotate_with_fabric, 0 otherwise).
+  double modeled_comm_seconds_per_step = 0.0;
+};
+
+/// Run synchronous data-parallel training.  Returns per-epoch global loss.
+/// Replica models remain in sync; the final weights land in `out_model`
+/// (built via `factory` and overwritten with the trained weights).
+DataParallelResult train_data_parallel(const ModelFactory& factory,
+                                       const OptimizerFactory& opt_factory,
+                                       const Dataset& train, const Loss& loss,
+                                       const DataParallelOptions& options,
+                                       Model* out_model = nullptr);
+
+/// Fill `result.modeled_comm_seconds_per_step` for the given fabric/algo.
+void annotate_with_fabric(DataParallelResult& result,
+                          const hpcsim::Fabric& fabric,
+                          hpcsim::AllReduceAlgo algo, Index replicas);
+
+}  // namespace candle::parallel

@@ -1,0 +1,123 @@
+#include "parallel/model_parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hpcsim/perfmodel.hpp"
+
+namespace candle::parallel {
+
+std::pair<Index, Index> StagePlan::stage_range(Index s) const {
+  CANDLE_CHECK(s >= 0 && s < stages, "stage index out of range");
+  Index first = -1, last = -1;
+  for (Index i = 0; i < static_cast<Index>(stage_of_layer.size()); ++i) {
+    if (stage_of_layer[static_cast<std::size_t>(i)] == s) {
+      if (first < 0) first = i;
+      last = i + 1;
+    }
+  }
+  CANDLE_CHECK(first >= 0, "stage has no layers");
+  return {first, last};
+}
+
+StagePlan balance_stages(Model& model, Index stages) {
+  CANDLE_CHECK(model.built(), "balance_stages needs a built model");
+  const Index n = model.num_layers();
+  CANDLE_CHECK(stages >= 1 && stages <= n,
+               "stage count must be in [1, num_layers]");
+  StagePlan plan;
+  plan.stages = stages;
+  plan.stage_of_layer.resize(static_cast<std::size_t>(n));
+
+  const double total = std::max(1.0, model.flops_per_sample());
+  const double per_stage = total / static_cast<double>(stages);
+  double acc = 0.0;
+  Index stage = 0;
+  for (Index i = 0; i < n; ++i) {
+    plan.stage_of_layer[static_cast<std::size_t>(i)] = stage;
+    acc += model.layer(i).flops_per_sample();
+    // Advance once this stage holds its share — but keep enough layers for
+    // the remaining stages.
+    const Index layers_left = n - i - 1;
+    const Index stages_left = stages - stage - 1;
+    if (stage < stages - 1 &&
+        (acc >= per_stage * static_cast<double>(stage + 1) ||
+         layers_left <= stages_left)) {
+      ++stage;
+    }
+  }
+  CANDLE_CHECK(plan.stage_of_layer.back() == stages - 1,
+               "stage balancing failed to reach final stage");
+  return plan;
+}
+
+Tensor forward_staged(Model& model, const Tensor& x, const StagePlan& plan,
+                      std::vector<double>* boundary_bytes) {
+  CANDLE_CHECK(static_cast<Index>(plan.stage_of_layer.size()) ==
+                   model.num_layers(),
+               "plan does not match model");
+  if (boundary_bytes != nullptr) boundary_bytes->clear();
+  Tensor h = x;
+  for (Index s = 0; s < plan.stages; ++s) {
+    const auto [first, last] = plan.stage_range(s);
+    for (Index i = first; i < last; ++i) {
+      h = model.layer(i).forward(h, /*training=*/false);
+    }
+    if (boundary_bytes != nullptr && s + 1 < plan.stages) {
+      boundary_bytes->push_back(static_cast<double>(h.numel()) * 4.0);
+    }
+  }
+  return h;
+}
+
+PipelineEstimate estimate_pipeline(Model& model, const StagePlan& plan,
+                                   Index microbatches, Index microbatch_size,
+                                   const hpcsim::NodeSpec& node,
+                                   const hpcsim::Fabric& fabric,
+                                   Precision prec) {
+  CANDLE_CHECK(microbatches >= 1 && microbatch_size >= 1,
+               "invalid microbatch configuration");
+  PipelineEstimate e;
+
+  // Math time per stage per microbatch: 3x forward flops through the node
+  // peak at the GEMM efficiency of the microbatch size.
+  const double eff = hpcsim::gemm_efficiency(microbatch_size);
+  const double peak = node.peak_gflops(prec) * 1e9 * std::max(1e-6, eff);
+  e.stage_seconds.resize(static_cast<std::size_t>(plan.stages), 0.0);
+  for (Index i = 0; i < model.num_layers(); ++i) {
+    const auto s =
+        static_cast<std::size_t>(plan.stage_of_layer[static_cast<std::size_t>(i)]);
+    e.stage_seconds[s] += 3.0 * model.layer(i).flops_per_sample() *
+                          static_cast<double>(microbatch_size) / peak;
+  }
+  const double max_stage =
+      *std::max_element(e.stage_seconds.begin(), e.stage_seconds.end());
+  const double sum_stage =
+      std::accumulate(e.stage_seconds.begin(), e.stage_seconds.end(), 0.0);
+
+  // Boundary traffic: probe with one sample to get activation sizes.
+  std::vector<double> boundary_bytes;
+  Shape probe_shape = model.input_shape();
+  probe_shape.insert(probe_shape.begin(), 1);
+  forward_staged(model, Tensor(probe_shape), plan, &boundary_bytes);
+  const double alpha = fabric.message_latency_s(1.0);  // adjacent stages
+  for (double b : boundary_bytes) {
+    // Forward activation + backward gradient per microbatch.
+    e.comm_seconds += static_cast<double>(microbatches) * 2.0 *
+                      (alpha + b * static_cast<double>(microbatch_size) *
+                                   fabric.seconds_per_byte());
+  }
+
+  // GPipe schedule: m microbatches through k stages takes (m + k - 1) slots
+  // of the slowest stage.
+  const double m = static_cast<double>(microbatches);
+  const double k = static_cast<double>(plan.stages);
+  e.bubble_fraction = (k - 1.0) / (m + k - 1.0);
+  e.step_seconds = (m + k - 1.0) * max_stage + e.comm_seconds;
+  e.serial_seconds = m * sum_stage;
+  e.speedup = e.serial_seconds / e.step_seconds;
+  return e;
+}
+
+}  // namespace candle::parallel

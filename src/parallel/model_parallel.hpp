@@ -1,0 +1,60 @@
+// Model parallelism: partition a network's layers into pipeline stages.
+//
+// Numerics: a staged forward pass is layer-by-layer identical to the
+// monolithic forward (verified by tests), so correctness is exact by
+// construction.  What model parallelism changes is *where* layers run and
+// what crosses the wire; this module extracts the stage plan (balanced by
+// FLOPs), the boundary activation traffic, and a GPipe-style pipeline
+// timing estimate with the standard (m + k - 1)/m bubble term — the
+// quantities claim C6 is about.
+#pragma once
+
+#include <vector>
+
+#include "hpcsim/fabric.hpp"
+#include "hpcsim/machine.hpp"
+#include "nn/model.hpp"
+
+namespace candle::parallel {
+
+/// Assignment of each layer to a pipeline stage (contiguous, ascending).
+struct StagePlan {
+  Index stages = 1;
+  std::vector<Index> stage_of_layer;  // size = model.num_layers()
+
+  /// Layers [first, last) of stage s.
+  std::pair<Index, Index> stage_range(Index s) const;
+};
+
+/// Greedy FLOPs-balanced contiguous partition of the model's layers into
+/// `stages` stages.  Stateless layers (activations, dropout) ride along
+/// with their neighbours.
+StagePlan balance_stages(Model& model, Index stages);
+
+/// Forward a batch stage by stage, recording the boundary activation bytes
+/// leaving each stage.  Returns the final output (identical to
+/// model.forward) and fills `boundary_bytes` with stages-1 entries.
+Tensor forward_staged(Model& model, const Tensor& x, const StagePlan& plan,
+                      std::vector<double>* boundary_bytes = nullptr);
+
+/// Pipeline timing estimate for one training step.
+struct PipelineEstimate {
+  std::vector<double> stage_seconds;  // math time per stage (fwd+bwd)
+  double bubble_fraction = 0.0;       // (k-1)/(m+k-1)
+  double comm_seconds = 0.0;          // boundary activation exchange
+  double step_seconds = 0.0;          // pipelined total
+  double serial_seconds = 0.0;        // same work on one node
+  double speedup = 1.0;               // serial / pipelined
+};
+
+/// Estimate a GPipe-style schedule: `microbatches` microbatches flow
+/// through `plan.stages` stages on `node` with boundaries crossing
+/// `fabric`.  Work per stage is priced by the machine model from layer
+/// FLOPs; batch = microbatches * microbatch_size.
+PipelineEstimate estimate_pipeline(Model& model, const StagePlan& plan,
+                                   Index microbatches, Index microbatch_size,
+                                   const hpcsim::NodeSpec& node,
+                                   const hpcsim::Fabric& fabric,
+                                   Precision prec = Precision::FP32);
+
+}  // namespace candle::parallel

@@ -1,0 +1,112 @@
+#include "parallel/param_server.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "runtime/timer.hpp"
+
+namespace candle::parallel {
+
+ParamServerResult train_param_server(const ModelFactory& factory,
+                                     const OptimizerFactory& opt_factory,
+                                     const Dataset& train, const Loss& loss,
+                                     const ParamServerOptions& options,
+                                     Model* out_model) {
+  CANDLE_CHECK(options.workers >= 1, "need at least one worker");
+  CANDLE_CHECK(options.epochs >= 1 && options.batch_size >= 1,
+               "invalid training options");
+  CANDLE_CHECK(train.size() >= options.batch_size * options.workers,
+               "dataset smaller than one step per worker");
+
+  // The server: canonical weights + optimizer, guarded by one lock (the
+  // real system's RPC serialization point).
+  Model server = factory();
+  CANDLE_CHECK(server.built(), "model factory must return a built model");
+  auto server_opt = opt_factory();
+  std::mutex server_mu;
+  std::atomic<Index> server_steps{0};
+
+  const Index weights_n = server.num_params();
+  const Index total_steps =
+      options.epochs * (train.size() / options.batch_size);
+  const Index steps_per_epoch = total_steps / options.epochs;
+
+  std::vector<double> epoch_loss_acc(
+      static_cast<std::size_t>(options.epochs), 0.0);
+  std::vector<Index> epoch_loss_n(static_cast<std::size_t>(options.epochs),
+                                  0);
+  std::mutex stats_mu;
+  std::atomic<Index> step_counter{0};
+  double staleness_sum = 0.0;
+
+  Stopwatch clock;
+  std::vector<std::thread> threads;
+  for (Index wkr = 0; wkr < options.workers; ++wkr) {
+    threads.emplace_back([&, wkr] {
+      Model replica = factory();
+      // Each worker samples its own shuffled stream of the full dataset.
+      BatchIterator batches(train, options.batch_size, /*shuffle=*/true,
+                            options.seed ^ (0x9e3779b9ull * (wkr + 1)));
+      std::vector<float> weights(static_cast<std::size_t>(weights_n));
+      std::vector<float> grads(static_cast<std::size_t>(weights_n));
+      for (;;) {
+        const Index my_step = step_counter.fetch_add(1);
+        if (my_step >= total_steps) break;
+        // PULL: snapshot the server weights.
+        Index pulled_at = 0;
+        {
+          std::lock_guard<std::mutex> lock(server_mu);
+          server.copy_weights_to(weights);
+          pulled_at = server_steps.load();
+        }
+        replica.set_weights_from(weights);
+        // COMPUTE: gradient on the next local batch.
+        const Dataset batch = batches.next();
+        const Tensor pred = replica.forward(batch.x, /*training=*/true);
+        const float l = loss.value(pred, batch.y);
+        replica.backward(loss.grad(pred, batch.y));
+        replica.copy_grads_to(grads);
+        // PUSH: apply at the server with whatever weights are there now.
+        {
+          std::lock_guard<std::mutex> lock(server_mu);
+          server.set_grads_from(grads);
+          const auto ps = server.params();
+          const auto gs = server.grads();
+          server_opt->step(ps, gs);
+          const Index now = server_steps.fetch_add(1) + 1;
+          std::lock_guard<std::mutex> stats(stats_mu);
+          staleness_sum += static_cast<double>(now - 1 - pulled_at);
+        }
+        const auto epoch = static_cast<std::size_t>(
+            std::min(options.epochs - 1, my_step / steps_per_epoch));
+        {
+          std::lock_guard<std::mutex> stats(stats_mu);
+          epoch_loss_acc[epoch] += static_cast<double>(l);
+          ++epoch_loss_n[epoch];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ParamServerResult result;
+  result.steps = server_steps.load();
+  result.measured_seconds = clock.seconds();
+  result.mean_staleness =
+      result.steps > 0 ? staleness_sum / static_cast<double>(result.steps)
+                       : 0.0;
+  for (std::size_t e = 0; e < epoch_loss_acc.size(); ++e) {
+    result.epoch_loss.push_back(static_cast<float>(
+        epoch_loss_acc[e] / std::max<Index>(1, epoch_loss_n[e])));
+  }
+  if (out_model != nullptr) {
+    *out_model = factory();
+    std::vector<float> weights(static_cast<std::size_t>(weights_n));
+    server.copy_weights_to(weights);
+    out_model->set_weights_from(weights);
+  }
+  return result;
+}
+
+}  // namespace candle::parallel

@@ -1,0 +1,42 @@
+// Asynchronous parameter-server training (Hogwild-with-a-server style, the
+// other half of the 2016/2017 distributed-DL design space next to
+// synchronous all-reduce).  Workers pull a possibly-stale weight snapshot,
+// compute a gradient on their own shard, and push it to the server, which
+// applies the optimizer step under a lock.  No barriers: throughput does
+// not degrade with stragglers, at the price of gradient staleness.
+//
+// This module is executable (real threads, real gradients); the interest
+// for the paper's claims is the sync-vs-async convergence/throughput
+// trade-off exercised by bench_e3 and the tests.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+#include "parallel/data_parallel.hpp"
+
+namespace candle::parallel {
+
+struct ParamServerOptions {
+  Index workers = 4;
+  Index epochs = 5;       // passes over the full dataset (across workers)
+  Index batch_size = 32;  // per worker step
+  std::uint64_t seed = 0;
+};
+
+struct ParamServerResult {
+  Index steps = 0;                // total pushed updates
+  std::vector<float> epoch_loss;  // mean worker-reported loss per epoch
+  double measured_seconds = 0.0;
+  double mean_staleness = 0.0;  // server-steps between a worker's pull & push
+};
+
+/// Run asynchronous parameter-server training.  The trained weights land in
+/// `out_model` if provided.  `factory` must produce identically-built
+/// models (the server and every worker replica share the architecture).
+ParamServerResult train_param_server(const ModelFactory& factory,
+                                     const OptimizerFactory& opt_factory,
+                                     const Dataset& train, const Loss& loss,
+                                     const ParamServerOptions& options,
+                                     Model* out_model = nullptr);
+
+}  // namespace candle::parallel

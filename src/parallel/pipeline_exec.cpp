@@ -1,0 +1,146 @@
+#include "parallel/pipeline_exec.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "runtime/timer.hpp"
+
+namespace candle::parallel {
+
+namespace {
+
+/// Bounded single-producer single-consumer tensor queue.  A disengaged
+/// optional is the end-of-stream sentinel.
+class TensorQueue {
+ public:
+  explicit TensorQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(std::optional<Tensor> item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.push_back(std::move(item));
+    cv_data_.notify_one();
+  }
+
+  std::optional<Tensor> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_data_.wait(lock, [&] { return !items_.empty(); });
+    std::optional<Tensor> item = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_data_, cv_space_;
+  std::deque<std::optional<Tensor>> items_;
+};
+
+}  // namespace
+
+Tensor pipeline_forward(Model& model, const StagePlan& plan, const Tensor& x,
+                        Index microbatch, PipelineRunStats* stats) {
+  CANDLE_CHECK(model.built(), "pipeline_forward needs a built model");
+  CANDLE_CHECK(static_cast<Index>(plan.stage_of_layer.size()) ==
+                   model.num_layers(),
+               "plan does not match model");
+  CANDLE_CHECK(microbatch >= 1, "microbatch must be positive");
+  CANDLE_CHECK(x.ndim() >= 2, "input needs a batch dimension");
+  const Index batch = x.dim(0);
+  const Index k = plan.stages;
+  Stopwatch clock;
+
+  // Queues between stages: q[0] feeds stage 0, q[s+1] carries its output.
+  std::vector<std::unique_ptr<TensorQueue>> queues;
+  for (Index q = 0; q <= k; ++q) {
+    queues.push_back(std::make_unique<TensorQueue>(4));
+  }
+
+  // Stage threads.
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(k));
+  for (Index s = 0; s < k; ++s) {
+    threads.emplace_back([&, s] {
+      try {
+        const auto [first, last] = plan.stage_range(s);
+        for (;;) {
+          std::optional<Tensor> item =
+              queues[static_cast<std::size_t>(s)]->pop();
+          if (!item.has_value()) break;  // end of stream
+          Tensor h = std::move(*item);
+          for (Index i = first; i < last; ++i) {
+            h = model.layer(i).forward(h, /*training=*/false);
+          }
+          queues[static_cast<std::size_t>(s + 1)]->push(std::move(h));
+        }
+        queues[static_cast<std::size_t>(s + 1)]->push(std::nullopt);
+      } catch (...) {
+        errors[static_cast<std::size_t>(s)] = std::current_exception();
+        // Unblock downstream so the collector finishes...
+        queues[static_cast<std::size_t>(s + 1)]->push(std::nullopt);
+        // ...and drain upstream so producers never block on a full queue.
+        while (queues[static_cast<std::size_t>(s)]->pop().has_value()) {
+        }
+      }
+    });
+  }
+
+  // Feed microbatches from a dedicated thread: the main thread must be
+  // free to drain the output queue, or bounded queues deadlock once the
+  // microbatch count exceeds the total pipeline buffering.
+  const Index row_elems = x.numel() / batch;
+  const Index count = (batch + microbatch - 1) / microbatch;
+  std::thread feeder([&] {
+    Index fed = 0;
+    while (fed < batch) {
+      const Index hi = std::min(batch, fed + microbatch);
+      Shape mb_shape = x.shape();
+      mb_shape[0] = hi - fed;
+      Tensor mb(mb_shape,
+                std::vector<float>(x.data() + fed * row_elems,
+                                   x.data() + hi * row_elems));
+      queues[0]->push(std::move(mb));
+      fed = hi;
+    }
+    queues[0]->push(std::nullopt);
+  });
+
+  // Collect in order from the final queue.
+  std::vector<Tensor> outputs;
+  for (;;) {
+    std::optional<Tensor> item = queues[static_cast<std::size_t>(k)]->pop();
+    if (!item.has_value()) break;
+    outputs.push_back(std::move(*item));
+  }
+  feeder.join();
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  CANDLE_CHECK(static_cast<Index>(outputs.size()) == count,
+               "pipeline lost microbatches");
+
+  // Assemble.
+  Shape out_shape = outputs.front().shape();
+  out_shape[0] = batch;
+  Tensor out(out_shape);
+  const Index out_row = out.numel() / batch;
+  Index row = 0;
+  for (const Tensor& mb : outputs) {
+    std::copy(mb.data(), mb.data() + mb.numel(), out.data() + row * out_row);
+    row += mb.dim(0);
+  }
+  if (stats != nullptr) {
+    stats->microbatches = count;
+    stats->stages = k;
+    stats->seconds = clock.seconds();
+  }
+  return out;
+}
+
+}  // namespace candle::parallel

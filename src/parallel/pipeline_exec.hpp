@@ -1,0 +1,25 @@
+// Executable pipeline parallelism: each stage of a StagePlan runs on its
+// own thread; microbatches flow through bounded FIFO queues between
+// stages.  Unlike estimate_pipeline (which prices a GPipe schedule on the
+// machine model), this actually executes the schedule, so tests can verify
+// that pipelined outputs are bit-identical to the serial forward and that
+// all stages genuinely overlap on distinct microbatches.
+#pragma once
+
+#include "parallel/model_parallel.hpp"
+
+namespace candle::parallel {
+
+struct PipelineRunStats {
+  Index microbatches = 0;
+  Index stages = 0;
+  double seconds = 0.0;
+};
+
+/// Run a pipelined forward pass of `x` (batch dim first) through the model
+/// under `plan`, with `microbatch` rows per microbatch.  Inference mode.
+/// Returns the assembled output, identical to model.forward(x).
+Tensor pipeline_forward(Model& model, const StagePlan& plan, const Tensor& x,
+                        Index microbatch, PipelineRunStats* stats = nullptr);
+
+}  // namespace candle::parallel

@@ -1,0 +1,28 @@
+#include "parallel/workload.hpp"
+
+namespace candle::parallel {
+
+hpcsim::TrainingWorkload workload_from_model(Model& model,
+                                             const std::string& name) {
+  CANDLE_CHECK(model.built(), "workload_from_model needs a built model");
+  hpcsim::TrainingWorkload w;
+  w.name = name;
+  w.flops_per_sample = model.flops_per_sample();
+  w.parameters = static_cast<double>(model.num_params());
+  w.bytes_per_sample =
+      static_cast<double>(shape_numel(model.input_shape())) * 4.0;
+
+  // Probe activations with one sample: sum of all inter-layer outputs.
+  Shape probe = model.input_shape();
+  probe.insert(probe.begin(), 1);
+  Tensor h(probe);
+  double act_bytes = 0.0;
+  for (Index i = 0; i < model.num_layers(); ++i) {
+    h = model.layer(i).forward(h, /*training=*/false);
+    act_bytes += static_cast<double>(h.numel()) * 4.0;
+  }
+  w.activation_bytes_per_sample = act_bytes;
+  return w;
+}
+
+}  // namespace candle::parallel

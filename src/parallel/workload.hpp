@@ -1,0 +1,16 @@
+// Bridge from an executable nn::Model to the hpcsim analytic workload
+// description, so measured models drive the scaling/energy projections.
+#pragma once
+
+#include "hpcsim/perfmodel.hpp"
+#include "nn/model.hpp"
+
+namespace candle::parallel {
+
+/// Extract the analytic workload of `model`: FLOPs and parameters from the
+/// layer metadata, activation footprint by probing a single-sample forward
+/// pass, input record size from the model's input shape.
+hpcsim::TrainingWorkload workload_from_model(Model& model,
+                                             const std::string& name);
+
+}  // namespace candle::parallel

@@ -1,0 +1,55 @@
+// Error handling primitives shared by every candle-hpc subsystem.
+//
+// Contract violations at public API boundaries throw candle::Error with a
+// formatted message; internal invariants use CANDLE_CHECK, which also throws
+// (so unit tests can assert on misuse) but is phrased as an invariant
+// failure.  No error codes, no out-params — per the C++ Core Guidelines
+// material this project follows.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace candle {
+
+/// Exception type thrown on any contract or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CANDLE_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+/// Optional-message adapter so CANDLE_CHECK(cond) and
+/// CANDLE_CHECK(cond, any-string-expression) both compile.
+inline std::string check_msg() { return {}; }
+inline std::string check_msg(std::string msg) { return msg; }
+
+}  // namespace detail
+
+}  // namespace candle
+
+/// Assert `cond`; on failure throw candle::Error quoting the expression.
+/// Usage: CANDLE_CHECK(a.rows() == b.rows(), "gemm shape mismatch");
+#define CANDLE_CHECK(cond, ...)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::candle::detail::throw_check_failure(                                \
+          #cond, __FILE__, __LINE__,                                        \
+          ::candle::detail::check_msg(__VA_ARGS__));                        \
+    }                                                                       \
+  } while (false)
+
+/// Unconditional failure for unreachable branches.
+#define CANDLE_FAIL(msg)                                                     \
+  ::candle::detail::throw_check_failure("unreachable", __FILE__, __LINE__,   \
+                                        ::std::string(msg))

@@ -1,0 +1,29 @@
+// Wall-clock timing utilities used by benchmarks and the calibration pass.
+#pragma once
+
+#include <chrono>
+
+namespace candle {
+
+/// Monotonic stopwatch.  Starts on construction; `seconds()` reports elapsed
+/// time; `reset()` restarts.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace candle

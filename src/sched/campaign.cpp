@@ -1,0 +1,123 @@
+#include "sched/campaign.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace candle::sched {
+
+double CampaignResult::best_at_time(double time_s) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const BestPoint& p : trajectory) {
+    if (p.time_s <= time_s) best = std::min(best, p.objective);
+  }
+  return best;
+}
+
+namespace {
+
+struct Slot {
+  double finish_s = 0.0;
+  UnitConfig config;
+  Index epochs = 0;
+  hpo::SuccessiveHalving::Task task;  // ASHA only
+};
+
+struct SlotOrder {
+  bool operator()(const Slot& a, const Slot& b) const {
+    return a.finish_s > b.finish_s;
+  }
+};
+
+void validate(const CampaignOptions& options) {
+  CANDLE_CHECK(options.slots >= 1 && options.max_trials >= 1 &&
+                   options.epochs >= 1,
+               "invalid campaign options");
+}
+
+void record(CampaignResult& result, double now, double objective,
+            const UnitConfig& config) {
+  ++result.trials;
+  if (result.trajectory.empty() ||
+      objective < result.best_objective) {
+    result.best_objective = objective;
+    result.best_config = config;
+  }
+  result.trajectory.push_back({now, result.trials, result.best_objective});
+  result.makespan_s = now;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(hpo::Searcher& searcher,
+                            const hpo::Objective& objective,
+                            const DurationModel& duration,
+                            const CampaignOptions& options) {
+  validate(options);
+  CampaignResult result;
+  std::priority_queue<Slot, std::vector<Slot>, SlotOrder> running;
+  Index launched = 0;
+
+  auto launch = [&](double now) {
+    Slot s;
+    s.config = searcher.suggest();
+    s.epochs = options.epochs;
+    s.finish_s = now + duration(s.config, options.epochs);
+    CANDLE_CHECK(s.finish_s > now, "duration model returned non-positive time");
+    running.push(std::move(s));
+    ++launched;
+  };
+
+  const Index initial = std::min(options.slots, options.max_trials);
+  for (Index i = 0; i < initial; ++i) launch(0.0);
+
+  while (!running.empty()) {
+    Slot done = running.top();
+    running.pop();
+    const double obj = objective(done.config);
+    searcher.observe(done.config, obj);
+    record(result, done.finish_s, obj, done.config);
+    if (launched < options.max_trials) launch(done.finish_s);
+  }
+  return result;
+}
+
+CampaignResult run_asha_campaign(hpo::SuccessiveHalving& asha,
+                                 const BudgetedObjective& objective,
+                                 const DurationModel& duration,
+                                 const CampaignOptions& options) {
+  validate(options);
+  CampaignResult result;
+  std::priority_queue<Slot, std::vector<Slot>, SlotOrder> running;
+  Index launched = 0;
+
+  auto launch = [&](double now) {
+    Slot s;
+    s.task = asha.suggest();
+    s.config = s.task.config;
+    s.epochs = s.task.budget;
+    s.finish_s = now + duration(s.config, s.task.budget);
+    CANDLE_CHECK(s.finish_s > now, "duration model returned non-positive time");
+    running.push(std::move(s));
+    ++launched;
+  };
+
+  const Index initial = std::min(options.slots, options.max_trials);
+  for (Index i = 0; i < initial; ++i) launch(0.0);
+
+  while (!running.empty()) {
+    Slot done = running.top();
+    running.pop();
+    const double obj = objective(done.config, done.epochs);
+    asha.observe(done.task, obj);
+    record(result, done.finish_s, obj, done.config);
+    if (launched < options.max_trials) launch(done.finish_s);
+  }
+  // For ASHA, report the scheduler's notion of best (full-budget preferred).
+  const hpo::Observation best = asha.best();
+  result.best_objective = best.objective;
+  result.best_config = best.config;
+  return result;
+}
+
+}  // namespace candle::sched

@@ -1,0 +1,68 @@
+// Asynchronous HPO campaign driver: couples a search strategy to a set of
+// concurrent trial slots on a (simulated) machine allocation — the "search
+// parallelism" dimension of claim C4.
+//
+// The campaign advances simulated time: `slots` trials run concurrently;
+// whenever one finishes, its objective is observed and the searcher
+// immediately proposes a replacement (fully asynchronous, no generation
+// barrier).  The trial *objective* comes from a real evaluation (e.g. a
+// TrainObjective actually training models); the trial *duration* comes
+// from a caller-supplied duration model (e.g. hpcsim::estimate_step x
+// steps), so campaigns over thousands of node-hours replay in milliseconds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hpo/objectives.hpp"
+#include "hpo/searchers.hpp"
+
+namespace candle::sched {
+
+using hpo::UnitConfig;
+
+/// Simulated duration (seconds) of a trial at a given epoch budget.
+using DurationModel = std::function<double(const UnitConfig&, Index epochs)>;
+
+struct CampaignOptions {
+  Index slots = 8;        // concurrent trials (nodes / nodes-per-trial)
+  Index max_trials = 64;  // total configurations to evaluate
+  Index epochs = 8;       // full budget per trial (single-fidelity)
+};
+
+/// A point on the best-so-far trajectory.
+struct BestPoint {
+  double time_s = 0.0;     // simulated campaign time
+  Index trials = 0;        // trials completed by then
+  double objective = 0.0;  // best objective so far
+};
+
+struct CampaignResult {
+  std::vector<BestPoint> trajectory;  // one entry per completed trial
+  double makespan_s = 0.0;
+  Index trials = 0;
+  double best_objective = 0.0;
+  UnitConfig best_config;
+
+  /// Best objective at or before `time_s` (inf before the first finish).
+  double best_at_time(double time_s) const;
+};
+
+/// Run a single-fidelity asynchronous campaign.
+CampaignResult run_campaign(hpo::Searcher& searcher,
+                            const hpo::Objective& objective,
+                            const DurationModel& duration,
+                            const CampaignOptions& options);
+
+/// Run an ASHA campaign: same slots, but trials carry rung budgets and the
+/// halving scheduler promotes survivors.  `evaluate(config, epochs)` must
+/// honour the epoch budget (e.g. TrainObjective::evaluate).
+using BudgetedObjective = std::function<double(const UnitConfig&, Index)>;
+
+CampaignResult run_asha_campaign(hpo::SuccessiveHalving& asha,
+                                 const BudgetedObjective& objective,
+                                 const DurationModel& duration,
+                                 const CampaignOptions& options);
+
+}  // namespace candle::sched

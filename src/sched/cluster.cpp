@@ -1,0 +1,172 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace candle::sched {
+
+std::string schedule_policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::Fifo: return "fifo";
+    case SchedulePolicy::Backfill: return "backfill";
+  }
+  CANDLE_FAIL("unknown SchedulePolicy");
+}
+
+ClusterSim::ClusterSim(Index total_nodes, SchedulePolicy policy)
+    : total_nodes_(total_nodes), policy_(policy) {
+  CANDLE_CHECK(total_nodes >= 1, "cluster needs at least one node");
+}
+
+Index ClusterSim::submit(Index nodes, double duration_s, double submit_s) {
+  CANDLE_CHECK(!ran_, "cannot submit after run()");
+  CANDLE_CHECK(nodes >= 1 && nodes <= total_nodes_,
+               "job node request exceeds the machine");
+  CANDLE_CHECK(duration_s > 0.0 && submit_s >= 0.0, "invalid job timing");
+  Job j;
+  j.id = static_cast<Index>(jobs_.size());
+  j.nodes = nodes;
+  j.duration_s = duration_s;
+  j.submit_s = submit_s;
+  jobs_.push_back(j);
+  return j.id;
+}
+
+void ClusterSim::run() {
+  CANDLE_CHECK(!ran_, "run() already called");
+  ran_ = true;
+  if (jobs_.empty()) return;
+
+  // Waiting queue ordered by submit time (stable by id = FIFO order).
+  std::vector<Index> waiting(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    waiting[i] = static_cast<Index>(i);
+  }
+  std::stable_sort(waiting.begin(), waiting.end(), [&](Index a, Index b) {
+    return jobs_[static_cast<std::size_t>(a)].submit_s <
+           jobs_[static_cast<std::size_t>(b)].submit_s;
+  });
+
+  // Running set: min-heap on finish time.
+  using Running = std::pair<double, Index>;  // (finish, id)
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  Index free_nodes = total_nodes_;
+  double now = 0.0;
+
+  auto try_start = [&](Index id, double t) {
+    Job& j = jobs_[static_cast<std::size_t>(id)];
+    j.start_s = t;
+    j.finish_s = t + j.duration_s;
+    free_nodes -= j.nodes;
+    running.emplace(j.finish_s, id);
+  };
+
+  while (!waiting.empty() || !running.empty()) {
+    // Complete everything finishing by `now`.
+    while (!running.empty() && running.top().first <= now) {
+      free_nodes += jobs_[static_cast<std::size_t>(running.top().second)].nodes;
+      running.pop();
+    }
+
+    // Launch from the queue.
+    bool launched = false;
+    for (std::size_t qi = 0; qi < waiting.size();) {
+      Job& j = jobs_[static_cast<std::size_t>(waiting[qi])];
+      if (j.submit_s > now) break;  // not yet submitted (queue is time-sorted)
+      if (j.nodes <= free_nodes) {
+        try_start(waiting[qi], now);
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(qi));
+        launched = true;
+        continue;  // same qi now holds the next job
+      }
+      if (policy_ == SchedulePolicy::Fifo) break;  // strict head-of-line
+
+      // EASY backfill: the head job reserves its earliest start (shadow
+      // time); later jobs may run now only if they finish by then or use
+      // nodes the head job doesn't need.
+      if (qi == 0) {
+        // Compute the shadow time: when enough nodes free up for the head.
+        auto probe = running;
+        Index avail = free_nodes;
+        double shadow = now;
+        while (avail < j.nodes && !probe.empty()) {
+          shadow = probe.top().first;
+          avail += jobs_[static_cast<std::size_t>(probe.top().second)].nodes;
+          probe.pop();
+        }
+        const Index spare_at_shadow = avail - j.nodes;
+        // Scan the rest of the queue for a backfill candidate.
+        bool filled = false;
+        for (std::size_t bi = 1; bi < waiting.size(); ++bi) {
+          Job& c = jobs_[static_cast<std::size_t>(waiting[bi])];
+          if (c.submit_s > now || c.nodes > free_nodes) continue;
+          const bool fits_before_shadow = now + c.duration_s <= shadow;
+          const bool fits_beside_head = c.nodes <= spare_at_shadow;
+          if (fits_before_shadow || fits_beside_head) {
+            try_start(waiting[bi], now);
+            waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(bi));
+            filled = true;
+            break;
+          }
+        }
+        if (filled) {
+          launched = true;
+          continue;  // re-scan from the head
+        }
+      }
+      break;  // nothing startable now
+    }
+    if (launched) continue;
+    if (waiting.empty() && running.empty()) break;  // all work drained
+
+    // Advance time to the next event: a completion or a future submission.
+    double next_event = std::numeric_limits<double>::infinity();
+    if (!running.empty()) next_event = running.top().first;
+    for (Index id : waiting) {
+      const double s = jobs_[static_cast<std::size_t>(id)].submit_s;
+      if (s > now) {
+        next_event = std::min(next_event, s);
+        break;
+      }
+    }
+    CANDLE_CHECK(std::isfinite(next_event),
+                 "scheduler deadlock: no startable job and no pending event");
+    now = next_event;
+  }
+}
+
+const Job& ClusterSim::job(Index id) const {
+  CANDLE_CHECK(id >= 0 && id < static_cast<Index>(jobs_.size()),
+               "job id out of range");
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+double ClusterSim::makespan() const {
+  CANDLE_CHECK(ran_, "run() first");
+  double m = 0.0;
+  for (const Job& j : jobs_) m = std::max(m, j.finish_s);
+  return m;
+}
+
+double ClusterSim::utilization() const {
+  CANDLE_CHECK(ran_, "run() first");
+  const double span = makespan();
+  if (span <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const Job& j : jobs_) {
+    busy += static_cast<double>(j.nodes) * j.duration_s;
+  }
+  return busy / (static_cast<double>(total_nodes_) * span);
+}
+
+double ClusterSim::mean_wait_s() const {
+  CANDLE_CHECK(ran_, "run() first");
+  if (jobs_.empty()) return 0.0;
+  double w = 0.0;
+  for (const Job& j : jobs_) w += j.wait_s();
+  return w / static_cast<double>(jobs_.size());
+}
+
+}  // namespace candle::sched

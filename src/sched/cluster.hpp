@@ -1,0 +1,67 @@
+// Discrete-event cluster simulator for *search parallelism* (claim C4):
+// hyperparameter campaigns schedule thousands of training jobs over a fixed
+// machine allocation, and the paper argues HPC architectures must support
+// this mode alongside single-model training.
+//
+// Jobs request a node count and a duration; the simulator plays FIFO or
+// EASY-backfill scheduling and reports makespan + utilization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace candle::sched {
+
+using Index = std::int64_t;
+
+enum class SchedulePolicy { Fifo, Backfill };
+
+std::string schedule_policy_name(SchedulePolicy p);
+
+struct Job {
+  Index id = -1;
+  Index nodes = 1;
+  double duration_s = 0.0;
+  double submit_s = 0.0;
+  double start_s = -1.0;   // filled by run()
+  double finish_s = -1.0;  // filled by run()
+
+  bool completed() const { return finish_s >= 0.0; }
+  double wait_s() const { return start_s - submit_s; }
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(Index total_nodes, SchedulePolicy policy);
+
+  Index total_nodes() const { return total_nodes_; }
+
+  /// Queue a job; returns its id.  Must be called before run().
+  Index submit(Index nodes, double duration_s, double submit_s = 0.0);
+
+  /// Play the schedule to completion.
+  void run();
+
+  const Job& job(Index id) const;
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// Time the last job finishes.
+  double makespan() const;
+
+  /// Busy node-seconds / (total_nodes * makespan).
+  double utilization() const;
+
+  /// Mean queue wait across jobs.
+  double mean_wait_s() const;
+
+ private:
+  Index total_nodes_;
+  SchedulePolicy policy_;
+  std::vector<Job> jobs_;
+  bool ran_ = false;
+};
+
+}  // namespace candle::sched

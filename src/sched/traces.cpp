@@ -1,0 +1,70 @@
+#include "sched/traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::sched {
+
+std::vector<TraceJob> generate_trace(const TraceConfig& cfg) {
+  CANDLE_CHECK(cfg.jobs >= 1 && cfg.arrivals_per_hour > 0.0 &&
+                   cfg.max_nodes >= 1 && cfg.mean_duration_hours > 0.0 &&
+                   cfg.duration_sigma > 0.0,
+               "invalid trace config");
+  Pcg32 rng(cfg.seed, 0x7ace);
+  std::vector<TraceJob> trace;
+  trace.reserve(static_cast<std::size_t>(cfg.jobs));
+
+  // Power-of-two request ladder up to max_nodes.
+  std::vector<Index> ladder;
+  for (Index n = 1; n <= cfg.max_nodes; n *= 2) ladder.push_back(n);
+
+  // Lognormal parameterized so E[duration] = mean: mu = ln(mean) - s^2/2.
+  const double mu = std::log(cfg.mean_duration_hours * 3600.0) -
+                    0.5 * cfg.duration_sigma * cfg.duration_sigma;
+
+  double clock = 0.0;
+  const double mean_gap_s = 3600.0 / cfg.arrivals_per_hour;
+  for (Index j = 0; j < cfg.jobs; ++j) {
+    TraceJob job;
+    // Exponential inter-arrival times.
+    double u = rng.next_double();
+    if (u < 1e-12) u = 1e-12;
+    clock += -mean_gap_s * std::log(u);
+    job.submit_s = clock;
+    // Small jobs are more common: geometric choice over the ladder.
+    std::size_t rung = 0;
+    while (rung + 1 < ladder.size() && rng.next_float() < 0.5f) ++rung;
+    job.nodes = ladder[rung];
+    job.duration_s =
+        std::max(1.0, std::exp(mu + cfg.duration_sigma * rng.normal()));
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+void submit_trace(ClusterSim& sim, const std::vector<TraceJob>& trace) {
+  for (const TraceJob& j : trace) {
+    sim.submit(std::min(j.nodes, sim.total_nodes()), j.duration_s,
+               j.submit_s);
+  }
+}
+
+TraceStats run_trace(Index cluster_nodes, SchedulePolicy policy,
+                     const std::vector<TraceJob>& trace) {
+  ClusterSim sim(cluster_nodes, policy);
+  submit_trace(sim, trace);
+  sim.run();
+  TraceStats stats;
+  stats.makespan_s = sim.makespan();
+  stats.utilization = sim.utilization();
+  stats.mean_wait_s = sim.mean_wait_s();
+  std::vector<double> waits;
+  waits.reserve(sim.jobs().size());
+  for (const Job& j : sim.jobs()) waits.push_back(j.wait_s());
+  std::sort(waits.begin(), waits.end());
+  stats.p95_wait_s =
+      waits[static_cast<std::size_t>(0.95 * static_cast<double>(waits.size()))];
+  return stats;
+}
+
+}  // namespace candle::sched

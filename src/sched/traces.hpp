@@ -1,0 +1,47 @@
+// Synthetic job traces for the cluster simulator: Poisson arrivals,
+// power-of-two node requests, lognormal durations — the standard shape of
+// HPC batch workloads, used to study how HPO campaigns coexist with a
+// production queue (claim C4's "HPC architectures that can support these
+// large-scale intelligent search methods").
+#pragma once
+
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "sched/cluster.hpp"
+
+namespace candle::sched {
+
+struct TraceConfig {
+  Index jobs = 200;
+  double arrivals_per_hour = 30.0;  // Poisson rate
+  Index max_nodes = 4096;           // node requests: 2^k <= max_nodes
+  double mean_duration_hours = 1.0;  // lognormal mean
+  double duration_sigma = 1.0;       // lognormal shape
+  std::uint64_t seed = 0;
+};
+
+struct TraceJob {
+  Index nodes = 1;
+  double duration_s = 0.0;
+  double submit_s = 0.0;
+};
+
+/// Generate a batch trace (deterministic in the seed).
+std::vector<TraceJob> generate_trace(const TraceConfig& cfg);
+
+/// Submit every trace job to a simulator.
+void submit_trace(ClusterSim& sim, const std::vector<TraceJob>& trace);
+
+/// Summary statistics of a completed simulation, for comparisons.
+struct TraceStats {
+  double makespan_s = 0.0;
+  double utilization = 0.0;
+  double mean_wait_s = 0.0;
+  double p95_wait_s = 0.0;
+};
+
+TraceStats run_trace(Index cluster_nodes, SchedulePolicy policy,
+                     const std::vector<TraceJob>& trace);
+
+}  // namespace candle::sched

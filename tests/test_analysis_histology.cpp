@@ -1,0 +1,149 @@
+// Tests for hyperparameter-importance analysis and the histology imaging
+// workload (Conv2D end-to-end).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "biodata/workloads.hpp"
+#include "hpo/analysis.hpp"
+#include "hpo/objectives.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace candle {
+namespace {
+
+// ---- parameter importance --------------------------------------------------------
+
+TEST(Importance, RecoversTheDominantParameter) {
+  // Objective depends strongly on dim 0, weakly on dim 1, not on dim 2/3.
+  hpo::SearchSpace space;
+  space.add_float("strong", 0, 1);
+  space.add_float("weak", 0, 1);
+  space.add_float("inert_a", 0, 1);
+  space.add_float("inert_b", 0, 1);
+  Pcg32 rng(1);
+  std::vector<hpo::Observation> history;
+  for (int i = 0; i < 600; ++i) {
+    hpo::UnitConfig c = space.sample(rng);
+    const double obj = 10.0 * (c[0] - 0.3) * (c[0] - 0.3) + 1.0 * c[1] +
+                       0.05 * rng.normal();
+    history.push_back({c, obj});
+  }
+  const auto imp = hpo::parameter_importance(space, history);
+  ASSERT_EQ(imp.size(), 4u);
+  EXPECT_EQ(imp[0].name, "strong");
+  EXPECT_GT(imp[0].importance, 0.5);
+  EXPECT_EQ(imp[1].name, "weak");
+  EXPECT_GT(imp[0].importance, imp[1].importance * 2);
+  // Inert parameters rank last with near-zero importance.
+  EXPECT_LT(imp[2].importance, 0.1);
+  EXPECT_LT(imp[3].importance, 0.1);
+  // The best bin for "strong" sits near the optimum at 0.3.
+  EXPECT_NEAR(imp[0].best_bin_center, 0.3, 0.15);
+}
+
+TEST(Importance, ReportIsReadable) {
+  std::vector<hpo::ParameterImportance> imp = {{"lr", 0.62, 0.4},
+                                               {"units", 0.21, 0.9}};
+  const std::string report = hpo::importance_report(imp);
+  EXPECT_NE(report.find("lr: 62%"), std::string::npos);
+  EXPECT_NE(report.find("units: 21%"), std::string::npos);
+}
+
+TEST(Importance, Validation) {
+  hpo::SearchSpace space;
+  space.add_float("a", 0, 1);
+  std::vector<hpo::Observation> tiny = {{{0.5}, 1.0}};
+  EXPECT_THROW(hpo::parameter_importance(space, tiny), Error);
+  std::vector<hpo::Observation> ok(8, {{0.5}, 1.0});
+  EXPECT_THROW(hpo::parameter_importance(space, ok, 1), Error);
+  // Constant objective: zero variance handled gracefully.
+  const auto imp = hpo::parameter_importance(space, ok);
+  EXPECT_EQ(imp[0].importance, 0.0);
+}
+
+TEST(Importance, WorksOnRealSearchHistory) {
+  // Run a short random search on the sphere and confirm the analysis is
+  // finite and ordered.
+  const hpo::SearchSpace space = hpo::make_mlp_space();
+  hpo::RandomSearcher searcher(space, 2);
+  const hpo::Objective f = hpo::make_sphere_objective(space, 3);
+  for (int i = 0; i < 200; ++i) {
+    const hpo::UnitConfig c = searcher.suggest();
+    searcher.observe(c, f(c));
+  }
+  const auto imp = hpo::parameter_importance(space, searcher.history());
+  ASSERT_EQ(static_cast<Index>(imp.size()), space.dims());
+  for (std::size_t i = 1; i < imp.size(); ++i) {
+    EXPECT_GE(imp[i - 1].importance, imp[i].importance);
+  }
+}
+
+// ---- histology workload ------------------------------------------------------------
+
+TEST(Histology, ShapesAndBalance) {
+  biodata::HistologyConfig cfg;
+  cfg.samples = 60;
+  cfg.classes = 3;
+  cfg.image_size = 16;
+  Dataset d = biodata::make_histology(cfg);
+  EXPECT_EQ(d.x.shape(), (Shape{60, 1, 16, 16}));
+  EXPECT_EQ(d.y.shape(), (Shape{60}));
+  Index counts[3] = {0, 0, 0};
+  for (Index i = 0; i < 60; ++i) ++counts[static_cast<Index>(d.y[i])];
+  EXPECT_EQ(counts[0], 20);
+  EXPECT_EQ(counts[1], 20);
+  EXPECT_EQ(counts[2], 20);
+}
+
+TEST(Histology, DeterministicPerSeed) {
+  biodata::HistologyConfig cfg;
+  cfg.samples = 20;
+  Dataset a = biodata::make_histology(cfg);
+  Dataset b = biodata::make_histology(cfg);
+  EXPECT_EQ(max_abs_diff(a.x, b.x), 0.0f);
+  cfg.seed = 77;
+  Dataset c = biodata::make_histology(cfg);
+  EXPECT_GT(max_abs_diff(a.x, c.x), 0.0f);
+}
+
+TEST(Histology, Conv2dClassifierLearns) {
+  biodata::HistologyConfig cfg;
+  cfg.samples = 450;
+  cfg.classes = 3;
+  cfg.image_size = 20;
+  cfg.signal = 3.0f;
+  cfg.seed = 9;
+  Dataset d = biodata::make_histology(cfg);
+  auto [train, test] = split(d, 0.8, 10);
+  Model m;
+  m.add(make_conv2d(8, 5, 2)).add(make_relu());
+  m.add(make_conv2d(16, 3, 2)).add(make_relu());
+  m.add(make_flatten());
+  m.add(make_dense(32)).add(make_relu());
+  m.add(make_dense(cfg.classes));
+  m.build({1, cfg.image_size, cfg.image_size}, 11);
+  SoftmaxCrossEntropy xent;
+  Adam opt(1e-3f);
+  FitOptions fo;
+  fo.epochs = 16;
+  fo.batch_size = 32;
+  fo.seed = 12;
+  fit(m, train, nullptr, xent, opt, fo);
+  EXPECT_GT(accuracy(m.predict(test.x), test.y), 0.8)
+      << "blob constellations must be conv2d-learnable";
+}
+
+TEST(Histology, Validation) {
+  biodata::HistologyConfig bad;
+  bad.classes = 1;
+  EXPECT_THROW(biodata::make_histology(bad), Error);
+  biodata::HistologyConfig tiny;
+  tiny.image_size = 4;
+  EXPECT_THROW(biodata::make_histology(tiny), Error);
+}
+
+}  // namespace
+}  // namespace candle

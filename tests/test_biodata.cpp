@@ -1,0 +1,239 @@
+// Workload-generator tests: shapes, determinism, planted-signal learnability
+// (a small model must beat chance/baseline on each task), and the structural
+// properties each experiment relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "biodata/workloads.hpp"
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace candle {
+namespace {
+
+using namespace biodata;
+
+TEST(DrugResponse, ShapesAndDeterminism) {
+  DrugResponseConfig cfg;
+  cfg.samples = 100;
+  Dataset d1 = make_drug_response(cfg);
+  EXPECT_EQ(d1.x.shape(), (Shape{100, cfg.features()}));
+  EXPECT_EQ(d1.y.shape(), (Shape{100, 1}));
+  Dataset d2 = make_drug_response(cfg);
+  EXPECT_EQ(max_abs_diff(d1.x, d2.x), 0.0f);
+  EXPECT_EQ(max_abs_diff(d1.y, d2.y), 0.0f);
+  cfg.seed = 99;
+  Dataset d3 = make_drug_response(cfg);
+  EXPECT_GT(max_abs_diff(d1.x, d3.x), 0.0f);
+}
+
+TEST(DrugResponse, TargetsBounded) {
+  DrugResponseConfig cfg;
+  cfg.samples = 500;
+  Dataset d = make_drug_response(cfg);
+  // tanh + tanh + noise: |y| <= 2 + a few sigma.
+  EXPECT_LT(d.y.max(), 2.0f + 5.0f * cfg.noise);
+  EXPECT_GT(d.y.min(), -2.0f - 5.0f * cfg.noise);
+  // And the target is not degenerate.
+  EXPECT_GT(d.y.max() - d.y.min(), 1.0f);
+}
+
+TEST(DrugResponse, MlpBeatsMeanPredictor) {
+  DrugResponseConfig cfg;
+  cfg.samples = 1200;
+  cfg.seed = 5;
+  Dataset d = make_drug_response(cfg);
+  auto [train, test] = split(d, 0.8, 6);
+  Standardizer s = Standardizer::fit(train.x);
+  s.apply(train.x);
+  s.apply(test.x);
+
+  Model m;
+  m.add(make_dense(64)).add(make_relu()).add(make_dense(32)).add(make_relu());
+  m.add(make_dense(1));
+  m.build({cfg.features()}, 7);
+  MeanSquaredError mse;
+  Adam opt(1e-3f);
+  FitOptions fo;
+  fo.epochs = 30;
+  fo.batch_size = 64;
+  fo.seed = 8;
+  fit(m, train, nullptr, mse, opt, fo);
+  const double r2 = r2_score(m.predict(test.x), test.y);
+  EXPECT_GT(r2, 0.5) << "planted pathway signal must be learnable";
+}
+
+TEST(TumorType, ShapesAndBalance) {
+  TumorTypeConfig cfg;
+  cfg.samples = 400;
+  cfg.classes = 4;
+  Dataset d = make_tumor_type(cfg);
+  EXPECT_EQ(d.x.shape(), (Shape{400, 1, cfg.profile_length}));
+  EXPECT_EQ(d.y.shape(), (Shape{400}));
+  Index counts[4] = {0, 0, 0, 0};
+  for (Index i = 0; i < 400; ++i) {
+    ++counts[static_cast<Index>(d.y[i])];
+  }
+  for (Index c = 0; c < 4; ++c) EXPECT_EQ(counts[c], 100);
+}
+
+TEST(TumorType, FlatVariantMatchesConvVariant) {
+  TumorTypeConfig cfg;
+  cfg.samples = 50;
+  Dataset conv = make_tumor_type(cfg);
+  Dataset flat = make_tumor_type_flat(cfg);
+  EXPECT_EQ(flat.x.shape(), (Shape{50, cfg.profile_length}));
+  // Same data, different shape.
+  EXPECT_EQ(max_abs_diff(conv.x.reshaped({50, cfg.profile_length}), flat.x),
+            0.0f);
+}
+
+TEST(TumorType, ConvNetLearnsClasses) {
+  TumorTypeConfig cfg;
+  cfg.samples = 600;
+  cfg.classes = 3;
+  cfg.profile_length = 128;
+  cfg.seed = 11;
+  Dataset d = make_tumor_type(cfg);
+  auto [train, test] = split(d, 0.8, 12);
+  Model m;
+  m.add(make_conv1d(8, 7, 2)).add(make_relu()).add(make_maxpool1d(2));
+  m.add(make_flatten()).add(make_dense(32)).add(make_relu());
+  m.add(make_dense(cfg.classes));
+  m.build({1, cfg.profile_length}, 13);
+  SoftmaxCrossEntropy xent;
+  Adam opt(1e-3f);
+  FitOptions fo;
+  fo.epochs = 12;
+  fo.batch_size = 32;
+  fo.seed = 14;
+  fit(m, train, nullptr, xent, opt, fo);
+  const double acc = accuracy(m.predict(test.x), test.y);
+  EXPECT_GT(acc, 0.85) << "contiguous class modules must be conv-learnable";
+}
+
+TEST(Amr, ShapesBinaryFeaturesAndLabels) {
+  AmrConfig cfg;
+  cfg.samples = 300;
+  Dataset d = make_amr(cfg);
+  EXPECT_EQ(d.x.shape(), (Shape{300, cfg.kmers}));
+  EXPECT_EQ(d.y.shape(), (Shape{300, 1}));
+  for (Index i = 0; i < d.x.numel(); ++i) {
+    EXPECT_TRUE(d.x[i] == 0.0f || d.x[i] == 1.0f);
+  }
+  for (Index i = 0; i < d.y.numel(); ++i) {
+    EXPECT_TRUE(d.y[i] == 0.0f || d.y[i] == 1.0f);
+  }
+}
+
+TEST(Amr, LabelsFollowGroundTruthUpToNoise) {
+  AmrConfig cfg;
+  cfg.samples = 1000;
+  cfg.label_noise = 0.0f;
+  Dataset d = make_amr(cfg);
+  Index positives = 0;
+  for (Index i = 0; i < cfg.samples; ++i) {
+    const std::span<const float> row(d.x.data() + i * cfg.kmers,
+                                     static_cast<std::size_t>(cfg.kmers));
+    EXPECT_EQ(d.y.at(i, 0) > 0.5f, amr_ground_truth(cfg, row));
+    positives += d.y.at(i, 0) > 0.5f;
+  }
+  // Both classes must be well represented for AUC experiments.
+  EXPECT_GT(positives, cfg.samples / 10);
+  EXPECT_LT(positives, cfg.samples * 9 / 10);
+}
+
+TEST(Amr, ClassifierReachesHighAuc) {
+  AmrConfig cfg;
+  cfg.samples = 2000;
+  cfg.seed = 21;
+  Dataset d = make_amr(cfg);
+  auto [train, test] = split(d, 0.8, 22);
+  Model m;
+  m.add(make_dense(64)).add(make_relu()).add(make_dense(32)).add(make_relu());
+  m.add(make_dense(1));
+  m.build({cfg.kmers}, 23);
+  BinaryCrossEntropy bce;
+  Adam opt(5e-3f);
+  FitOptions fo;
+  fo.epochs = 40;
+  fo.batch_size = 64;
+  fo.seed = 24;
+  fit(m, train, nullptr, bce, opt, fo);
+  const double auc = roc_auc(m.predict(test.x), test.y);
+  // 5% symmetric label noise caps the reachable AUC below ~0.95.
+  EXPECT_GT(auc, 0.85) << "planted resistance motifs must be detectable";
+}
+
+TEST(CompoundScreen, ImbalanceMatchesConfig) {
+  CompoundScreenConfig cfg;
+  cfg.samples = 3000;
+  cfg.active_fraction = 0.1f;
+  cfg.label_noise = 0.0f;
+  Dataset d = make_compound_screen(cfg);
+  double rate = 0.0;
+  for (Index i = 0; i < cfg.samples; ++i) rate += d.y.at(i, 0);
+  rate /= static_cast<double>(cfg.samples);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(CompoundScreen, DescriptorsInUnitBox) {
+  CompoundScreenConfig cfg;
+  cfg.samples = 200;
+  Dataset d = make_compound_screen(cfg);
+  EXPECT_GE(d.x.min(), 0.0f);
+  EXPECT_LT(d.x.max(), 1.0f);
+}
+
+TEST(CompoundScreen, ScreenModelBeatsChanceAuc) {
+  CompoundScreenConfig cfg;
+  cfg.samples = 3000;
+  cfg.seed = 31;
+  Dataset d = make_compound_screen(cfg);
+  auto [train, test] = split(d, 0.8, 32);
+  Model m;
+  m.add(make_dense(32)).add(make_relu()).add(make_dense(16)).add(make_relu());
+  m.add(make_dense(1));
+  m.build({cfg.descriptors}, 33);
+  BinaryCrossEntropy bce;
+  Adam opt(3e-3f);
+  FitOptions fo;
+  fo.epochs = 25;
+  fo.batch_size = 64;
+  fo.seed = 34;
+  fit(m, train, nullptr, bce, opt, fo);
+  EXPECT_GT(roc_auc(m.predict(test.x), test.y), 0.85);
+}
+
+TEST(WorkloadInfo, ReportsBytes) {
+  DrugResponseConfig dr;
+  EXPECT_EQ(drug_response_info(dr).feature_bytes_per_sample,
+            dr.features() * 4);
+  TumorTypeConfig tt;
+  EXPECT_EQ(tumor_type_info(tt).feature_bytes_per_sample,
+            tt.profile_length * 4);
+  AmrConfig amr;
+  EXPECT_EQ(amr_info(amr).name, "amr_resistance");
+  CompoundScreenConfig cs;
+  EXPECT_EQ(compound_screen_info(cs).task, "binary");
+}
+
+TEST(Generators, RejectInvalidConfigs) {
+  DrugResponseConfig dr;
+  dr.samples = 0;
+  EXPECT_THROW(make_drug_response(dr), Error);
+  TumorTypeConfig tt;
+  tt.classes = 1;
+  EXPECT_THROW(make_tumor_type(tt), Error);
+  AmrConfig amr;
+  amr.mechanisms = 100;
+  EXPECT_THROW(make_amr(amr), Error);
+  CompoundScreenConfig cs;
+  cs.descriptors = 3;
+  EXPECT_THROW(make_compound_screen(cs), Error);
+}
+
+}  // namespace
+}  // namespace candle

@@ -1,0 +1,161 @@
+// Tests for dataset containers, slicing/splitting, batch iteration, and
+// feature standardization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/dataset.hpp"
+
+namespace candle {
+namespace {
+
+Dataset counting_dataset(Index n, Index f) {
+  Dataset d{Tensor({n, f}), Tensor({n})};
+  for (Index i = 0; i < n; ++i) {
+    d.y[i] = static_cast<float>(i);
+    for (Index j = 0; j < f; ++j) d.x.at(i, j) = static_cast<float>(i * f + j);
+  }
+  return d;
+}
+
+TEST(Dataset, SizeAndSampleShape) {
+  Dataset d = counting_dataset(10, 3);
+  EXPECT_EQ(d.size(), 10);
+  EXPECT_EQ(d.sample_shape(), (Shape{3}));
+}
+
+TEST(Dataset, SliceCopiesRows) {
+  Dataset d = counting_dataset(10, 2);
+  Dataset s = slice(d, 3, 6);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.x.at(0, 0), 6.0f);
+  EXPECT_EQ(s.y[2], 5.0f);
+  EXPECT_THROW(slice(d, 5, 3), Error);
+  EXPECT_THROW(slice(d, 0, 11), Error);
+}
+
+TEST(Dataset, GatherReordersRows) {
+  Dataset d = counting_dataset(5, 1);
+  std::vector<Index> idx = {4, 0, 2};
+  Dataset g = gather(d, idx);
+  EXPECT_EQ(g.y[0], 4.0f);
+  EXPECT_EQ(g.y[1], 0.0f);
+  EXPECT_EQ(g.y[2], 2.0f);
+  std::vector<Index> bad = {7};
+  EXPECT_THROW(gather(d, bad), Error);
+}
+
+TEST(Dataset, SplitIsPartition) {
+  Dataset d = counting_dataset(100, 1);
+  auto [a, b] = split(d, 0.8, 42);
+  EXPECT_EQ(a.size(), 80);
+  EXPECT_EQ(b.size(), 20);
+  std::set<float> seen;
+  for (Index i = 0; i < a.size(); ++i) seen.insert(a.y[i]);
+  for (Index i = 0; i < b.size(); ++i) seen.insert(b.y[i]);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Dataset, SplitIsDeterministic) {
+  Dataset d = counting_dataset(50, 1);
+  auto [a1, b1] = split(d, 0.5, 7);
+  auto [a2, b2] = split(d, 0.5, 7);
+  EXPECT_EQ(max_abs_diff(a1.y, a2.y), 0.0f);
+  auto [a3, b3] = split(d, 0.5, 8);
+  EXPECT_GT(max_abs_diff(a1.y, a3.y), 0.0f);  // different seed, different mix
+}
+
+TEST(BatchIterator, CoversEpochExactly) {
+  Dataset d = counting_dataset(10, 1);
+  BatchIterator it(d, 3, /*shuffle=*/false, 0);
+  EXPECT_EQ(it.batches_per_epoch(), 4);
+  std::multiset<float> seen;
+  for (Index b = 0; b < 4; ++b) {
+    Dataset batch = it.next();
+    for (Index i = 0; i < batch.size(); ++i) seen.insert(batch.y[i]);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(it.epoch(), 0);
+  it.next();
+  EXPECT_EQ(it.epoch(), 1);
+}
+
+TEST(BatchIterator, LastBatchIsShort) {
+  Dataset d = counting_dataset(10, 1);
+  BatchIterator it(d, 4, false, 0);
+  EXPECT_EQ(it.next().size(), 4);
+  EXPECT_EQ(it.next().size(), 4);
+  EXPECT_EQ(it.next().size(), 2);
+}
+
+TEST(BatchIterator, ShuffleChangesOrderButNotContent) {
+  Dataset d = counting_dataset(64, 1);
+  BatchIterator it(d, 64, true, 5);
+  Dataset e1 = it.next();
+  Dataset e2 = it.next();
+  // Same multiset of rows.
+  std::multiset<float> s1, s2;
+  for (Index i = 0; i < 64; ++i) {
+    s1.insert(e1.y[i]);
+    s2.insert(e2.y[i]);
+  }
+  EXPECT_EQ(s1, s2);
+  // Different order across epochs (probability of equality ~ 1/64!).
+  EXPECT_GT(max_abs_diff(e1.y, e2.y), 0.0f);
+}
+
+TEST(BatchIterator, DeterministicForSeed) {
+  Dataset d = counting_dataset(32, 1);
+  BatchIterator i1(d, 8, true, 9), i2(d, 8, true, 9);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(max_abs_diff(i1.next().y, i2.next().y), 0.0f);
+  }
+}
+
+TEST(BatchIterator, RejectsBadArguments) {
+  Dataset d = counting_dataset(4, 1);
+  EXPECT_THROW(BatchIterator(d, 0, false, 0), Error);
+  Dataset empty{Tensor({0, 2}), Tensor({0})};
+  EXPECT_THROW(BatchIterator(empty, 1, false, 0), Error);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Pcg32 rng(11);
+  Tensor x = Tensor::randn({500, 4}, rng, 3.0f, 2.5f);
+  Standardizer s = Standardizer::fit(x);
+  s.apply(x);
+  for (Index j = 0; j < 4; ++j) {
+    double mean = 0, sq = 0;
+    for (Index i = 0; i < 500; ++i) {
+      mean += x.at(i, j);
+      sq += static_cast<double>(x.at(i, j)) * x.at(i, j);
+    }
+    mean /= 500;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 500 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(Standardizer, ConstantFeatureIsSafe) {
+  Tensor x({3, 2}, {5, 1, 5, 2, 5, 3});
+  Standardizer s = Standardizer::fit(x);
+  s.apply(x);
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_EQ(x.at(i, 0), 0.0f);  // centred, unit scale, no NaN
+    EXPECT_TRUE(std::isfinite(x.at(i, 1)));
+  }
+}
+
+TEST(Standardizer, ApplyToNewDataUsesTrainStatistics) {
+  Tensor train({2, 1}, {0.0f, 2.0f});  // mean 1, std 1
+  Standardizer s = Standardizer::fit(train);
+  Tensor test({1, 1}, {3.0f});
+  s.apply(test);
+  EXPECT_FLOAT_EQ(test[0], 2.0f);
+  Tensor wrong({1, 3});
+  EXPECT_THROW(s.apply(wrong), Error);
+}
+
+}  // namespace
+}  // namespace candle

@@ -1,0 +1,233 @@
+// Unit + property tests for reduced-precision format emulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/formats.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle {
+namespace {
+
+TEST(Formats, NamesAndBits) {
+  EXPECT_EQ(precision_name(Precision::FP64), "fp64");
+  EXPECT_EQ(precision_name(Precision::FP16), "fp16");
+  EXPECT_EQ(precision_bits(Precision::FP64), 64);
+  EXPECT_EQ(precision_bits(Precision::BF16), 16);
+  EXPECT_EQ(precision_bits(Precision::INT8), 8);
+  EXPECT_EQ(all_precisions().size(), 5u);
+}
+
+TEST(Half, ExactValuesRoundTrip) {
+  for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f,
+                  6.103515625e-05f /* smallest normal */}) {
+    EXPECT_EQ(half_bits_to_float(float_to_half_bits(f)), f) << f;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3c00);
+  EXPECT_EQ(float_to_half_bits(-2.0f), 0xc000);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7bff);  // max finite half
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_EQ(float_to_half_bits(70000.0f), 0x7c00);
+  EXPECT_EQ(float_to_half_bits(-70000.0f), 0xfc00);
+  EXPECT_TRUE(std::isinf(round_fp16(1e10f)));
+  EXPECT_TRUE(std::isinf(round_fp16(std::numeric_limits<float>::infinity())));
+}
+
+TEST(Half, NanPreserved) {
+  EXPECT_TRUE(std::isnan(round_fp16(std::nanf(""))));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float smallest_sub = 5.960464477539063e-08f;  // 2^-24
+  EXPECT_EQ(round_fp16(smallest_sub), smallest_sub);
+  // Below half the smallest subnormal flushes to zero.
+  EXPECT_EQ(round_fp16(smallest_sub / 4.0f), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // must round to even mantissa, i.e. 1.0.
+  EXPECT_EQ(round_fp16(1.0f + 4.8828125e-4f), 1.0f);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: even neighbour is 1+2^-9.
+  EXPECT_EQ(round_fp16(1.0f + 3 * 4.8828125e-4f), 1.0f + 2 * 9.765625e-4f);
+}
+
+TEST(Half, RelativeErrorBounded) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.normal(0.0, 10.0));
+    const float r = round_fp16(x);
+    if (x != 0.0f && std::abs(x) > 1e-4f) {
+      EXPECT_LE(std::abs(r - x) / std::abs(x),
+                precision_epsilon(Precision::FP16));
+    }
+  }
+}
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f,
+                  1.7014118346046923e+38f /* 2^127 */,
+                  1.1754944e-38f /* smallest fp32 normal, exact in bf16 */}) {
+    EXPECT_EQ(round_bf16(f), f) << f;
+  }
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  Pcg32 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.normal(0.0, 1e6));
+    const float r = round_bf16(x);
+    if (x != 0.0f) {
+      EXPECT_LE(std::abs(r - x) / std::abs(x),
+                precision_epsilon(Precision::BF16));
+    }
+  }
+}
+
+TEST(Bf16, NanSurvivesTruncation) {
+  EXPECT_TRUE(std::isnan(round_bf16(std::nanf(""))));
+  EXPECT_TRUE(std::isinf(round_bf16(std::numeric_limits<float>::infinity())));
+}
+
+TEST(Bf16, RoundToNearestEvenAtHalfway) {
+  // 1.0 has bf16 bits 0x3f80; halfway to next representable (0x3f81 -> float
+  // bits 0x3f810000) is float bits 0x3f808000.
+  const float halfway = __builtin_bit_cast(float, 0x3f808000u);
+  EXPECT_EQ(round_bf16(halfway), 1.0f);  // ties to even (0x3f80)
+}
+
+TEST(StochasticRounding, IsUnbiasedFp16) {
+  Pcg32 rng(7);
+  const float x = 1.0f + 0.3f * 9.765625e-4f;  // 30% of the way up a ulp
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += round_fp16_stochastic(x, rng);
+  EXPECT_NEAR(sum / n, static_cast<double>(x), 5e-5);
+}
+
+TEST(StochasticRounding, IsUnbiasedBf16) {
+  Pcg32 rng(8);
+  const float x = 1.0f + 0.7f * 0.0078125f;  // between bf16 representables
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += round_bf16_stochastic(x, rng);
+  EXPECT_NEAR(sum / n, static_cast<double>(x), 5e-4);
+}
+
+TEST(StochasticRounding, ExactValuesPassThrough) {
+  Pcg32 rng(9);
+  EXPECT_EQ(round_fp16_stochastic(1.0f, rng), 1.0f);
+  EXPECT_EQ(round_bf16_stochastic(2.0f, rng), 2.0f);
+  EXPECT_EQ(round_fp16_stochastic(0.0f, rng), 0.0f);
+}
+
+TEST(Int8, QuantizeDequantizeBoundedError) {
+  Pcg32 rng(10);
+  std::vector<float> x(1000);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 3.0));
+  const QuantizedTensor q = quantize_int8(x);
+  float amax = 0.0f;
+  for (float v : x) amax = std::max(amax, std::abs(v));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::abs(q.dequant(i) - x[i]), 0.5f * amax / 127.0f + 1e-6f);
+  }
+}
+
+TEST(Int8, ZeroTensorHasUnitScale) {
+  std::vector<float> x(10, 0.0f);
+  const QuantizedTensor q = quantize_int8(x);
+  EXPECT_EQ(q.scale, 1.0f);
+  for (auto v : q.values) EXPECT_EQ(v, 0);
+}
+
+TEST(Int8, SymmetricRange) {
+  std::vector<float> x = {-10.0f, 10.0f};
+  const QuantizedTensor q = quantize_int8(x);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(q.values[1], 127);
+}
+
+TEST(RoundThrough, Fp32IsIdentity) {
+  Pcg32 rng(11);
+  std::vector<float> x(100);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  std::vector<float> orig = x;
+  round_through(Precision::FP32, x);
+  EXPECT_EQ(x, orig);
+  round_through(Precision::FP64, x);
+  EXPECT_EQ(x, orig);
+}
+
+TEST(RoundThrough, ReducedFormatsLoseInformation) {
+  std::vector<float> x = {1.000244140625f};  // 1 + 2^-12: below fp16 ulp at 1
+  auto fp16 = rounded_copy(Precision::FP16, x);
+  EXPECT_EQ(fp16[0], 1.0f);
+  auto bf16 = rounded_copy(Precision::BF16, x);
+  EXPECT_EQ(bf16[0], 1.0f);
+}
+
+// Property sweep: round_through is idempotent for every format.
+class RoundThroughIdempotent : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(RoundThroughIdempotent, RoundingTwiceEqualsOnce) {
+  Pcg32 rng(12);
+  std::vector<float> x(512);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 5.0));
+  auto once = rounded_copy(GetParam(), x);
+  auto twice = rounded_copy(GetParam(), once);
+  // INT8 re-quantizes with a new scale; the scale is preserved because the
+  // max element is exactly representable, so idempotence still holds.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(once[i], twice[i], 1e-6f) << precision_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, RoundThroughIdempotent,
+                         ::testing::Values(Precision::FP64, Precision::FP32,
+                                           Precision::BF16, Precision::FP16,
+                                           Precision::INT8),
+                         [](const auto& pinfo) {
+                           return precision_name(pinfo.param);
+                         });
+
+// Property sweep: monotonicity — rounding preserves order of well-separated
+// values for every format.
+class RoundThroughMonotone : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(RoundThroughMonotone, PreservesOrderOfSeparatedValues) {
+  std::vector<float> x;
+  for (int i = -20; i <= 20; ++i) x.push_back(static_cast<float>(i) * 0.5f);
+  auto r = rounded_copy(GetParam(), x);
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_LE(r[i - 1], r[i]) << precision_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, RoundThroughMonotone,
+                         ::testing::Values(Precision::FP64, Precision::FP32,
+                                           Precision::BF16, Precision::FP16,
+                                           Precision::INT8),
+                         [](const auto& pinfo) {
+                           return precision_name(pinfo.param);
+                         });
+
+// Exhaustive: every finite half round-trips bit-exactly through float.
+TEST(Half, AllFiniteHalvesRoundTripExhaustively) {
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = half_bits_to_float(h);
+    if (std::isnan(f)) continue;  // NaN payloads may be quieted
+    EXPECT_EQ(float_to_half_bits(f), h) << std::hex << bits;
+  }
+}
+
+}  // namespace
+}  // namespace candle

@@ -1,0 +1,351 @@
+// Unit + property tests for the dense kernels: all GEMM tiers agree with the
+// naive reference across shapes/transposes, GEMV matches GEMM, im2col/col2im
+// are mutually adjoint, and precision-emulated GEMM obeys format error bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle {
+namespace {
+
+Tensor random_matrix(Index r, Index c, Pcg32& rng) {
+  return Tensor::randn({r, c}, rng);
+}
+
+// ---- GEMM agreement across tiers, shapes and transpose combinations --------
+
+using GemmCase = std::tuple<int, int, int, Op, Op>;
+
+class GemmAgreement : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmAgreement, BlockedAndParallelMatchNaive) {
+  const auto [m, n, k, op_a, op_b] = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(m * 73856093 ^ n * 19349663 ^ k));
+  const Index ar = op_a == Op::None ? m : k;
+  const Index ac = op_a == Op::None ? k : m;
+  const Index br = op_b == Op::None ? k : n;
+  const Index bc = op_b == Op::None ? n : k;
+  Tensor a = random_matrix(ar, ac, rng);
+  Tensor b = random_matrix(br, bc, rng);
+  Tensor c0 = random_matrix(m, n, rng);
+  Tensor c1 = c0;
+  Tensor c2 = c0;
+
+  const float alpha = 1.3f, beta = -0.4f;
+  gemm_naive(op_a, op_b, m, n, k, alpha, a.data(), ac, b.data(), bc, beta,
+             c0.data(), n);
+  gemm_serial(op_a, op_b, m, n, k, alpha, a.data(), ac, b.data(), bc, beta,
+              c1.data(), n);
+  gemm(op_a, op_b, m, n, k, alpha, a.data(), ac, b.data(), bc, beta,
+       c2.data(), n);
+
+  const float tol = 1e-3f * static_cast<float>(k);
+  EXPECT_LE(max_abs_diff(c0, c1), tol);
+  EXPECT_LE(max_abs_diff(c0, c2), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTransposes, GemmAgreement,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Op::None, Op::None},
+        GemmCase{3, 5, 7, Op::None, Op::None},
+        GemmCase{3, 5, 7, Op::Transpose, Op::None},
+        GemmCase{3, 5, 7, Op::None, Op::Transpose},
+        GemmCase{3, 5, 7, Op::Transpose, Op::Transpose},
+        GemmCase{64, 64, 64, Op::None, Op::None},
+        GemmCase{64, 64, 64, Op::Transpose, Op::Transpose},
+        GemmCase{1, 128, 300, Op::None, Op::None},
+        GemmCase{128, 1, 300, Op::None, Op::Transpose},
+        GemmCase{100, 100, 1, Op::None, Op::None},
+        GemmCase{129, 65, 257, Op::None, Op::None},   // crosses parallel cutoff
+        GemmCase{129, 65, 257, Op::Transpose, Op::None}));
+
+TEST(Gemm, ZeroKClearsOrScalesC) {
+  Tensor c = Tensor::full({2, 2}, 3.0f);
+  gemm(Op::None, Op::None, 2, 2, 0, 1.0f, nullptr, 0, nullptr, 0, 0.5f,
+       c.data(), 2);
+  for (Index i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 1.5f);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  Pcg32 rng(2);
+  Tensor a = random_matrix(4, 4, rng);
+  Tensor b = random_matrix(4, 4, rng);
+  Tensor c({4, 4}, std::vector<float>(16, std::nanf("")));
+  gemm(Op::None, Op::None, 4, 4, 4, 1.0f, a.data(), 4, b.data(), 4, 0.0f,
+       c.data(), 4);
+  for (Index i = 0; i < 16; ++i) EXPECT_FALSE(std::isnan(c[i]));
+}
+
+TEST(Gemm, NegativeDimensionThrows) {
+  EXPECT_THROW(gemm(Op::None, Op::None, -1, 2, 2, 1.0f, nullptr, 0, nullptr,
+                    0, 0.0f, nullptr, 0),
+               Error);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Pcg32 rng(3);
+  Tensor a = random_matrix(8, 8, rng);
+  Tensor eye = Tensor::zeros({8, 8});
+  for (Index i = 0; i < 8; ++i) eye.at(i, i) = 1.0f;
+  Tensor c = matmul(a, eye);
+  EXPECT_LE(max_abs_diff(c, a), 1e-6f);
+}
+
+// ---- GEMV -------------------------------------------------------------------
+
+TEST(Gemv, MatchesGemmNoTranspose) {
+  Pcg32 rng(4);
+  const Index m = 17, n = 23;
+  Tensor a = random_matrix(m, n, rng);
+  Tensor x = Tensor::randn({n}, rng);
+  Tensor y = Tensor::randn({m}, rng);
+  Tensor y_ref = y;
+  gemv(Op::None, m, n, 2.0f, a.data(), n, x.data(), 0.5f, y.data());
+  gemm_naive(Op::None, Op::None, m, 1, n, 2.0f, a.data(), n, x.data(), 1,
+             0.5f, y_ref.data(), 1);
+  EXPECT_LE(max_abs_diff(y, y_ref), 1e-4f);
+}
+
+TEST(Gemv, MatchesGemmTranspose) {
+  Pcg32 rng(5);
+  const Index m = 11, n = 19;  // op(A) is m x n, stored n x m
+  Tensor a = random_matrix(n, m, rng);
+  Tensor x = Tensor::randn({n}, rng);
+  Tensor y = Tensor::zeros({m});
+  Tensor y_ref = Tensor::zeros({m});
+  gemv(Op::Transpose, m, n, 1.0f, a.data(), m, x.data(), 0.0f, y.data());
+  gemm_naive(Op::Transpose, Op::None, m, 1, n, 1.0f, a.data(), m, x.data(),
+             1, 0.0f, y_ref.data(), 1);
+  EXPECT_LE(max_abs_diff(y, y_ref), 1e-4f);
+}
+
+// ---- matmul wrappers ---------------------------------------------------------
+
+TEST(Matmul, ShapeValidation) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  EXPECT_THROW(matmul(a, b), Error);
+  Tensor c({2, 5});
+  EXPECT_THROW(matmul_into(c, a, Op::None, b, Op::None), Error);
+  Tensor b2({3, 5});
+  Tensor bad_c({3, 5});
+  EXPECT_THROW(matmul_into(bad_c, a, Op::None, b2, Op::None), Error);
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, TransposeVariantsAgreeWithExplicitTranspose) {
+  Pcg32 rng(6);
+  Tensor a = random_matrix(4, 6, rng);
+  Tensor b = random_matrix(4, 5, rng);
+  // C = A^T B : (6x4)(4x5) -> 6x5
+  Tensor c({6, 5});
+  matmul_into(c, a, Op::Transpose, b, Op::None);
+  Tensor at({6, 4});
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 6; ++j) at.at(j, i) = a.at(i, j);
+  Tensor c_ref = matmul(at, b);
+  EXPECT_LE(max_abs_diff(c, c_ref), 1e-4f);
+}
+
+// ---- precision-emulated GEMM -------------------------------------------------
+
+class EmulatedGemm : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(EmulatedGemm, ErrorScalesWithFormatEpsilon) {
+  const Precision prec = GetParam();
+  Pcg32 rng(7);
+  const Index m = 32, n = 24, k = 48;
+  Tensor a = random_matrix(m, k, rng);
+  Tensor b = random_matrix(k, n, rng);
+  Tensor exact({m, n});
+  Tensor approx({m, n});
+  matmul_into(exact, a, Op::None, b, Op::None);
+  gemm_emulated(prec, Op::None, Op::None, m, n, k, 1.0f, a.data(), k,
+                b.data(), n, 0.0f, approx.data(), n);
+  // Rounded inputs with exact fp32 accumulation: elementwise error is
+  // bounded by ~ 2*eps * sum|a||b| <= 2*eps*k*max|a|*max|b|.
+  const float bound = 3.0f * precision_epsilon(prec) * static_cast<float>(k) *
+                          a.flat()[static_cast<std::size_t>(
+                              std::abs(a.argmax()))] // loose cap below
+                      + 1e-4f;
+  (void)bound;
+  const float amax = std::max(std::abs(a.min()), a.max());
+  const float bmax = std::max(std::abs(b.min()), b.max());
+  const float tol =
+      3.0f * precision_epsilon(prec) * static_cast<float>(k) * amax * bmax +
+      1e-4f;
+  EXPECT_LE(max_abs_diff(exact, approx), tol) << precision_name(prec);
+  if (prec == Precision::FP32 || prec == Precision::FP64) {
+    EXPECT_EQ(max_abs_diff(exact, approx), 0.0f);
+  } else {
+    // Reduced formats must actually perturb the result (sanity that the
+    // emulation path is active).
+    EXPECT_GT(max_abs_diff(exact, approx), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, EmulatedGemm,
+                         ::testing::Values(Precision::FP64, Precision::FP32,
+                                           Precision::BF16, Precision::FP16,
+                                           Precision::INT8),
+                         [](const auto& pinfo) {
+                           return precision_name(pinfo.param);
+                         });
+
+TEST(EmulatedGemmTranspose, HandlesTransposedOperands) {
+  Pcg32 rng(8);
+  const Index m = 8, n = 6, k = 10;
+  Tensor a = random_matrix(k, m, rng);  // will be used transposed
+  Tensor b = random_matrix(k, n, rng);
+  Tensor exact({m, n});
+  Tensor approx({m, n});
+  gemm(Op::Transpose, Op::None, m, n, k, 1.0f, a.data(), m, b.data(), n, 0.0f,
+       exact.data(), n);
+  gemm_emulated(Precision::BF16, Op::Transpose, Op::None, m, n, k, 1.0f,
+                a.data(), m, b.data(), n, 0.0f, approx.data(), n);
+  EXPECT_LE(max_abs_diff(exact, approx), 0.1f);
+  EXPECT_GT(max_abs_diff(exact, approx), 0.0f);
+}
+
+TEST(Int8Gemm, ExactForSmallIntegers) {
+  // Integer-valued inputs within [-127, 127] with max 127 are exactly
+  // representable, so int8 GEMM is exact.
+  Tensor a({2, 3}, {1, -2, 3, 4, 5, -6});
+  Tensor b({3, 2}, {7, 8, 9, -10, 11, 12});
+  // Force scale=1 by planting 127 magnitude entries.
+  Tensor a2({2, 4}, {1, -2, 3, 127, 4, 5, -6, 0});
+  Tensor b2({4, 2}, {7, 8, 9, -10, 11, 12, 0, 127});
+  Tensor c({2, 2});
+  gemm_int8(2, 2, 4, a2.data(), b2.data(), c.data());
+  Tensor c_ref({2, 2});
+  gemm_naive(Op::None, Op::None, 2, 2, 4, 1.0f, a2.data(), 4, b2.data(), 2,
+             0.0f, c_ref.data(), 2);
+  EXPECT_LE(max_abs_diff(c, c_ref), 1e-3f);
+}
+
+// ---- im2col / col2im ----------------------------------------------------------
+
+TEST(Im2col1d, KnownSmallCase) {
+  // 1 channel, length 5, kernel 3, stride 1 -> 3x3 columns.
+  std::vector<float> x = {0, 1, 2, 3, 4};
+  std::vector<float> cols(9, -1.0f);
+  im2col_1d(x.data(), 1, 5, 3, 1, cols.data());
+  // Row t holds x[j + t] for output position j.
+  const std::vector<float> expect = {0, 1, 2, 1, 2, 3, 2, 3, 4};
+  EXPECT_EQ(cols, expect);
+}
+
+TEST(Im2col1d, StrideTwo) {
+  std::vector<float> x = {0, 1, 2, 3, 4, 5, 6};
+  const Index lout = conv_out_length(7, 3, 2);
+  EXPECT_EQ(lout, 3);
+  std::vector<float> cols(static_cast<std::size_t>(3 * lout));
+  im2col_1d(x.data(), 1, 7, 3, 2, cols.data());
+  const std::vector<float> expect = {0, 2, 4, 1, 3, 5, 2, 4, 6};
+  EXPECT_EQ(cols, expect);
+}
+
+TEST(ConvOutLength, Validation) {
+  EXPECT_EQ(conv_out_length(10, 3, 1), 8);
+  EXPECT_EQ(conv_out_length(10, 3, 3), 3);
+  EXPECT_THROW(conv_out_length(2, 3, 1), Error);
+  EXPECT_THROW(conv_out_length(5, 0, 1), Error);
+  EXPECT_THROW(conv_out_length(5, 3, 0), Error);
+}
+
+// Adjointness property: <im2col(x), y> == <x, col2im(y)> for all x, y.
+// This is exactly the identity that makes conv backward correct.
+class ColAdjoint1d
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ColAdjoint1d, InnerProductsMatch) {
+  const auto [channels, length, kernel, stride] = GetParam();
+  Pcg32 rng(13);
+  const Index lout = conv_out_length(length, kernel, stride);
+  const std::size_t xn = static_cast<std::size_t>(channels * length);
+  const std::size_t cn = static_cast<std::size_t>(channels * kernel * lout);
+  std::vector<float> x(xn), y(cn), cols(cn), xback(xn, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  im2col_1d(x.data(), channels, length, kernel, stride, cols.data());
+  col2im_1d(y.data(), channels, length, kernel, stride, xback.data());
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < cn; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::size_t i = 0; i < xn; ++i) rhs += static_cast<double>(x[i]) * xback[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ColAdjoint1d,
+    ::testing::Values(std::tuple{1, 8, 3, 1}, std::tuple{3, 16, 5, 1},
+                      std::tuple{2, 20, 4, 2}, std::tuple{4, 9, 3, 3},
+                      std::tuple{1, 3, 3, 1}, std::tuple{5, 32, 7, 2}));
+
+class ColAdjoint2d
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(ColAdjoint2d, InnerProductsMatch) {
+  const auto [channels, height, width, kernel, stride] = GetParam();
+  Pcg32 rng(14);
+  const Index hout = conv_out_length(height, kernel, stride);
+  const Index wout = conv_out_length(width, kernel, stride);
+  const std::size_t xn = static_cast<std::size_t>(channels * height * width);
+  const std::size_t cn =
+      static_cast<std::size_t>(channels * kernel * kernel * hout * wout);
+  std::vector<float> x(xn), y(cn), cols(cn), xback(xn, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  im2col_2d(x.data(), channels, height, width, kernel, stride, cols.data());
+  col2im_2d(y.data(), channels, height, width, kernel, stride, xback.data());
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < cn; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::size_t i = 0; i < xn; ++i) rhs += static_cast<double>(x[i]) * xback[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ColAdjoint2d,
+    ::testing::Values(std::tuple{1, 6, 6, 3, 1}, std::tuple{3, 8, 10, 3, 1},
+                      std::tuple{2, 9, 9, 3, 2}, std::tuple{1, 5, 5, 5, 1},
+                      std::tuple{4, 12, 8, 4, 2}));
+
+TEST(Im2col2d, ConvViaGemmMatchesDirectConvolution) {
+  // Convolve a 1-channel 4x4 image with one 2x2 filter via im2col+GEMM and
+  // compare to the hand-rolled direct form.
+  Pcg32 rng(15);
+  Tensor img = Tensor::randn({1, 4, 4}, rng);
+  Tensor filt = Tensor::randn({1, 2, 2}, rng);
+  const Index hout = 3, wout = 3;
+  std::vector<float> cols(static_cast<std::size_t>(4 * hout * wout));
+  im2col_2d(img.data(), 1, 4, 4, 2, 1, cols.data());
+  Tensor out({hout * wout});
+  gemm_naive(Op::None, Op::None, 1, hout * wout, 4, 1.0f, filt.data(), 4,
+             cols.data(), hout * wout, 0.0f, out.data(), hout * wout);
+  for (Index oy = 0; oy < hout; ++oy) {
+    for (Index ox = 0; ox < wout; ++ox) {
+      float direct = 0.0f;
+      for (Index ky = 0; ky < 2; ++ky)
+        for (Index kx = 0; kx < 2; ++kx)
+          direct += img.at(0, oy + ky, ox + kx) * filt.at(0, ky, kx);
+      EXPECT_NEAR(out[oy * wout + ox], direct, 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace candle

@@ -1,0 +1,372 @@
+// Layer tests: every trainable layer passes a central-difference gradient
+// check on both its input and its parameters; stateless layers are checked
+// for exact functional behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace candle {
+namespace {
+
+// Scalar test functional: f = sum(mask ⊙ layer(x)).  Its input gradient is
+// layer.backward(mask); parameter gradients land in layer.grads().
+double functional(Layer& layer, const Tensor& x, const Tensor& mask) {
+  const Tensor y = layer.forward(x, /*training=*/false);
+  double f = 0.0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    f += static_cast<double>(y[i]) * static_cast<double>(mask[i]);
+  }
+  return f;
+}
+
+struct GradCheckResult {
+  double max_input_err = 0.0;
+  double max_param_err = 0.0;
+};
+
+// Central differences with fp32-appropriate epsilon; errors are reported
+// relative to max(1, |analytic|).
+GradCheckResult gradient_check(Layer& layer, const Shape& sample_shape,
+                               Index batch, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  Shape xs = sample_shape;
+  xs.insert(xs.begin(), batch);
+  Tensor x = Tensor::randn(xs, rng);
+
+  // One forward to learn the output shape, then a fixed random mask.
+  const Tensor y0 = layer.forward(x, false);
+  Tensor mask = Tensor::randn(y0.shape(), rng);
+
+  // Analytic gradients.
+  layer.forward(x, false);
+  const Tensor dx = layer.backward(mask);
+  std::vector<Tensor> param_grads;
+  for (Tensor* g : layer.grads()) param_grads.push_back(*g);
+
+  GradCheckResult res;
+  const float eps = 1e-2f;
+
+  // Input gradient, every element.
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double fp = functional(layer, x, mask);
+    x[i] = orig - eps;
+    const double fm = functional(layer, x, mask);
+    x[i] = orig;
+    const double num = (fp - fm) / (2.0 * static_cast<double>(eps));
+    const double err = std::abs(num - static_cast<double>(dx[i])) /
+                       std::max(1.0, std::abs(num));
+    res.max_input_err = std::max(res.max_input_err, err);
+  }
+
+  // Parameter gradients, every element.
+  const auto params = layer.params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& w = *params[p];
+    for (Index i = 0; i < w.numel(); ++i) {
+      const float orig = w[i];
+      w[i] = orig + eps;
+      const double fp = functional(layer, x, mask);
+      w[i] = orig - eps;
+      const double fm = functional(layer, x, mask);
+      w[i] = orig;
+      const double num = (fp - fm) / (2.0 * static_cast<double>(eps));
+      const double err =
+          std::abs(num - static_cast<double>(param_grads[p][i])) /
+          std::max(1.0, std::abs(num));
+      res.max_param_err = std::max(res.max_param_err, err);
+    }
+  }
+  return res;
+}
+
+Layer& built(std::unique_ptr<Layer>& layer, const Shape& sample_shape,
+             std::uint64_t seed = 1) {
+  Pcg32 rng(seed);
+  layer->build(sample_shape, rng);
+  return *layer;
+}
+
+constexpr double kTol = 2e-2;  // fp32 central differences
+
+TEST(GradCheck, Dense) {
+  auto layer = make_dense(5);
+  auto res = gradient_check(built(layer, {7}), {7}, 3, 11);
+  EXPECT_LT(res.max_input_err, kTol);
+  EXPECT_LT(res.max_param_err, kTol);
+}
+
+TEST(GradCheck, DenseSingleUnit) {
+  auto layer = make_dense(1);
+  auto res = gradient_check(built(layer, {4}), {4}, 2, 12);
+  EXPECT_LT(res.max_input_err, kTol);
+  EXPECT_LT(res.max_param_err, kTol);
+}
+
+TEST(GradCheck, ReLU) {
+  // Shift inputs away from the kink to keep finite differences valid.
+  auto layer = make_relu();
+  built(layer, {6});
+  Pcg32 rng(13);
+  Tensor x = Tensor::randn({4, 6}, rng, 0.0f, 1.0f);
+  for (float& v : x.flat()) {
+    if (std::abs(v) < 0.1f) v += v >= 0 ? 0.2f : -0.2f;
+  }
+  Tensor mask = Tensor::randn({4, 6}, rng);
+  layer->forward(x, false);
+  const Tensor dx = layer->backward(mask);
+  const float eps = 1e-3f;
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double fp = functional(*layer, x, mask);
+    x[i] = orig - eps;
+    const double fm = functional(*layer, x, mask);
+    x[i] = orig;
+    const double num = (fp - fm) / (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(dx[i], num, 1e-2) << i;
+  }
+}
+
+TEST(GradCheck, Sigmoid) {
+  auto layer = make_sigmoid();
+  auto res = gradient_check(built(layer, {5}), {5}, 3, 14);
+  EXPECT_LT(res.max_input_err, kTol);
+}
+
+TEST(GradCheck, Tanh) {
+  auto layer = make_tanh();
+  auto res = gradient_check(built(layer, {5}), {5}, 3, 15);
+  EXPECT_LT(res.max_input_err, kTol);
+}
+
+TEST(GradCheck, Conv1D) {
+  auto layer = make_conv1d(3, 3, 1);
+  auto res = gradient_check(built(layer, {2, 10}), {2, 10}, 2, 16);
+  EXPECT_LT(res.max_input_err, kTol);
+  EXPECT_LT(res.max_param_err, kTol);
+}
+
+TEST(GradCheck, Conv1DStrided) {
+  auto layer = make_conv1d(2, 4, 2);
+  auto res = gradient_check(built(layer, {3, 12}), {3, 12}, 2, 17);
+  EXPECT_LT(res.max_input_err, kTol);
+  EXPECT_LT(res.max_param_err, kTol);
+}
+
+TEST(GradCheck, Conv2D) {
+  auto layer = make_conv2d(2, 3, 1);
+  auto res = gradient_check(built(layer, {2, 6, 6}), {2, 6, 6}, 2, 18);
+  EXPECT_LT(res.max_input_err, kTol);
+  EXPECT_LT(res.max_param_err, kTol);
+}
+
+TEST(GradCheck, Conv2DStrided) {
+  auto layer = make_conv2d(3, 2, 2);
+  auto res = gradient_check(built(layer, {1, 8, 8}), {1, 8, 8}, 2, 19);
+  EXPECT_LT(res.max_input_err, kTol);
+  EXPECT_LT(res.max_param_err, kTol);
+}
+
+TEST(GradCheck, Flatten) {
+  auto layer = make_flatten();
+  auto res = gradient_check(built(layer, {2, 3, 4}), {2, 3, 4}, 2, 20);
+  EXPECT_LT(res.max_input_err, 1e-6);
+}
+
+TEST(Dense, ShapeAndBiasBehaviour) {
+  auto layer = make_dense(3);
+  Pcg32 rng(21);
+  const Shape out = layer->build({4}, rng);
+  EXPECT_EQ(out, (Shape{3}));
+  // Zero weights: output equals bias broadcast.
+  auto* dense = dynamic_cast<Dense*>(layer.get());
+  ASSERT_NE(dense, nullptr);
+  for (Tensor* p : layer->params()) p->fill(0.0f);
+  layer->params()[1]->at(1) = 2.5f;  // bias[1]
+  Tensor x = Tensor::randn({2, 4}, rng);
+  Tensor y = layer->forward(x, false);
+  EXPECT_EQ(y.at(0, 1), 2.5f);
+  EXPECT_EQ(y.at(1, 1), 2.5f);
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+}
+
+TEST(Dense, RejectsWrongInputRank) {
+  auto layer = make_dense(3);
+  Pcg32 rng(22);
+  EXPECT_THROW(layer->build({2, 3}, rng), Error);
+  auto layer2 = make_dense(3);
+  layer2->build({4}, rng);
+  EXPECT_THROW(layer2->forward(Tensor({2, 5}), false), Error);
+}
+
+TEST(Activations, KnownValues) {
+  auto relu = make_relu();
+  Pcg32 rng(23);
+  relu->build({3}, rng);
+  Tensor x({1, 3}, {-1.0f, 0.0f, 2.0f});
+  Tensor y = relu->forward(x, false);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+
+  auto sig = make_sigmoid();
+  sig->build({1}, rng);
+  Tensor z({1, 1}, {0.0f});
+  EXPECT_FLOAT_EQ(sig->forward(z, false)[0], 0.5f);
+
+  auto th = make_tanh();
+  th->build({1}, rng);
+  EXPECT_FLOAT_EQ(th->forward(z, false)[0], 0.0f);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  auto layer = make_dropout(0.5f);
+  Pcg32 rng(24);
+  layer->build({10}, rng);
+  Tensor x = Tensor::randn({4, 10}, rng);
+  Tensor y = layer->forward(x, /*training=*/false);
+  EXPECT_EQ(max_abs_diff(x, y), 0.0f);
+  // Backward after inference is identity too.
+  Tensor dy = Tensor::randn({4, 10}, rng);
+  EXPECT_EQ(max_abs_diff(layer->backward(dy), dy), 0.0f);
+}
+
+TEST(Dropout, TrainingPreservesExpectation) {
+  auto layer = make_dropout(0.3f);
+  Pcg32 rng(25);
+  layer->build({100}, rng);
+  Tensor x = Tensor::ones({50, 100});
+  double sum = 0.0;
+  const int reps = 40;
+  Index zeros = 0;
+  for (int r = 0; r < reps; ++r) {
+    Tensor y = layer->forward(x, true);
+    sum += static_cast<double>(y.sum());
+    for (Index i = 0; i < y.numel(); ++i) zeros += y[i] == 0.0f;
+  }
+  const double total = 50.0 * 100.0 * reps;
+  EXPECT_NEAR(sum / total, 1.0, 0.02);                 // inverted scaling
+  EXPECT_NEAR(static_cast<double>(zeros) / total, 0.3, 0.02);  // drop rate
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  auto layer = make_dropout(0.5f);
+  Pcg32 rng(26);
+  layer->build({20}, rng);
+  Tensor x = Tensor::ones({2, 20});
+  Tensor y = layer->forward(x, true);
+  Tensor dy = Tensor::ones({2, 20});
+  Tensor dx = layer->backward(dy);
+  // dx must be zero exactly where y is zero and 2.0 where y survived.
+  for (Index i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      EXPECT_EQ(dx[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(dx[i], 2.0f);
+    }
+  }
+}
+
+TEST(Dropout, RejectsBadRate) {
+  EXPECT_THROW(Dropout(1.0f), Error);
+  EXPECT_THROW(Dropout(-0.1f), Error);
+}
+
+TEST(MaxPool1D, ForwardSelectsMaxima) {
+  auto layer = make_maxpool1d(2);
+  Pcg32 rng(27);
+  const Shape out = layer->build({1, 6}, rng);
+  EXPECT_EQ(out, (Shape{1, 3}));
+  Tensor x({1, 1, 6}, {1, 5, 2, 2, 9, 0});
+  Tensor y = layer->forward(x, false);
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 2.0f);
+  EXPECT_EQ(y[2], 9.0f);
+}
+
+TEST(MaxPool1D, BackwardRoutesToArgmax) {
+  auto layer = make_maxpool1d(2);
+  Pcg32 rng(28);
+  layer->build({1, 4}, rng);
+  Tensor x({1, 1, 4}, {1, 5, 7, 2});
+  layer->forward(x, false);
+  Tensor dy({1, 1, 2}, {10.0f, 20.0f});
+  Tensor dx = layer->backward(dy);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 10.0f);
+  EXPECT_EQ(dx[2], 20.0f);
+  EXPECT_EQ(dx[3], 0.0f);
+}
+
+TEST(MaxPool1D, GradCheckAwayFromTies) {
+  auto layer = make_maxpool1d(2);
+  built(layer, {2, 8}, 29);
+  Pcg32 rng(30);
+  // Well-separated values avoid argmax flips under perturbation.
+  Tensor x({1, 2, 8});
+  for (Index i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i % 7) * 1.5f + 0.1f * rng.next_float();
+  }
+  Tensor mask = Tensor::randn({1, 2, 4}, rng);
+  layer->forward(x, false);
+  Tensor dx = layer->backward(mask);
+  const float eps = 1e-3f;
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double fp = functional(*layer, x, mask);
+    x[i] = orig - eps;
+    const double fm = functional(*layer, x, mask);
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (fp - fm) / (2.0 * static_cast<double>(eps)), 1e-2);
+  }
+}
+
+TEST(Conv1D, OutputShape) {
+  auto layer = make_conv1d(4, 3, 2);
+  Pcg32 rng(31);
+  const Shape out = layer->build({2, 11}, rng);
+  EXPECT_EQ(out, (Shape{4, 5}));
+  EXPECT_GT(layer->flops_per_sample(), 0.0);
+}
+
+TEST(Conv1D, MatchesManualConvolution) {
+  auto layer = make_conv1d(1, 2, 1);
+  Pcg32 rng(32);
+  layer->build({1, 4}, rng);
+  // Set weights manually: w = [1, -1], b = 0.5.
+  layer->params()[0]->copy_from(Tensor({1, 2}, {1.0f, -1.0f}));
+  layer->params()[1]->copy_from(Tensor({1}, {0.5f}));
+  Tensor x({1, 1, 4}, {3, 1, 4, 1});
+  Tensor y = layer->forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3 - 1 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 1 - 4 + 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 4 - 1 + 0.5f);
+}
+
+TEST(Conv2D, OutputShape) {
+  auto layer = make_conv2d(8, 3, 1);
+  Pcg32 rng(33);
+  const Shape out = layer->build({3, 10, 12}, rng);
+  EXPECT_EQ(out, (Shape{8, 8, 10}));
+}
+
+TEST(LayerPrecision, ReducedPrecisionChangesDenseOutput) {
+  auto layer = make_dense(16);
+  Pcg32 rng(34);
+  layer->build({32}, rng);
+  Tensor x = Tensor::randn({64, 32}, rng);  // big enough to hit rounding
+  Tensor y32 = layer->forward(x, false);
+  layer->set_precision(Precision::FP16);
+  Tensor y16 = layer->forward(x, false);
+  EXPECT_GT(max_abs_diff(y32, y16), 0.0f);
+  EXPECT_LT(max_abs_diff(y32, y16), 0.1f);  // but not wrecked
+}
+
+}  // namespace
+}  // namespace candle

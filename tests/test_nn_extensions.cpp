@@ -1,0 +1,451 @@
+// Tests for the extended nn feature set: normalization layers (gradient
+// checks + statistics), new activations, LR schedules, weight decay,
+// gradient clipping, early stopping, and weight serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/norm.hpp"
+#include "nn/schedule.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace candle {
+namespace {
+
+// ---- BatchNorm ------------------------------------------------------------------
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  auto bn = make_batchnorm();
+  Pcg32 rng(1);
+  bn->build({5}, rng);
+  Tensor x = Tensor::randn({64, 5}, rng, 3.0f, 2.0f);
+  Tensor y = bn->forward(x, /*training=*/true);
+  for (Index f = 0; f < 5; ++f) {
+    double mean = 0, sq = 0;
+    for (Index i = 0; i < 64; ++i) {
+      mean += y.at(i, f);
+      sq += static_cast<double>(y.at(i, f)) * y.at(i, f);
+    }
+    mean /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 64 - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeAndDriveInference) {
+  auto bn = make_batchnorm(0.5f);
+  Pcg32 rng(2);
+  bn->build({3}, rng);
+  for (int it = 0; it < 40; ++it) {
+    Tensor x = Tensor::randn({128, 3}, rng, 4.0f, 3.0f);
+    bn->forward(x, true);
+  }
+  auto* layer = dynamic_cast<BatchNorm*>(bn.get());
+  ASSERT_NE(layer, nullptr);
+  for (Index f = 0; f < 3; ++f) {
+    EXPECT_NEAR(layer->running_mean()[f], 4.0f, 0.5f);
+    EXPECT_NEAR(layer->running_var()[f], 9.0f, 1.5f);
+  }
+  // Inference on in-distribution data normalizes approximately.
+  Tensor x = Tensor::randn({256, 3}, rng, 4.0f, 3.0f);
+  Tensor y = bn->forward(x, false);
+  EXPECT_NEAR(y.mean(), 0.0f, 0.1f);
+}
+
+TEST(BatchNorm, GradCheck) {
+  auto bn = make_batchnorm();
+  Pcg32 rng(3);
+  bn->build({4}, rng);
+  Tensor x = Tensor::randn({8, 4}, rng);
+  Tensor mask = Tensor::randn({8, 4}, rng);
+  bn->forward(x, true);
+  const Tensor dx = bn->backward(mask);
+  // Central differences through the full training forward.
+  const float eps = 1e-2f;
+  auto f = [&](Tensor& xt) {
+    const Tensor y = bn->forward(xt, true);
+    double s = 0;
+    for (Index i = 0; i < y.numel(); ++i) {
+      s += static_cast<double>(y[i]) * mask[i];
+    }
+    return s;
+  };
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double fp = f(x);
+    x[i] = orig - eps;
+    const double fm = f(x);
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (fp - fm) / (2.0 * static_cast<double>(eps)), 3e-2)
+        << i;
+  }
+}
+
+TEST(BatchNorm, RejectsTinyTrainingBatch) {
+  auto bn = make_batchnorm();
+  Pcg32 rng(4);
+  bn->build({2}, rng);
+  EXPECT_THROW(bn->forward(Tensor({1, 2}), true), Error);
+  // Inference on a single sample is fine.
+  bn->forward(Tensor({4, 2}), true);
+  EXPECT_NO_THROW(bn->forward(Tensor({1, 2}), false));
+}
+
+// ---- LayerNorm ------------------------------------------------------------------
+
+TEST(LayerNorm, NormalizesEachSample) {
+  auto ln = make_layernorm();
+  Pcg32 rng(5);
+  ln->build({16}, rng);
+  Tensor x = Tensor::randn({4, 16}, rng, -2.0f, 5.0f);
+  Tensor y = ln->forward(x, true);
+  for (Index i = 0; i < 4; ++i) {
+    double mean = 0, sq = 0;
+    for (Index f = 0; f < 16; ++f) {
+      mean += y.at(i, f);
+      sq += static_cast<double>(y.at(i, f)) * y.at(i, f);
+    }
+    mean /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 16 - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, IndependentOfBatchComposition) {
+  // The same sample normalizes identically regardless of its batch — the
+  // property BatchNorm loses under strong scaling.
+  auto ln = make_layernorm();
+  Pcg32 rng(6);
+  ln->build({8}, rng);
+  Tensor sample = Tensor::randn({1, 8}, rng);
+  const Tensor alone = ln->forward(sample, true);
+  Tensor batch({4, 8});
+  for (Index f = 0; f < 8; ++f) batch.at(0, f) = sample.at(0, f);
+  const Tensor together = ln->forward(batch, true);
+  for (Index f = 0; f < 8; ++f) {
+    EXPECT_FLOAT_EQ(alone.at(0, f), together.at(0, f));
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  auto ln = make_layernorm();
+  Pcg32 rng(7);
+  ln->build({6}, rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  Tensor mask = Tensor::randn({3, 6}, rng);
+  ln->forward(x, true);
+  const Tensor dx = ln->backward(mask);
+  const float eps = 1e-2f;
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const Tensor yp = ln->forward(x, true);
+    double fp = 0;
+    for (Index j = 0; j < yp.numel(); ++j) {
+      fp += static_cast<double>(yp[j]) * mask[j];
+    }
+    x[i] = orig - eps;
+    const Tensor ym = ln->forward(x, true);
+    double fm = 0;
+    for (Index j = 0; j < ym.numel(); ++j) {
+      fm += static_cast<double>(ym[j]) * mask[j];
+    }
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (fp - fm) / (2.0 * static_cast<double>(eps)), 3e-2);
+  }
+}
+
+TEST(Norms, TrainableInsideModel) {
+  // A batchnormed MLP should fit the XOR-style blobs fine.
+  Pcg32 rng(8);
+  Tensor x = Tensor::randn({128, 4}, rng);
+  Tensor y({128});
+  for (Index i = 0; i < 128; ++i) {
+    y[i] = (x.at(i, 0) * x.at(i, 1) > 0) ? 1.0f : 0.0f;
+  }
+  Model m;
+  m.add(make_dense(16)).add(make_batchnorm()).add(make_relu());
+  m.add(make_dense(2));
+  m.build({4}, 9);
+  SoftmaxCrossEntropy xent;
+  Adam opt(0.01f);
+  float loss = 0;
+  for (int s = 0; s < 150; ++s) loss = m.train_batch(x, y, xent, opt);
+  EXPECT_LT(loss, 0.3f);
+  EXPECT_GT(accuracy(m.predict(x), y), 0.85);
+}
+
+// ---- new activations ---------------------------------------------------------------
+
+struct ActCase {
+  Activation fn;
+  float x, y;  // expected forward value
+};
+
+class NewActivations : public ::testing::TestWithParam<ActCase> {};
+
+TEST_P(NewActivations, ForwardValues) {
+  const auto [fn, xin, expected] = GetParam();
+  auto layer = make_activation(fn);
+  Pcg32 rng(10);
+  layer->build({1}, rng);
+  Tensor x({1, 1}, {xin});
+  EXPECT_NEAR(layer->forward(x, false)[0], expected, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, NewActivations,
+    ::testing::Values(ActCase{Activation::LeakyReLU, 2.0f, 2.0f},
+                      ActCase{Activation::LeakyReLU, -2.0f, -0.02f},
+                      ActCase{Activation::Elu, 1.5f, 1.5f},
+                      ActCase{Activation::Elu, -1e9f, -1.0f},
+                      ActCase{Activation::Softplus, 0.0f, 0.6931472f},
+                      ActCase{Activation::Softplus, 100.0f, 100.0f}));
+
+class NewActivationGrad : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(NewActivationGrad, MatchesFiniteDifference) {
+  auto layer = make_activation(GetParam());
+  Pcg32 rng(11);
+  layer->build({8}, rng);
+  Tensor x = Tensor::randn({4, 8}, rng);
+  // Keep clear of the LeakyReLU kink.
+  for (float& v : x.flat()) {
+    if (std::abs(v) < 0.05f) v += 0.1f;
+  }
+  Tensor mask = Tensor::randn({4, 8}, rng);
+  layer->forward(x, false);
+  const Tensor dx = layer->backward(mask);
+  const float eps = 1e-3f;
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    auto f = [&] {
+      const Tensor y = layer->forward(x, false);
+      double s = 0;
+      for (Index j = 0; j < y.numel(); ++j) {
+        s += static_cast<double>(y[j]) * mask[j];
+      }
+      return s;
+    };
+    x[i] = orig + eps;
+    const double fp = f();
+    x[i] = orig - eps;
+    const double fm = f();
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (fp - fm) / (2.0 * static_cast<double>(eps)), 1e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fns, NewActivationGrad,
+                         ::testing::Values(Activation::LeakyReLU,
+                                           Activation::Elu,
+                                           Activation::Softplus),
+                         [](const auto& pinfo) {
+                           return activation_name(pinfo.param);
+                         });
+
+// ---- schedules ------------------------------------------------------------------
+
+TEST(Schedules, StepDecay) {
+  StepDecay s(10, 0.5f);
+  EXPECT_FLOAT_EQ(s.lr(0, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr(9, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr(10, 1.0f), 0.5f);
+  EXPECT_FLOAT_EQ(s.lr(25, 1.0f), 0.25f);
+  EXPECT_THROW(StepDecay(0, 0.5f), Error);
+  EXPECT_THROW(StepDecay(5, 1.5f), Error);
+}
+
+TEST(Schedules, ExponentialDecay) {
+  ExponentialDecay e(0.9f);
+  EXPECT_FLOAT_EQ(e.lr(0, 2.0f), 2.0f);
+  EXPECT_NEAR(e.lr(10, 2.0f), 2.0f * std::pow(0.9f, 10.0f), 1e-5f);
+  EXPECT_THROW(ExponentialDecay(0.0f), Error);
+}
+
+TEST(Schedules, WarmupCosineShape) {
+  WarmupCosine w(5, 50, 0.1f);
+  // Linear ramp over warmup.
+  EXPECT_FLOAT_EQ(w.lr(0, 1.0f), 0.2f);
+  EXPECT_FLOAT_EQ(w.lr(4, 1.0f), 1.0f);
+  // Peak at end of warmup, monotone decay after.
+  float prev = w.lr(5, 1.0f);
+  for (Index e = 6; e < 50; ++e) {
+    const float cur = w.lr(e, 1.0f);
+    EXPECT_LE(cur, prev + 1e-6f);
+    prev = cur;
+  }
+  // Lands at the floor.
+  EXPECT_NEAR(w.lr(49, 1.0f), 0.1f, 0.02f);
+  EXPECT_THROW(WarmupCosine(10, 5), Error);
+}
+
+TEST(Schedules, DriveFitAndRestoreBaseLr) {
+  Pcg32 rng(12);
+  Dataset d{Tensor::randn({64, 4}, rng), Tensor::randn({64, 1}, rng)};
+  Model m;
+  m.add(make_dense(4)).add(make_dense(1));
+  m.build({4}, 13);
+  MeanSquaredError mse;
+  Sgd opt(0.1f);
+  auto sched = make_step_decay(2, 0.1f);
+  FitOptions fo;
+  fo.epochs = 5;
+  fo.batch_size = 16;
+  fo.lr_schedule = sched.get();
+  fit(m, d, nullptr, mse, opt, fo);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);  // restored
+}
+
+// ---- weight decay + clipping ---------------------------------------------------------
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Tensor w({1}, {1.0f});
+  Tensor g({1}, {0.0f});
+  Sgd sgd(0.1f);
+  sgd.set_weight_decay(0.5f);
+  std::vector<Tensor*> ps{&w}, gs{&g};
+  sgd.step(ps, gs);
+  // g becomes 0.5*1.0; w -= 0.1*0.5.
+  EXPECT_FLOAT_EQ(w[0], 0.95f);
+  EXPECT_THROW(sgd.set_weight_decay(-1.0f), Error);
+}
+
+TEST(Optimizer, GradientClipBoundsGlobalNorm) {
+  Tensor w1({2}, {0.0f, 0.0f}), w2({2}, {0.0f, 0.0f});
+  Tensor g1({2}, {3.0f, 0.0f}), g2({2}, {0.0f, 4.0f});  // global norm 5
+  Sgd sgd(1.0f);
+  sgd.set_gradient_clip(1.0f);
+  std::vector<Tensor*> ps{&w1, &w2}, gs{&g1, &g2};
+  sgd.step(ps, gs);
+  // Clipped to norm 1: g = (0.6, 0, 0, 0.8); w = -g.
+  EXPECT_NEAR(w1[0], -0.6f, 1e-6f);
+  EXPECT_NEAR(w2[1], -0.8f, 1e-6f);
+  // Under the threshold nothing changes.
+  Tensor w3({1}, {0.0f});
+  Tensor g3({1}, {0.5f});
+  Sgd sgd2(1.0f);
+  sgd2.set_gradient_clip(1.0f);
+  std::vector<Tensor*> ps3{&w3}, gs3{&g3};
+  sgd2.step(ps3, gs3);
+  EXPECT_FLOAT_EQ(w3[0], -0.5f);
+}
+
+TEST(Optimizer, WeightDecayImprovesNoisyGeneralization) {
+  // Pure-noise targets: decayed weights should end smaller.
+  Pcg32 rng(14);
+  Dataset d{Tensor::randn({64, 8}, rng), Tensor::randn({64, 1}, rng)};
+  auto make = [&] {
+    Model m;
+    m.add(make_dense(16)).add(make_relu()).add(make_dense(1));
+    m.build({8}, 15);
+    return m;
+  };
+  Model plain = make(), decayed = make();
+  MeanSquaredError mse;
+  Adam o1(0.01f), o2(0.01f);
+  o2.set_weight_decay(0.05f);
+  for (int s = 0; s < 100; ++s) {
+    plain.train_batch(d.x, d.y, mse, o1);
+    decayed.train_batch(d.x, d.y, mse, o2);
+  }
+  std::vector<float> wp(static_cast<std::size_t>(plain.num_params()));
+  std::vector<float> wd(wp.size());
+  plain.copy_weights_to(wp);
+  decayed.copy_weights_to(wd);
+  double np = 0, nd = 0;
+  for (std::size_t i = 0; i < wp.size(); ++i) {
+    np += static_cast<double>(wp[i]) * wp[i];
+    nd += static_cast<double>(wd[i]) * wd[i];
+  }
+  EXPECT_LT(nd, np);
+}
+
+// ---- early stopping ------------------------------------------------------------------
+
+TEST(EarlyStopping, HaltsWhenValidationStalls) {
+  Pcg32 rng(16);
+  // Targets are pure noise: validation loss cannot keep improving.
+  Dataset train{Tensor::randn({64, 4}, rng), Tensor::randn({64, 1}, rng)};
+  Dataset val{Tensor::randn({32, 4}, rng), Tensor::randn({32, 1}, rng)};
+  Model m;
+  m.add(make_dense(32)).add(make_relu()).add(make_dense(1));
+  m.build({4}, 17);
+  MeanSquaredError mse;
+  Adam opt(0.01f);
+  FitOptions fo;
+  fo.epochs = 200;
+  fo.batch_size = 16;
+  fo.early_stop_patience = 3;
+  const FitHistory h = fit(m, train, &val, mse, opt, fo);
+  EXPECT_LT(h.train_loss.size(), 200u) << "early stopping never fired";
+}
+
+// ---- serialization ------------------------------------------------------------------
+
+TEST(Serialize, RoundTripsWeights) {
+  const std::string path = "/tmp/candle_test_ckpt.bin";
+  Pcg32 rng(18);
+  Model m;
+  m.add(make_dense(8)).add(make_batchnorm()).add(make_relu());
+  m.add(make_dense(3));
+  m.build({5}, 19);
+  Tensor x = Tensor::randn({4, 5}, rng);
+  const Tensor before = m.forward(x);
+  save_weights(m, path);
+
+  Model m2;
+  m2.add(make_dense(8)).add(make_batchnorm()).add(make_relu());
+  m2.add(make_dense(3));
+  m2.build({5}, 999);  // different init
+  load_weights(m2, path);
+  EXPECT_EQ(max_abs_diff(m2.forward(x), before), 0.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  const std::string path = "/tmp/candle_test_ckpt2.bin";
+  Model m;
+  m.add(make_dense(8)).add(make_dense(3));
+  m.build({5}, 20);
+  save_weights(m, path);
+
+  Model wrong;
+  wrong.add(make_dense(9)).add(make_dense(3));
+  wrong.build({5}, 21);
+  EXPECT_THROW(load_weights(wrong, path), Error);
+
+  Model wrong_count;
+  wrong_count.add(make_dense(8));
+  wrong_count.build({5}, 22);
+  EXPECT_THROW(load_weights(wrong_count, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsGarbageFiles) {
+  const std::string path = "/tmp/candle_test_ckpt3.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  Model m;
+  m.add(make_dense(2));
+  m.build({2}, 23);
+  EXPECT_THROW(load_weights(m, path), Error);
+  EXPECT_THROW(load_weights(m, "/nonexistent/path.bin"), Error);
+  Model unbuilt;
+  unbuilt.add(make_dense(2));
+  EXPECT_THROW(save_weights(unbuilt, path), Error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace candle

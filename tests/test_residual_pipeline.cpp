@@ -1,0 +1,172 @@
+// Tests for the Residual block (gradient check, shape contract, precision
+// propagation) and the executable pipeline forward executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+#include "nn/residual.hpp"
+#include "nn/trainer.hpp"
+#include "parallel/pipeline_exec.hpp"
+
+namespace candle {
+namespace {
+
+// ---- Residual ------------------------------------------------------------------
+
+TEST(Residual, ForwardAddsSkipPath) {
+  auto block = std::make_unique<Residual>();
+  block->add(make_dense(4));
+  Pcg32 rng(1);
+  block->build({4}, rng);
+  // Zero inner weights: y must equal x exactly (pure skip).
+  for (Tensor* p : block->params()) p->fill(0.0f);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  EXPECT_EQ(max_abs_diff(block->forward(x, false), x), 0.0f);
+}
+
+TEST(Residual, RejectsShapeChangingInner) {
+  auto block = std::make_unique<Residual>();
+  block->add(make_dense(5));  // 4 -> 5 breaks the skip addition
+  Pcg32 rng(2);
+  EXPECT_THROW(block->build({4}, rng), Error);
+  auto empty = std::make_unique<Residual>();
+  EXPECT_THROW(empty->build({4}, rng), Error);
+}
+
+TEST(Residual, GradCheck) {
+  auto block = make_residual_mlp_block(5);
+  Pcg32 rng(3);
+  block->build({5}, rng);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  Tensor mask = Tensor::randn({3, 5}, rng);
+  block->forward(x, false);
+  const Tensor dx = block->backward(mask);
+  const float eps = 1e-2f;
+  auto f = [&] {
+    const Tensor y = block->forward(x, false);
+    double s = 0;
+    for (Index i = 0; i < y.numel(); ++i) {
+      s += static_cast<double>(y[i]) * mask[i];
+    }
+    return s;
+  };
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double fp = f();
+    x[i] = orig - eps;
+    const double fm = f();
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (fp - fm) / (2.0 * static_cast<double>(eps)), 2e-2);
+  }
+}
+
+TEST(Residual, TrainsDeepStack) {
+  // 6 residual blocks deep: must still train (plain 12-layer tanh MLPs of
+  // this width often stall; the skip path keeps gradients alive).
+  Pcg32 rng(4);
+  Tensor x = Tensor::randn({128, 8}, rng);
+  Tensor y({128});
+  for (Index i = 0; i < 128; ++i) {
+    y[i] = x.at(i, 0) * x.at(i, 1) > 0 ? 1.0f : 0.0f;
+  }
+  Model m;
+  m.add(make_dense(16)).add(make_relu());
+  for (int b = 0; b < 6; ++b) m.add(make_residual_mlp_block(16));
+  m.add(make_dense(2));
+  m.build({8}, 5);
+  SoftmaxCrossEntropy xent;
+  Adam opt(3e-3f);
+  float loss = 0;
+  for (int s = 0; s < 200; ++s) loss = m.train_batch(x, y, xent, opt);
+  EXPECT_LT(loss, 0.35f);
+  EXPECT_GT(accuracy(m.predict(x), y), 0.85);
+}
+
+TEST(Residual, PrecisionPropagatesToInnerLayers) {
+  auto block = make_residual_mlp_block(8);
+  Pcg32 rng(6);
+  block->build({8}, rng);
+  Model m;
+  m.add(std::move(block));
+  // build() was already called on the block; Model::add then build would
+  // double-build, so test propagation directly on a fresh model instead.
+  Model m2;
+  m2.add(make_residual_mlp_block(8));
+  m2.build({8}, 7);
+  m2.set_compute_precision(Precision::BF16);
+  Tensor x = Tensor::randn({32, 8}, rng, 0.0f, 2.0f);
+  Model m3;
+  m3.add(make_residual_mlp_block(8));
+  m3.build({8}, 7);
+  const Tensor y32 = m3.forward(x);
+  const Tensor y16 = m2.forward(x);
+  EXPECT_GT(max_abs_diff(y32, y16), 0.0f)
+      << "bf16 must reach the inner Dense layers";
+}
+
+TEST(Residual, FlopsAndParamsAggregate) {
+  Model m;
+  m.add(make_residual_mlp_block(16));
+  m.build({16}, 8);
+  EXPECT_EQ(m.num_params(), 2 * (16 * 16 + 16));
+  EXPECT_DOUBLE_EQ(m.flops_per_sample(), 2.0 * 2.0 * 16.0 * 16.0);
+  EXPECT_NE(m.summary().find("residual("), std::string::npos);
+}
+
+// ---- pipeline executor ------------------------------------------------------------
+
+Model pipeline_model(std::uint64_t seed) {
+  Model m;
+  m.add(make_dense(32)).add(make_relu());
+  m.add(make_dense(24)).add(make_relu());
+  m.add(make_dense(16)).add(make_relu());
+  m.add(make_dense(4));
+  m.build({12}, seed);
+  return m;
+}
+
+class PipelineExec : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineExec, MatchesSerialForward) {
+  const auto [stages, microbatch] = GetParam();
+  Model m = pipeline_model(11);
+  const auto plan = parallel::balance_stages(m, stages);
+  Pcg32 rng(12);
+  Tensor x = Tensor::randn({37, 12}, rng);  // deliberately uneven batch
+  const Tensor serial = m.forward(x);
+  parallel::PipelineRunStats stats;
+  const Tensor piped =
+      parallel::pipeline_forward(m, plan, x, microbatch, &stats);
+  EXPECT_EQ(max_abs_diff(serial, piped), 0.0f);
+  EXPECT_EQ(stats.stages, stages);
+  EXPECT_EQ(stats.microbatches, (37 + microbatch - 1) / microbatch);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PipelineExec,
+                         ::testing::Values(std::tuple{1, 8},
+                                           std::tuple{2, 8},
+                                           std::tuple{4, 8},
+                                           std::tuple{4, 1},
+                                           std::tuple{4, 64},
+                                           std::tuple{7, 5}));
+
+TEST(PipelineExecEdge, Validation) {
+  Model m = pipeline_model(13);
+  const auto plan = parallel::balance_stages(m, 2);
+  Pcg32 rng(14);
+  Tensor x = Tensor::randn({8, 12}, rng);
+  EXPECT_THROW(parallel::pipeline_forward(m, plan, x, 0), Error);
+  Model other = pipeline_model(15);
+  Model tiny;
+  tiny.add(make_dense(2));
+  tiny.build({12}, 16);
+  const auto tiny_plan = parallel::balance_stages(tiny, 1);
+  EXPECT_THROW(parallel::pipeline_forward(m, tiny_plan, x, 4), Error);
+}
+
+}  // namespace
+}  // namespace candle

@@ -1,0 +1,218 @@
+// Unit tests for the runtime substrate: RNG determinism and statistics,
+// thread-pool semantics, parallel_for correctness under nesting/contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/error.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, NextBelowRespectsBound) {
+  Pcg32 rng(1);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Pcg32, DoublesInUnitInterval) {
+  Pcg32 rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, NormalHasUnitVariance) {
+  Pcg32 rng(9);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Pcg32, SplitProducesIndependentStreams) {
+  Pcg32 parent(5);
+  Pcg32 c1 = parent.split(1);
+  Pcg32 c2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += c1.next_u32() == c2.next_u32();
+  EXPECT_LT(same, 5);
+  // Splitting is deterministic.
+  Pcg32 parent2(5);
+  Pcg32 c1b = parent2.split(1);
+  Pcg32 c1r = Pcg32(5).split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1b.next_u32(), c1r.next_u32());
+}
+
+TEST(Pcg32, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Pcg32 rng(11);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);  // still a permutation
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  const std::int64_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 64, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // Inner loop must still cover its range even though it cannot
+      // re-enter the pool.
+      std::int64_t inner = 0;
+      parallel_for(0, 100, 10, [&](std::int64_t a, std::int64_t b) {
+        inner += b - a;
+      });
+      total += inner;
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 100);
+}
+
+TEST(ParallelFor, ConcurrentExternalCallersAllComplete) {
+  // Several non-pool threads race to use the pool; losers degrade to serial.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::int64_t> sums(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::atomic<std::int64_t> sum{0};
+      parallel_for(0, 10000, 100, [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t s = 0;
+        for (std::int64_t i = lo; i < hi; ++i) s += i;
+        sum += s;
+      });
+      sums[t] = sum.load();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sums[t], 10000LL * 9999 / 2) << "thread " << t;
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  // `hi > 500` triggers both when the range is chunked (some chunk crosses
+  // 500) and when the loop degrades to a single serial call over the whole
+  // range (single-core machines).
+  EXPECT_THROW(
+      parallel_for(0, 1000, 10,
+                   [&](std::int64_t, std::int64_t hi) {
+                     if (hi > 500) throw Error("boom");
+                   }),
+      Error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  parallel_for(0, 100, 10, [&](std::int64_t lo, std::int64_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RunOnAllExecutesEverywhere) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::set<unsigned> indices;
+  std::mutex mu;
+  pool.run_on_all([&](unsigned idx) {
+    count.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    indices.insert(idx);
+  });
+  EXPECT_EQ(count.load(), 4);  // 3 workers + caller
+  EXPECT_EQ(indices, (std::set<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ZeroWorkersRunsOnCaller) {
+  ThreadPool pool(0);
+  // A pool explicitly constructed with 0 workers still runs the body once.
+  int runs = 0;
+  pool.run_on_all([&](unsigned idx) {
+    EXPECT_EQ(idx, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, SurvivesManyGenerations) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int g = 0; g < 200; ++g) {
+    pool.run_on_all([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200 * 3);
+}
+
+TEST(CheckMacro, ThrowsWithMessage) {
+  try {
+    CANDLE_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(sw.seconds(), 0.0);
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LE(sw.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace candle

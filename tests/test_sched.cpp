@@ -1,0 +1,222 @@
+// Scheduler + campaign tests: event-simulator invariants (no
+// oversubscription, FIFO ordering, backfill improvements) and asynchronous
+// HPO campaign behaviour (slot reuse, trajectory monotonicity, search
+// parallelism speedup).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpo/objectives.hpp"
+#include "sched/campaign.hpp"
+#include "sched/cluster.hpp"
+
+namespace candle::sched {
+namespace {
+
+TEST(Cluster, SingleJobRunsImmediately) {
+  ClusterSim sim(4, SchedulePolicy::Fifo);
+  const Index id = sim.submit(2, 10.0);
+  sim.run();
+  const Job& j = sim.job(id);
+  EXPECT_EQ(j.start_s, 0.0);
+  EXPECT_EQ(j.finish_s, 10.0);
+  EXPECT_EQ(sim.makespan(), 10.0);
+  EXPECT_NEAR(sim.utilization(), 0.5, 1e-12);
+  EXPECT_EQ(sim.mean_wait_s(), 0.0);
+}
+
+TEST(Cluster, SerializesWhenMachineIsFull) {
+  ClusterSim sim(4, SchedulePolicy::Fifo);
+  sim.submit(4, 5.0);
+  sim.submit(4, 5.0);
+  sim.run();
+  EXPECT_EQ(sim.job(0).start_s, 0.0);
+  EXPECT_EQ(sim.job(1).start_s, 5.0);
+  EXPECT_EQ(sim.makespan(), 10.0);
+  EXPECT_NEAR(sim.utilization(), 1.0, 1e-12);
+}
+
+TEST(Cluster, RunsJobsConcurrentlyWhenTheyFit) {
+  ClusterSim sim(8, SchedulePolicy::Fifo);
+  for (int i = 0; i < 4; ++i) sim.submit(2, 10.0);
+  sim.run();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sim.job(i).start_s, 0.0);
+  EXPECT_EQ(sim.makespan(), 10.0);
+}
+
+TEST(Cluster, NeverOversubscribes) {
+  // Property: at any event time, running jobs' nodes <= total nodes.
+  ClusterSim sim(7, SchedulePolicy::Backfill);
+  Pcg32 rng(5);
+  for (int i = 0; i < 60; ++i) {
+    sim.submit(1 + static_cast<Index>(rng.next_below(7)),
+               1.0 + 10.0 * rng.next_double(), 5.0 * rng.next_double());
+  }
+  sim.run();
+  // Check overlap load at each job start.
+  for (const Job& a : sim.jobs()) {
+    Index load = 0;
+    for (const Job& b : sim.jobs()) {
+      if (b.start_s <= a.start_s && a.start_s < b.finish_s) load += b.nodes;
+    }
+    EXPECT_LE(load, 7) << "oversubscribed at t=" << a.start_s;
+    EXPECT_GE(a.start_s, a.submit_s);
+    EXPECT_EQ(a.finish_s, a.start_s + a.duration_s);
+  }
+}
+
+TEST(Cluster, FifoRespectsHeadOfLine) {
+  // A wide job at the head must block later narrow jobs under FIFO.
+  ClusterSim sim(4, SchedulePolicy::Fifo);
+  sim.submit(4, 10.0, 0.0);  // head occupies everything
+  sim.submit(4, 10.0, 1.0);  // second wide job queues
+  sim.submit(1, 1.0, 2.0);   // narrow latecomer
+  sim.run();
+  EXPECT_GE(sim.job(2).start_s, sim.job(1).start_s);  // no overtaking
+}
+
+TEST(Cluster, BackfillImprovesUtilization) {
+  // Same trace under FIFO vs backfill: backfill must not be worse.
+  const auto build = [](SchedulePolicy p) {
+    ClusterSim sim(8, p);
+    sim.submit(6, 10.0, 0.0);  // leaves 2 nodes idle
+    sim.submit(8, 10.0, 0.5);  // queued wide job -> shadow at t=10
+    for (int i = 0; i < 6; ++i) sim.submit(2, 2.0, 1.0);  // backfillable
+    sim.run();
+    return sim.makespan();
+  };
+  const double fifo = build(SchedulePolicy::Fifo);
+  const double backfill = build(SchedulePolicy::Backfill);
+  EXPECT_LE(backfill, fifo);
+  EXPECT_LT(backfill, fifo - 1.0) << "backfill should slot the short jobs in";
+}
+
+TEST(Cluster, BackfillNeverDelaysHeadJob) {
+  ClusterSim sim(8, SchedulePolicy::Backfill);
+  sim.submit(8, 10.0, 0.0);
+  const Index head = sim.submit(8, 10.0, 0.5);
+  for (int i = 0; i < 10; ++i) sim.submit(2, 100.0, 1.0);  // too long to fit
+  sim.run();
+  EXPECT_EQ(sim.job(head).start_s, 10.0) << "EASY reservation violated";
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(ClusterSim(0, SchedulePolicy::Fifo), Error);
+  ClusterSim sim(4, SchedulePolicy::Fifo);
+  EXPECT_THROW(sim.submit(5, 1.0), Error);
+  EXPECT_THROW(sim.submit(1, 0.0), Error);
+  EXPECT_THROW(sim.makespan(), Error);  // before run
+  sim.submit(1, 1.0);
+  sim.run();
+  EXPECT_THROW(sim.submit(1, 1.0), Error);  // after run
+  EXPECT_THROW(sim.run(), Error);
+  EXPECT_THROW(sim.job(99), Error);
+}
+
+// ---- campaigns ------------------------------------------------------------------
+
+TEST(Campaign, TrajectoryIsMonotoneNonIncreasing) {
+  const hpo::SearchSpace s = hpo::make_mlp_space();
+  hpo::RandomSearcher searcher(s, 7);
+  const hpo::Objective f = hpo::make_sphere_objective(s, 8);
+  const DurationModel d = [](const hpo::UnitConfig&, Index epochs) {
+    return 10.0 * static_cast<double>(epochs);
+  };
+  CampaignOptions opts;
+  opts.slots = 4;
+  opts.max_trials = 32;
+  const CampaignResult r = run_campaign(searcher, f, d, opts);
+  ASSERT_EQ(r.trials, 32);
+  ASSERT_EQ(r.trajectory.size(), 32u);
+  for (std::size_t i = 1; i < r.trajectory.size(); ++i) {
+    EXPECT_LE(r.trajectory[i].objective, r.trajectory[i - 1].objective);
+    EXPECT_GE(r.trajectory[i].time_s, r.trajectory[i - 1].time_s);
+  }
+  EXPECT_DOUBLE_EQ(r.trajectory.back().objective, r.best_objective);
+  // 32 trials x 80s over 4 slots: makespan = 8 waves x 80s.
+  EXPECT_NEAR(r.makespan_s, 8 * 80.0, 1e-9);
+}
+
+TEST(Campaign, MoreSlotsFinishSoonerInSimulatedTime) {
+  const hpo::SearchSpace s = hpo::make_mlp_space();
+  const hpo::Objective f = hpo::make_sphere_objective(s, 18);
+  const DurationModel d = [](const hpo::UnitConfig&, Index) { return 60.0; };
+  CampaignOptions narrow, wide;
+  narrow.slots = 2;
+  wide.slots = 16;
+  narrow.max_trials = wide.max_trials = 64;
+  hpo::RandomSearcher s1(s, 19), s2(s, 19);
+  const double t_narrow = run_campaign(s1, f, d, narrow).makespan_s;
+  const double t_wide = run_campaign(s2, f, d, wide).makespan_s;
+  EXPECT_NEAR(t_narrow / t_wide, 8.0, 1e-9);  // search parallelism speedup
+}
+
+TEST(Campaign, BestAtTimeInterpolates) {
+  const hpo::SearchSpace s = hpo::make_mlp_space();
+  hpo::RandomSearcher searcher(s, 27);
+  const hpo::Objective f = hpo::make_sphere_objective(s, 28);
+  const DurationModel d = [](const hpo::UnitConfig&, Index) { return 10.0; };
+  CampaignOptions opts;
+  opts.slots = 1;
+  opts.max_trials = 10;
+  const CampaignResult r = run_campaign(searcher, f, d, opts);
+  EXPECT_TRUE(std::isinf(r.best_at_time(5.0)));  // nothing finished yet
+  EXPECT_DOUBLE_EQ(r.best_at_time(1e9), r.best_objective);
+  EXPECT_GE(r.best_at_time(25.0), r.best_objective);
+}
+
+TEST(Campaign, AshaCampaignConsumesFewerSimulatedNodeSeconds) {
+  const hpo::SearchSpace s = hpo::make_mlp_space();
+  const hpo::Objective full = hpo::make_sphere_objective(s, 38);
+  const BudgetedObjective budgeted =
+      [&](const hpo::UnitConfig& c, Index epochs) {
+        // Fidelity bias decays with budget.
+        return full(c) + 0.3 / static_cast<double>(epochs);
+      };
+  const DurationModel d = [](const hpo::UnitConfig&, Index epochs) {
+    return static_cast<double>(epochs);  // time == epochs
+  };
+  CampaignOptions opts;
+  opts.slots = 8;
+  opts.max_trials = 64;
+  opts.epochs = 9;
+
+  hpo::SuccessiveHalving asha(std::make_unique<hpo::RandomSearcher>(s, 39),
+                              1, 9, 3);
+  const CampaignResult asha_result =
+      run_asha_campaign(asha, budgeted, d, opts);
+
+  hpo::RandomSearcher full_searcher(s, 39);
+  const hpo::Objective full_obj = [&](const hpo::UnitConfig& c) {
+    return budgeted(c, 9);
+  };
+  const CampaignResult full_result =
+      run_campaign(full_searcher, full_obj, d, opts);
+
+  // Same trial count, but ASHA spends far less simulated time because most
+  // trials stop at low rungs.
+  EXPECT_LT(asha_result.makespan_s, full_result.makespan_s * 0.7);
+  EXPECT_TRUE(std::isfinite(asha_result.best_objective));
+}
+
+TEST(Campaign, Validation) {
+  const hpo::SearchSpace s = hpo::make_mlp_space();
+  hpo::RandomSearcher searcher(s, 47);
+  const hpo::Objective f = hpo::make_sphere_objective(s, 48);
+  CampaignOptions bad;
+  bad.slots = 0;
+  EXPECT_THROW(run_campaign(
+                   searcher, f,
+                   [](const hpo::UnitConfig&, Index) { return 1.0; }, bad),
+               Error);
+  CampaignOptions opts;
+  opts.max_trials = 2;
+  EXPECT_THROW(run_campaign(
+                   searcher, f,
+                   [](const hpo::UnitConfig&, Index) { return 0.0; }, opts),
+               Error);  // non-positive duration
+}
+
+}  // namespace
+}  // namespace candle::sched
