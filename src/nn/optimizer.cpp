@@ -24,6 +24,69 @@ void Optimizer::step(std::span<Tensor* const> params,
   round_params(params);
 }
 
+OptimizerSnapshot Optimizer::export_state() const {
+  return {name(), {}, {}};
+}
+
+void Optimizer::import_state(const OptimizerSnapshot& snapshot) {
+  CANDLE_CHECK(snapshot.name == name(),
+               "optimizer snapshot is for '" + snapshot.name +
+                   "', not '" + name() + "'");
+  CANDLE_CHECK(snapshot.tensors.empty() && snapshot.counters.empty(),
+               "stateless optimizer given a stateful snapshot");
+}
+
+OptimizerSnapshot Momentum::export_state() const {
+  return {name(), velocity_, {}};
+}
+
+void Momentum::import_state(const OptimizerSnapshot& snapshot) {
+  CANDLE_CHECK(snapshot.name == name(),
+               "optimizer snapshot is for '" + snapshot.name +
+                   "', not '" + name() + "'");
+  CANDLE_CHECK(snapshot.counters.empty(), "momentum snapshot has counters");
+  velocity_ = snapshot.tensors;
+}
+
+OptimizerSnapshot RmsProp::export_state() const { return {name(), sq_, {}}; }
+
+void RmsProp::import_state(const OptimizerSnapshot& snapshot) {
+  CANDLE_CHECK(snapshot.name == name(),
+               "optimizer snapshot is for '" + snapshot.name +
+                   "', not '" + name() + "'");
+  CANDLE_CHECK(snapshot.counters.empty(), "rmsprop snapshot has counters");
+  sq_ = snapshot.tensors;
+}
+
+OptimizerSnapshot Adam::export_state() const {
+  // First and second moments interleave as [m0, v0, m1, v1, ...] so the
+  // tensor count alone determines the slot count; counters carry t_.
+  OptimizerSnapshot s{name(), {}, {}};
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    s.tensors.push_back(m_[i]);
+    s.tensors.push_back(v_[i]);
+  }
+  s.counters.assign(t_.begin(), t_.end());
+  return s;
+}
+
+void Adam::import_state(const OptimizerSnapshot& snapshot) {
+  CANDLE_CHECK(snapshot.name == name(),
+               "optimizer snapshot is for '" + snapshot.name +
+                   "', not '" + name() + "'");
+  CANDLE_CHECK(snapshot.tensors.size() % 2 == 0 &&
+                   snapshot.counters.size() * 2 == snapshot.tensors.size(),
+               "malformed adam snapshot");
+  const std::size_t slots = snapshot.counters.size();
+  m_.clear();
+  v_.clear();
+  for (std::size_t i = 0; i < slots; ++i) {
+    m_.push_back(snapshot.tensors[2 * i]);
+    v_.push_back(snapshot.tensors[2 * i + 1]);
+  }
+  t_.assign(snapshot.counters.begin(), snapshot.counters.end());
+}
+
 void Optimizer::set_weight_decay(float decay) {
   CANDLE_CHECK(decay >= 0.0f, "weight decay must be non-negative");
   weight_decay_ = decay;

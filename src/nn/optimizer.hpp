@@ -25,10 +25,28 @@ struct UpdatePrecision {
   std::uint64_t seed = 0x5eedULL;
 };
 
+/// Snapshot of an optimizer's internal state for checkpointing: the moment
+/// buffers (with shapes, so a freshly constructed optimizer can restore
+/// before its lazy allocation has run) plus integer counters (Adam's
+/// per-slot step counts).  Produced by export_state / consumed by
+/// import_state; serialized inside checkpoint format v2 (nn/serialize).
+struct OptimizerSnapshot {
+  std::string name;                     // optimizer kind, checked on import
+  std::vector<Tensor> tensors;          // subclass-defined order
+  std::vector<std::int64_t> counters;   // subclass-defined meaning
+};
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
   virtual std::string name() const = 0;
+
+  /// Snapshot internal state (moment buffers, step counters).  Restoring the
+  /// snapshot into a freshly constructed optimizer of the same kind and then
+  /// continuing training is bit-identical to never having stopped.
+  virtual OptimizerSnapshot export_state() const;
+  /// Restore a snapshot; throws on kind mismatch or malformed payload.
+  virtual void import_state(const OptimizerSnapshot& snapshot);
 
   /// Apply one update: params[i] -= f(grads[i]).  Lists must be parallel and
   /// identical (same tensors, same shapes) on every call.
@@ -87,6 +105,8 @@ class Momentum : public Optimizer {
  public:
   Momentum(float lr, float mu = 0.9f) : Optimizer(lr), mu_(mu) {}
   std::string name() const override { return "momentum"; }
+  OptimizerSnapshot export_state() const override;
+  void import_state(const OptimizerSnapshot& snapshot) override;
 
  protected:
   void update(std::size_t slot, Tensor& param, const Tensor& grad) override;
@@ -102,6 +122,8 @@ class RmsProp : public Optimizer {
   RmsProp(float lr, float rho = 0.9f, float eps = 1e-7f)
       : Optimizer(lr), rho_(rho), eps_(eps) {}
   std::string name() const override { return "rmsprop"; }
+  OptimizerSnapshot export_state() const override;
+  void import_state(const OptimizerSnapshot& snapshot) override;
 
  protected:
   void update(std::size_t slot, Tensor& param, const Tensor& grad) override;
@@ -118,6 +140,8 @@ class Adam : public Optimizer {
        float eps = 1e-8f)
       : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   std::string name() const override { return "adam"; }
+  OptimizerSnapshot export_state() const override;
+  void import_state(const OptimizerSnapshot& snapshot) override;
 
  protected:
   void update(std::size_t slot, Tensor& param, const Tensor& grad) override;

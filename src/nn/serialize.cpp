@@ -1,73 +1,247 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/checksum.hpp"
 
 namespace candle {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0xCA9D1E01u;
+constexpr std::uint32_t kMagicV1 = 0xCA9D1E01u;
+constexpr std::uint32_t kMagicV2 = 0xCA9D1E02u;
 
-template <typename T>
-void write_pod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// ---- in-memory archive ------------------------------------------------------
+// The whole payload is staged in memory so the CRC is computed over exactly
+// the bytes written, and the file appears on disk only complete.
 
-template <typename T>
-T read_pod(std::ifstream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  CANDLE_CHECK(static_cast<bool>(is), "checkpoint truncated");
-  return value;
-}
-
-}  // namespace
-
-void save_weights(const Model& model, const std::string& path) {
-  CANDLE_CHECK(model.built(), "cannot save an unbuilt model");
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  CANDLE_CHECK(os.is_open(), "cannot open checkpoint for writing: " + path);
-
-  auto params = const_cast<Model&>(model).params();
-  write_pod(os, kMagic);
-  write_pod(os, static_cast<std::uint64_t>(params.size()));
-  for (const Tensor* p : params) {
-    write_pod(os, static_cast<std::uint32_t>(p->ndim()));
-    for (Index d = 0; d < p->ndim(); ++d) {
-      write_pod(os, static_cast<std::int64_t>(p->dim(d)));
-    }
-    os.write(reinterpret_cast<const char*>(p->data()),
-             static_cast<std::streamsize>(p->numel() * sizeof(float)));
+class Writer {
+ public:
+  template <typename T>
+  void pod(const T& value) {
+    const auto* bytes = reinterpret_cast<const char*>(&value);
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
   }
-  CANDLE_CHECK(static_cast<bool>(os), "checkpoint write failed: " + path);
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  void tensor(const Tensor& t) {
+    pod(static_cast<std::uint32_t>(t.ndim()));
+    for (Index d = 0; d < t.ndim(); ++d) {
+      pod(static_cast<std::int64_t>(t.dim(d)));
+    }
+    bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+
+  const std::vector<char>& data() const { return buf_; }
+
+  void append_crc() {
+    const std::uint32_t crc = runtime::crc32(buf_.data(), buf_.size());
+    pod(crc);
+  }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::vector<char>& buf, const std::string& path)
+      : buf_(buf), path_(path) {}
+
+  template <typename T>
+  T pod() {
+    T value{};
+    CANDLE_CHECK(pos_ + sizeof(T) <= buf_.size(),
+                 "checkpoint truncated: " + path_);
+    std::memcpy(&value, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void bytes(void* out, std::size_t size) {
+    CANDLE_CHECK(pos_ + size <= buf_.size(),
+                 "checkpoint truncated: " + path_);
+    std::memcpy(out, buf_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  /// Read a tensor into `dst`, insisting its shape matches the file.
+  void tensor_into(Tensor& dst, const char* what) {
+    const auto rank = pod<std::uint32_t>();
+    CANDLE_CHECK(rank == static_cast<std::uint32_t>(dst.ndim()),
+                 std::string(what) + " rank mismatch: " + path_);
+    for (Index d = 0; d < dst.ndim(); ++d) {
+      const auto dim = pod<std::int64_t>();
+      CANDLE_CHECK(dim == dst.dim(d),
+                   std::string(what) + " shape mismatch: " + path_);
+    }
+    bytes(dst.data(), static_cast<std::size_t>(dst.numel()) * sizeof(float));
+  }
+
+  /// Read a tensor whose shape comes from the file.
+  Tensor tensor() {
+    const auto rank = pod<std::uint32_t>();
+    CANDLE_CHECK(rank <= 8, "implausible tensor rank in " + path_);
+    Shape shape;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      const auto dim = pod<std::int64_t>();
+      CANDLE_CHECK(dim >= 0, "negative tensor dim in " + path_);
+      shape.push_back(dim);
+    }
+    Tensor t(shape);
+    bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+    return t;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<char>& buf_;
+  const std::string& path_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  CANDLE_CHECK(is.is_open(), "cannot open checkpoint: " + path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<char> buf(static_cast<std::size_t>(size));
+  is.read(buf.data(), size);
+  CANDLE_CHECK(static_cast<bool>(is), "checkpoint read failed: " + path);
+  return buf;
 }
 
-void load_weights(Model& model, const std::string& path) {
-  CANDLE_CHECK(model.built(), "cannot load into an unbuilt model");
-  std::ifstream is(path, std::ios::binary);
-  CANDLE_CHECK(is.is_open(), "cannot open checkpoint: " + path);
+void write_file_atomic(const std::vector<char>& buf,
+                       const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CANDLE_CHECK(os.is_open(), "cannot open checkpoint for writing: " + tmp);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    os.flush();
+    CANDLE_CHECK(static_cast<bool>(os), "checkpoint write failed: " + tmp);
+  }
+  // Complete file exists under the temp name; renaming is atomic on POSIX,
+  // so `path` always refers to a complete previous or complete new file.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  CANDLE_CHECK(!ec, "checkpoint rename failed: " + tmp + " -> " + path +
+                        " (" + ec.message() + ")");
+}
 
-  CANDLE_CHECK(read_pod<std::uint32_t>(is) == kMagic,
-               "not a candle checkpoint: " + path);
-  const auto count = read_pod<std::uint64_t>(is);
+void write_params(Writer& w, const Model& model) {
+  auto params = const_cast<Model&>(model).params();
+  w.pod(static_cast<std::uint64_t>(params.size()));
+  for (const Tensor* p : params) w.tensor(*p);
+}
+
+void read_params(Reader& r, Model& model) {
+  const auto count = r.pod<std::uint64_t>();
   auto params = model.params();
   CANDLE_CHECK(count == params.size(),
                "checkpoint has " + std::to_string(count) +
                    " tensors; model expects " +
                    std::to_string(params.size()));
-  for (Tensor* p : params) {
-    const auto rank = read_pod<std::uint32_t>(is);
-    CANDLE_CHECK(rank == static_cast<std::uint32_t>(p->ndim()),
-                 "checkpoint tensor rank mismatch");
-    for (Index d = 0; d < p->ndim(); ++d) {
-      const auto dim = read_pod<std::int64_t>(is);
-      CANDLE_CHECK(dim == p->dim(d), "checkpoint tensor shape mismatch");
-    }
-    is.read(reinterpret_cast<char*>(p->data()),
-            static_cast<std::streamsize>(p->numel() * sizeof(float)));
-    CANDLE_CHECK(static_cast<bool>(is), "checkpoint truncated: " + path);
+  for (Tensor* p : params) r.tensor_into(*p, "checkpoint tensor");
+}
+
+CheckpointMeta load_any(Model& model, Optimizer* optimizer,
+                        const std::string& path) {
+  CANDLE_CHECK(model.built(), "cannot load into an unbuilt model");
+  const std::vector<char> buf = read_file(path);
+  Reader header(buf, path);
+  const auto magic = header.pod<std::uint32_t>();
+
+  CheckpointMeta meta;
+  if (magic == kMagicV1) {
+    // Legacy weights-only file: no CRC, no step, no optimizer section.
+    meta.version = 1;
+    read_params(header, model);
+    return meta;
   }
+  CANDLE_CHECK(magic == kMagicV2, "not a candle checkpoint: " + path);
+  meta.version = 2;
+
+  // Verify the trailing CRC before trusting any field beyond the magic.
+  CANDLE_CHECK(buf.size() > sizeof(std::uint32_t) * 2,
+               "checkpoint truncated: " + path);
+  const std::size_t payload = buf.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, buf.data() + payload, sizeof(stored));
+  const std::uint32_t actual = runtime::crc32(buf.data(), payload);
+  CANDLE_CHECK(stored == actual,
+               "checkpoint CRC mismatch (corrupt or truncated): " + path);
+
+  meta.step = static_cast<Index>(header.pod<std::uint64_t>());
+  const auto has_opt = header.pod<std::uint8_t>();
+  read_params(header, model);
+  if (has_opt != 0) {
+    meta.has_optimizer = true;
+    OptimizerSnapshot snapshot;
+    const auto name_len = header.pod<std::uint32_t>();
+    CANDLE_CHECK(name_len <= 64, "implausible optimizer name in " + path);
+    snapshot.name.resize(name_len);
+    header.bytes(snapshot.name.data(), name_len);
+    const auto tcount = header.pod<std::uint64_t>();
+    for (std::uint64_t i = 0; i < tcount; ++i) {
+      snapshot.tensors.push_back(header.tensor());
+    }
+    const auto ccount = header.pod<std::uint64_t>();
+    for (std::uint64_t i = 0; i < ccount; ++i) {
+      snapshot.counters.push_back(header.pod<std::int64_t>());
+    }
+    if (optimizer != nullptr) optimizer->import_state(snapshot);
+  }
+  CANDLE_CHECK(header.pos() == payload,
+               "checkpoint has trailing bytes: " + path);
+  return meta;
+}
+
+}  // namespace
+
+void save_weights(const Model& model, const std::string& path) {
+  save_checkpoint(model, /*optimizer=*/nullptr, /*step=*/0, path);
+}
+
+void load_weights(Model& model, const std::string& path) {
+  load_any(model, /*optimizer=*/nullptr, path);
+}
+
+void save_checkpoint(const Model& model, const Optimizer* optimizer,
+                     Index step, const std::string& path) {
+  CANDLE_CHECK(model.built(), "cannot save an unbuilt model");
+  CANDLE_CHECK(step >= 0, "negative step count");
+  Writer w;
+  w.pod(kMagicV2);
+  w.pod(static_cast<std::uint64_t>(step));
+  w.pod(static_cast<std::uint8_t>(optimizer != nullptr ? 1 : 0));
+  write_params(w, model);
+  if (optimizer != nullptr) {
+    const OptimizerSnapshot snapshot = optimizer->export_state();
+    w.pod(static_cast<std::uint32_t>(snapshot.name.size()));
+    w.bytes(snapshot.name.data(), snapshot.name.size());
+    w.pod(static_cast<std::uint64_t>(snapshot.tensors.size()));
+    for (const Tensor& t : snapshot.tensors) w.tensor(t);
+    w.pod(static_cast<std::uint64_t>(snapshot.counters.size()));
+    for (std::int64_t c : snapshot.counters) w.pod(c);
+  }
+  w.append_crc();
+  write_file_atomic(w.data(), path);
+}
+
+CheckpointMeta load_checkpoint(Model& model, Optimizer* optimizer,
+                               const std::string& path) {
+  return load_any(model, optimizer, path);
 }
 
 }  // namespace candle

@@ -1,25 +1,157 @@
 #include "parallel/collectives.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace candle::parallel {
 
-ShmCommunicator::ShmCommunicator(Index ranks)
-    : ranks_(ranks), barrier_(static_cast<std::ptrdiff_t>(ranks)) {
+ShmCommunicator::ShmCommunicator(Index ranks) : ranks_(ranks) {
   CANDLE_CHECK(ranks >= 1, "communicator needs at least one rank");
+  alive_.assign(static_cast<std::size_t>(ranks), 1);
+  alive_count_ = ranks;
+  arrived_mask_.assign(static_cast<std::size_t>(ranks), 0);
   buffers_.resize(static_cast<std::size_t>(ranks));
 }
 
-void ShmCommunicator::barrier() { barrier_.arrive_and_wait(); }
+void ShmCommunicator::set_timeout(std::chrono::milliseconds timeout) {
+  CANDLE_CHECK(timeout.count() > 0, "timeout must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  timeout_ = timeout;
+}
+
+std::chrono::milliseconds ShmCommunicator::timeout() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeout_;
+}
+
+void ShmCommunicator::throw_failed_locked() const {
+  std::ostringstream os;
+  os << "rank failure detected (" << failed_.size() << " dead rank"
+     << (failed_.size() == 1 ? "" : "s") << ":";
+  if (failed_.empty()) {
+    os << " unattributed barrier timeout";
+  } else {
+    for (Index r : failed_) os << ' ' << r;
+  }
+  os << ") — collective aborted; shrink() or rebuild the communicator";
+  throw RankFailure(failed_, os.str());
+}
+
+void ShmCommunicator::arrive(Index rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) throw_failed_locked();
+  const std::uint64_t gen = generation_;
+  ++arrived_;
+  if (rank >= 0) {
+    arrived_mask_[static_cast<std::size_t>(rank)] = 1;
+  } else {
+    anonymous_arrival_ = true;
+  }
+  if (arrived_ >= alive_count_) {
+    arrived_ = 0;
+    std::fill(arrived_mask_.begin(), arrived_mask_.end(), 0);
+    anonymous_arrival_ = false;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  while (generation_ == gen && !poisoned_) {
+    if (cv_.wait_for(lock, timeout_) == std::cv_status::timeout) {
+      if (generation_ != gen || poisoned_) break;
+      // Nobody released the round within the suspicion window: declare the
+      // live ranks that never arrived dead.  Anonymous arrivals cannot be
+      // attributed, so in that case the communicator is poisoned without
+      // naming ranks.
+      if (!anonymous_arrival_) {
+        for (Index r = 0; r < ranks_; ++r) {
+          const auto i = static_cast<std::size_t>(r);
+          if (alive_[i] && !arrived_mask_[i]) {
+            alive_[i] = 0;
+            --alive_count_;
+            failed_.push_back(r);
+          }
+        }
+      }
+      poisoned_ = true;
+      cv_.notify_all();
+      throw_failed_locked();
+    }
+  }
+  if (poisoned_) throw_failed_locked();
+}
+
+void ShmCommunicator::barrier() { arrive(-1); }
+
+void ShmCommunicator::barrier(Index rank) {
+  CANDLE_CHECK(rank >= 0 && rank < ranks_, "rank out of range");
+  arrive(rank);
+}
+
+void ShmCommunicator::mark_failed(Index rank) {
+  CANDLE_CHECK(rank >= 0 && rank < ranks_, "rank out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto i = static_cast<std::size_t>(rank);
+  if (alive_[i]) {
+    alive_[i] = 0;
+    --alive_count_;
+    failed_.push_back(rank);
+  }
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+bool ShmCommunicator::has_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+std::vector<Index> ShmCommunicator::failed_ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+std::vector<Index> ShmCommunicator::alive_ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Index> out;
+  for (Index r = 0; r < ranks_; ++r) {
+    if (alive_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
+ShmCommunicator::Shrunk ShmCommunicator::shrink() const {
+  std::vector<Index> survivors = alive_ranks();
+  CANDLE_CHECK(!survivors.empty(), "cannot shrink: no surviving ranks");
+  Shrunk out;
+  out.comm = std::make_shared<ShmCommunicator>(
+      static_cast<Index>(survivors.size()));
+  out.comm->set_timeout(timeout());
+  out.old_rank = std::move(survivors);
+  return out;
+}
 
 void ShmCommunicator::register_buffer(Index rank, std::span<float> data) {
   CANDLE_CHECK(rank >= 0 && rank < ranks_, "rank out of range");
-  buffers_[static_cast<std::size_t>(rank)] = data;
-  barrier();
-  // Validate ALL buffers on EVERY rank after the barrier: on a mismatch all
-  // ranks throw together, so no rank is left blocked at a later barrier.
-  for (Index r = 0; r < ranks_; ++r) {
-    CANDLE_CHECK(buffers_[static_cast<std::size_t>(r)].size() == data.size(),
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (poisoned_) throw_failed_locked();
+    buffers_[static_cast<std::size_t>(rank)] = data;
+  }
+  arrive(rank);
+  // Validate ALL live buffers on EVERY rank after the barrier: the check is
+  // deterministic over shared state, so on a mismatch all ranks throw
+  // together before any reduction touches a span — no rank is left blocked
+  // at a later barrier and no out-of-bounds access happens mid-collective.
+  std::vector<std::size_t> sizes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Index r = 0; r < ranks_; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (alive_[i]) sizes.push_back(buffers_[i].size());
+    }
+  }
+  for (std::size_t s : sizes) {
+    CANDLE_CHECK(s == data.size(),
                  "collective buffer sizes differ across ranks");
   }
 }
@@ -27,7 +159,7 @@ void ShmCommunicator::register_buffer(Index rank, std::span<float> data) {
 void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data) {
   register_buffer(rank, data);
   if (ranks_ == 1) {
-    barrier();
+    arrive(rank);
     return;
   }
   const Index p = ranks_;
@@ -46,7 +178,7 @@ void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data) {
     for (Index i = chunk_begin(c); i < chunk_end(c); ++i) {
       data[static_cast<std::size_t>(i)] += src[static_cast<std::size_t>(i)];
     }
-    barrier();  // everyone finished step s before buffers mutate further
+    arrive(rank);  // everyone finished step s before buffers mutate further
   }
   // All-gather: rank r starts with reduced chunk (r + 1); at step s it
   // copies chunk (r - s + 1) from its left neighbour (standard ring).
@@ -55,15 +187,15 @@ void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data) {
     const std::span<float> src = buffers_[static_cast<std::size_t>(left)];
     std::copy(src.begin() + chunk_begin(c), src.begin() + chunk_end(c),
               data.begin() + chunk_begin(c));
-    barrier();
+    arrive(rank);
   }
-  barrier();  // release buffer registrations coherently
+  arrive(rank);  // release buffer registrations coherently
 }
 
 void ShmCommunicator::allreduce_flat(Index rank, std::span<float> data) {
   register_buffer(rank, data);
   if (ranks_ == 1) {
-    barrier();
+    arrive(rank);
     return;
   }
   if (rank == 0) {
@@ -72,12 +204,12 @@ void ShmCommunicator::allreduce_flat(Index rank, std::span<float> data) {
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
     }
   }
-  barrier();  // sum complete
+  arrive(rank);  // sum complete
   if (rank != 0) {
     const std::span<float> root = buffers_[0];
     std::copy(root.begin(), root.end(), data.begin());
   }
-  barrier();
+  arrive(rank);
 }
 
 void ShmCommunicator::broadcast(Index rank, std::span<float> data) {
@@ -86,7 +218,7 @@ void ShmCommunicator::broadcast(Index rank, std::span<float> data) {
     const std::span<float> root = buffers_[0];
     std::copy(root.begin(), root.end(), data.begin());
   }
-  barrier();
+  arrive(rank);
 }
 
 }  // namespace candle::parallel

@@ -3,35 +3,75 @@
 // reduce-scatter + all-gather algorithm, not a shortcut — so numerical
 // results of distributed training are genuine.  Wall-clock at scale comes
 // from the hpcsim fabric model instead (see DESIGN.md).
+//
+// Failure awareness: collectives never hang on a dead rank.  A crashing rank
+// announces death with mark_failed(), or is suspected when the internal
+// barrier times out waiting for it; either way every surviving rank exits the
+// collective with a typed runtime::RankFailure instead of blocking forever,
+// and shrink() rebuilds a dense working communicator over the survivors
+// (ULFM-style shrink semantics, scaled down to threads).
 #pragma once
 
-#include <barrier>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "runtime/error.hpp"
+#include "runtime/fault.hpp"
 
 namespace candle::parallel {
 
 using Index = std::int64_t;
+using runtime::RankFailure;
 
 /// Communicator for `ranks` participants.  Every collective must be entered
-/// by all ranks (from distinct threads, or sequentially rank-by-rank only
-/// for the registration phase).  Buffers are registered per operation.
+/// by all live ranks (from distinct threads, or sequentially rank-by-rank
+/// only for the registration phase).  Buffers are registered per operation.
+///
+/// Failure contract: once any rank is marked failed (explicitly or by
+/// timeout suspicion), every collective on this communicator — including
+/// ones already in flight — throws RankFailure on all surviving ranks.  The
+/// communicator is then permanently poisoned; recover by calling shrink()
+/// and continuing on the returned communicator, or by constructing a fresh
+/// full-size one (restart semantics).
 class ShmCommunicator {
  public:
   explicit ShmCommunicator(Index ranks);
 
   Index ranks() const { return ranks_; }
 
-  /// Block until all ranks arrive.
+  /// Dead-rank suspicion window: a barrier that waits longer than this for a
+  /// missing participant declares it failed.  Generous by default so healthy
+  /// but heavily oversubscribed runs (sanitizers, loaded CI) are never
+  /// falsely accused; fault-injection tests dial it down.
+  void set_timeout(std::chrono::milliseconds timeout);
+  std::chrono::milliseconds timeout() const;
+
+  /// Block until all live ranks arrive (anonymous arrival: timeouts cannot
+  /// attribute blame, so suspicion reports an empty rank list).
   void barrier();
+
+  /// Block until all live ranks arrive, identifying the caller so a timeout
+  /// can name the ranks that never showed up.
+  void barrier(Index rank);
+
+  /// Announce that `rank` is dead (cooperative crash notification: the dying
+  /// replica's thread calls this before exiting, like an MPI error handler
+  /// broadcasting failure).  Wakes every rank blocked in a collective.
+  void mark_failed(Index rank);
+
+  bool has_failures() const;
+  std::vector<Index> failed_ranks() const;
+  std::vector<Index> alive_ranks() const;
 
   /// Sum-all-reduce using the bandwidth-optimal ring algorithm: p-1
   /// reduce-scatter steps followed by p-1 all-gather steps over p chunks.
-  /// `data` spans must all have the same length across ranks.
+  /// `data` spans must all have the same length across ranks (validated
+  /// before any reduction runs; every rank throws together on a mismatch).
   void allreduce_ring(Index rank, std::span<float> data);
 
   /// Sum-all-reduce via a flat gather at rank 0 + broadcast.  Same result,
@@ -41,11 +81,38 @@ class ShmCommunicator {
   /// Broadcast rank 0's buffer to every rank.
   void broadcast(Index rank, std::span<float> data);
 
+  /// A communicator rebuilt over the surviving ranks, plus the old rank each
+  /// new rank had (old_rank[new] = old, ascending).
+  struct Shrunk {
+    std::shared_ptr<ShmCommunicator> comm;
+    std::vector<Index> old_rank;
+  };
+
+  /// Rebuild a dense communicator over the surviving ranks.  Call after all
+  /// participant threads have observed the RankFailure and unwound.
+  Shrunk shrink() const;
+
  private:
+  /// Arrive at the internal barrier as `rank` (-1 = anonymous).  Throws
+  /// RankFailure on announced failures and on timeout suspicion.
+  void arrive(Index rank);
+  [[noreturn]] void throw_failed_locked() const;
   void register_buffer(Index rank, std::span<float> data);
 
   Index ranks_;
-  std::barrier<> barrier_;
+  std::chrono::milliseconds timeout_{30000};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> alive_;         // by rank
+  Index alive_count_;
+  std::vector<Index> failed_;       // announced or suspected, in order
+  bool poisoned_ = false;           // any failure (even unattributed) seen
+  std::uint64_t generation_ = 0;    // completed barrier rounds
+  Index arrived_ = 0;               // arrivals in the current round
+  std::vector<char> arrived_mask_;  // identified arrivals this round
+  bool anonymous_arrival_ = false;  // this round saw a rank-less arrival
+
   std::vector<std::span<float>> buffers_;
 };
 

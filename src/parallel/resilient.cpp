@@ -1,0 +1,388 @@
+#include "parallel/resilient.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "nn/serialize.hpp"
+#include "parallel/collectives.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle::parallel {
+
+namespace {
+
+using runtime::FaultKind;
+
+/// Flags shared by the replica threads of one step attempt.
+struct AttemptOutcome {
+  std::atomic<Index> crashed{0};           // replicas that died this attempt
+  std::atomic<bool> collective_failed{false};
+  std::atomic<bool> corrupt{false};
+  std::atomic<Index> stragglers{0};
+  std::atomic<std::int64_t> straggler_us{0};
+};
+
+bool all_finite(const std::vector<float>& v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResilientResult train_resilient(const ModelFactory& factory,
+                                const OptimizerFactory& opt_factory,
+                                const Dataset& train, const Loss& loss,
+                                const ResilientOptions& options,
+                                Model* out_model) {
+  const DataParallelOptions& t = options.train;
+  CANDLE_CHECK(t.replicas >= 1, "need at least one replica");
+  CANDLE_CHECK(t.epochs >= 1, "need at least one epoch");
+  CANDLE_CHECK(t.batch_per_replica >= 1, "empty replica batch");
+  CANDLE_CHECK(!options.checkpoint_path.empty(),
+               "resilient training needs a checkpoint path");
+  CANDLE_CHECK(options.step_seconds > 0.0, "step_seconds must be positive");
+  // Bit-exact restore requires every piece of training state to live in the
+  // checkpoint; two features keep state elsewhere and are rejected here.
+  CANDLE_CHECK(t.gradient_topk_fraction == 1.0,
+               "resilient trainer requires dense gradients: the top-k "
+               "error-feedback residual is per-replica state that "
+               "checkpoints do not capture");
+  CANDLE_CHECK(!t.precision.stochastic_weight_rounding,
+               "stochastic-rounding RNG stream is not checkpointed");
+
+  const Index p0 = t.replicas;
+  const Index b = t.batch_per_replica;
+  CANDLE_CHECK(train.size() >= p0 * b, "dataset smaller than one global batch");
+  const Index steps_per_epoch = train.size() / (p0 * b);
+  CANDLE_CHECK(steps_per_epoch >= 1, "no full global batch available");
+  const Index planned = t.epochs * steps_per_epoch;
+
+  Index k = options.checkpoint_every_steps;
+  if (k <= 0) {
+    // Young/Daly interval from the machine model, mapped to steps by the
+    // nominal step cost.
+    const double interval_s =
+        hpcsim::optimal_checkpoint_interval_s(options.resilience);
+    k = std::clamp<Index>(
+        static_cast<Index>(std::llround(interval_s / options.step_seconds)),
+        1, planned);
+  }
+
+  runtime::FaultInjector injector(options.faults);
+  ResilientResult result;
+  result.planned_steps = planned;
+  result.checkpoint_interval_steps = k;
+
+  // ---- live training state --------------------------------------------------
+  Index live_p = p0;
+  std::vector<Model> replicas;
+  std::vector<std::unique_ptr<Optimizer>> optimizers;
+  auto build_replica = [&] {
+    Model m = factory();
+    CANDLE_CHECK(m.built(), "model factory must return a built model");
+    m.set_compute_precision(t.precision.compute);
+    return m;
+  };
+  auto build_optimizer = [&] {
+    auto o = opt_factory();
+    o->set_update_precision({t.precision.weight_storage,
+                             t.precision.stochastic_weight_rounding,
+                             t.seed ^ 0xf00d});
+    return o;
+  };
+  auto rebuild_fleet = [&] {
+    replicas.clear();
+    optimizers.clear();
+    for (Index r = 0; r < live_p; ++r) {
+      replicas.push_back(build_replica());
+      optimizers.push_back(build_optimizer());
+    }
+  };
+  rebuild_fleet();
+  const Index grad_size = replicas[0].grad_size();
+
+  auto fresh_comm = [&] {
+    auto c = std::make_shared<ShmCommunicator>(live_p);
+    c->set_timeout(options.collective_timeout);
+    return c;
+  };
+  std::shared_ptr<ShmCommunicator> comm = fresh_comm();
+
+  // ---- deterministic batch stream -------------------------------------------
+  // The stream is a pure function of (seed, batch size); replay after a
+  // restore re-consumes the exact same batches, which is what makes
+  // checkpoint recovery bit-identical to the failure-free run.
+  std::uint64_t iter_seed = t.seed;
+  Index iter_base = 0;   // committed step at which the current stream started
+  Index committed = 0;
+  std::unique_ptr<BatchIterator> batches;
+  // The iterator yields a short tail batch when the global batch does not
+  // divide the dataset (the norm after an elastic shrink re-shards at p-1
+  // width).  Short batches are skipped deterministically, so the stream of
+  // full batches is still a pure function of (seed, width) and replay after
+  // a restore stays aligned.
+  auto next_full = [&]() -> Dataset {
+    for (;;) {
+      Dataset g = batches->next();
+      if (g.size() == live_p * b) return g;
+    }
+  };
+  auto reset_iterator = [&] {
+    batches = std::make_unique<BatchIterator>(train, live_p * b, t.shuffle,
+                                              iter_seed);
+    for (Index s = iter_base; s < committed; ++s) (void)next_full();
+  };
+  reset_iterator();
+
+  std::vector<float> step_loss;  // mean loss of each committed step
+  Index last_ckpt_step = -1;
+  Index next_ckpt = 0;  // write the initial checkpoint before step 0
+  Index recoveries = 0;
+
+  auto write_checkpoint = [&] {
+    if (injector.checkpoint_should_fail(committed)) {
+      // Simulate a writer killed mid-checkpoint: leave a truncated temp
+      // file behind and never rename — the previous good checkpoint stays
+      // in place (this is exactly what the atomic writer guarantees).
+      std::ofstream junk(options.checkpoint_path + ".tmp",
+                         std::ios::binary | std::ios::trunc);
+      junk << "truncated by injected fault";
+      ++result.checkpoint_failures;
+      injector.record(committed, -1, FaultKind::CheckpointWriteFail,
+                      "injected",
+                      "checkpoint write failed; previous checkpoint kept");
+      return;
+    }
+    save_checkpoint(replicas[0], optimizers[0].get(), committed,
+                    options.checkpoint_path);
+    last_ckpt_step = committed;
+    ++result.checkpoints_written;
+  };
+
+  auto restore_checkpoint = [&](FaultKind why) {
+    rebuild_fleet();
+    if (last_ckpt_step < 0) {
+      // No durable checkpoint yet: cold restart from the deterministic
+      // factory state (still bit-identical — same factory, same seed).
+      committed = 0;
+    } else {
+      for (Index r = 0; r < live_p; ++r) {
+        const CheckpointMeta meta = load_checkpoint(
+            replicas[r], optimizers[r].get(), options.checkpoint_path);
+        committed = meta.step;
+      }
+    }
+    step_loss.resize(static_cast<std::size_t>(committed));
+    if (committed < iter_base) iter_base = committed;  // re-anchor stream
+    reset_iterator();
+    next_ckpt = committed + k;
+    ++result.restarts;
+    injector.record(committed, -1, why, "recovered",
+                    "restored checkpoint; resuming at step " +
+                        std::to_string(committed) + " with " +
+                        std::to_string(live_p) + " replicas");
+  };
+
+  Stopwatch clock;
+  while (committed < planned) {
+    CANDLE_CHECK(recoveries <= options.max_recoveries,
+                 "recovery limit exceeded — runaway fault schedule?");
+    if (committed >= next_ckpt) {
+      write_checkpoint();
+      next_ckpt = committed + k;
+    }
+
+    const Dataset global = next_full();
+    ++result.executed_steps;
+    AttemptOutcome outcome;
+    std::vector<float> rank_loss(static_cast<std::size_t>(live_p), 0.0f);
+    std::vector<std::vector<float>> grad_bufs(
+        static_cast<std::size_t>(live_p),
+        std::vector<float>(static_cast<std::size_t>(grad_size)));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(live_p));
+    for (Index r = 0; r < live_p; ++r) {
+      threads.emplace_back([&, r] {
+        if (auto ev = injector.poll(FaultKind::ReplicaCrash, committed, r)) {
+          outcome.crashed.fetch_add(1);
+          injector.record(committed, r, FaultKind::ReplicaCrash, "injected",
+                          ev->announce
+                              ? "announced crash"
+                              : "silent crash (left for timeout detection)");
+          if (ev->announce) comm->mark_failed(r);
+          return;  // the replica dies here, mid-step
+        }
+        if (auto ev = injector.poll(FaultKind::Straggler, committed, r)) {
+          outcome.stragglers.fetch_add(1);
+          outcome.straggler_us.fetch_add(
+              static_cast<std::int64_t>(ev->delay_s * 1e6));
+          injector.record(committed, r, FaultKind::Straggler, "injected",
+                          "stalled " + std::to_string(ev->delay_s) + " s");
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(ev->delay_s));
+        }
+        const Index lo = r * b;
+        const Dataset shard = slice(global, lo, lo + b);
+        Model& m = replicas[static_cast<std::size_t>(r)];
+        const Tensor pred = m.forward(shard.x, /*training=*/true);
+        const float l = loss.value(pred, shard.y);
+        Tensor dy = loss.grad(pred, shard.y);
+        if (t.precision.loss_scale != 1.0f) dy.scale(t.precision.loss_scale);
+        m.backward(dy);
+        auto& buf = grad_bufs[static_cast<std::size_t>(r)];
+        m.copy_grads_to(buf);
+        if (auto ev =
+                injector.poll(FaultKind::GradientCorruption, committed, r)) {
+          const Index n = std::min<Index>(std::max<Index>(ev->corrupt_count, 1),
+                                          grad_size);
+          for (Index i = 0; i < n; ++i) {
+            buf[static_cast<std::size_t>(i)] =
+                std::numeric_limits<float>::quiet_NaN();
+          }
+          injector.record(committed, r, FaultKind::GradientCorruption,
+                          "injected",
+                          std::to_string(n) + " gradient entries corrupted");
+        }
+        try {
+          comm->allreduce_ring(r, buf);
+        } catch (const RankFailure&) {
+          outcome.collective_failed.store(true);
+          return;  // unwound cleanly; recovery happens on the main thread
+        }
+        // The reduced vector is identical on every rank, so this check is
+        // collective: either all live ranks commit or none do.
+        if (!all_finite(buf)) {
+          outcome.corrupt.store(true);
+          return;
+        }
+        const float scale = 1.0f / (static_cast<float>(live_p) *
+                                    t.precision.loss_scale);
+        for (float& v : buf) v *= scale;
+        m.set_grads_from(buf);
+        const auto ps = m.params();
+        const auto gs = m.grads();
+        optimizers[static_cast<std::size_t>(r)]->step(ps, gs);
+        rank_loss[static_cast<std::size_t>(r)] = l;
+      });
+    }
+    for (auto& th : threads) th.join();
+    result.stragglers += outcome.stragglers.load();
+    result.straggler_delay_s +=
+        static_cast<double>(outcome.straggler_us.load()) * 1e-6;
+
+    const bool rank_died = outcome.crashed.load() > 0 ||
+                           outcome.collective_failed.load() ||
+                           comm->has_failures();
+    if (rank_died) {
+      result.crashes += outcome.crashed.load();
+      ++recoveries;
+      const std::vector<Index> alive = comm->alive_ranks();
+      {
+        std::string dead;
+        for (Index r : comm->failed_ranks()) dead += " " + std::to_string(r);
+        injector.record(committed, -1, FaultKind::ReplicaCrash, "detected",
+                        dead.empty() ? "replica death (no survivors to attribute)"
+                                     : "dead ranks:" + dead);
+      }
+      const bool can_shrink = options.policy == RecoveryPolicy::Shrink &&
+                              static_cast<Index>(alive.size()) < live_p &&
+                              !alive.empty();
+      if (can_shrink) {
+        // Elastic continue on the survivors: they all hold the weights of
+        // the last committed step (the failed collective never completed,
+        // so nobody applied an update), which keeps them consistent.
+        ShmCommunicator::Shrunk shrunk = comm->shrink();
+        std::vector<Model> kept;
+        std::vector<std::unique_ptr<Optimizer>> kept_opt;
+        for (Index old : shrunk.old_rank) {
+          kept.push_back(std::move(replicas[static_cast<std::size_t>(old)]));
+          kept_opt.push_back(
+              std::move(optimizers[static_cast<std::size_t>(old)]));
+        }
+        replicas = std::move(kept);
+        optimizers = std::move(kept_opt);
+        live_p = shrunk.comm->ranks();
+        comm = std::move(shrunk.comm);
+        ++result.shrinks;
+        // The batch stream re-shards at the new width from here on.
+        iter_seed = t.seed ^ (0x51AB0000ULL +
+                              static_cast<std::uint64_t>(result.shrinks));
+        iter_base = committed;
+        reset_iterator();
+        injector.record(committed, -1, FaultKind::ReplicaCrash, "recovered",
+                        "elastic shrink to " + std::to_string(live_p) +
+                            " replicas");
+        // Post-recovery checkpoint so later rollbacks stay within the
+        // current stream epoch.
+        write_checkpoint();
+        next_ckpt = committed + k;
+      } else {
+        comm = fresh_comm();
+        restore_checkpoint(FaultKind::ReplicaCrash);
+      }
+      continue;
+    }
+    if (outcome.corrupt.load()) {
+      ++result.corruptions;
+      ++recoveries;
+      injector.record(committed, -1, FaultKind::GradientCorruption,
+                      "detected", "non-finite gradient after all-reduce");
+      restore_checkpoint(FaultKind::GradientCorruption);
+      continue;
+    }
+
+    // Commit: deterministic reduction of the per-rank losses in rank order.
+    double sum = 0.0;
+    for (float l : rank_loss) sum += static_cast<double>(l);
+    step_loss.push_back(static_cast<float>(sum / static_cast<double>(live_p)));
+    ++committed;
+  }
+  result.measured_seconds = clock.seconds();
+  result.committed_steps = committed;
+  result.final_replicas = live_p;
+
+  // Per-epoch means over the committed step losses.
+  for (Index e = 0; e < t.epochs; ++e) {
+    double sum = 0.0;
+    for (Index s = e * steps_per_epoch; s < (e + 1) * steps_per_epoch; ++s) {
+      sum += static_cast<double>(step_loss[static_cast<std::size_t>(s)]);
+    }
+    result.epoch_loss.push_back(
+        static_cast<float>(sum / static_cast<double>(steps_per_epoch)));
+  }
+
+  // Modeled accounting at nominal costs, against the analytic closed form.
+  const double work_s = static_cast<double>(planned) * options.step_seconds;
+  const double ckpt_s = hpcsim::checkpoint_cost_s(options.resilience);
+  result.modeled_ideal_s = work_s;
+  result.modeled_actual_s =
+      static_cast<double>(result.executed_steps) * options.step_seconds +
+      static_cast<double>(result.checkpoints_written +
+                          result.checkpoint_failures) *
+          ckpt_s +
+      static_cast<double>(result.restarts + result.shrinks) *
+          options.resilience.restart_overhead_s;
+  result.analytic_expected_s = hpcsim::expected_runtime_s(
+      options.resilience, work_s, static_cast<double>(k) * options.step_seconds);
+  result.analytic_overhead_factor = result.analytic_expected_s / work_s;
+
+  result.log = injector.log();
+
+  if (out_model != nullptr) {
+    *out_model = factory();
+    std::vector<float> weights(
+        static_cast<std::size_t>(replicas[0].num_params()));
+    replicas[0].copy_weights_to(weights);
+    out_model->set_weights_from(weights);
+  }
+  return result;
+}
+
+}  // namespace candle::parallel

@@ -1,0 +1,125 @@
+// Fault-tolerant synchronous data-parallel training.
+//
+// Wraps the data-parallel step loop with the full recovery stack the paper's
+// 4096-node campaigns needed operationally: training state (weights AND
+// optimizer state) is checkpointed at the Young/Daly interval computed from
+// hpcsim::resilience, deterministic faults from runtime::FaultInjector are
+// injected into the real replica threads, dead ranks surface as typed
+// RankFailure from the failure-aware collectives, and recovery either
+//
+//   * RESTARTS: every replica reloads the last checkpoint and the batch
+//     stream is replayed from it — bit-identical to a failure-free run,
+//     because checkpoints capture complete state and fault events are
+//     one-shot (the node that died stays dead); or
+//   * SHRINKS: the communicator is rebuilt over the p-1 survivors
+//     (ULFM-style), gradient averaging is rescaled, and training continues
+//     elastically — statistically equivalent, not bit-identical.
+//
+// Transient gradient corruption is detected after the all-reduce (the
+// reduced vector is identical on every rank, so detection is collective and
+// divergence-free) and repaired by rolling back to the last checkpoint.
+// Every fault, detection, and recovery is appended to the structured log.
+//
+// The result carries both measured wall-clock and a modeled accounting
+// (executed steps, checkpoint writes, recoveries, each at their nominal
+// cost) so the measured overhead factor can be pinned against the analytic
+// expected_runtime_s closed form — the Young/Daly model validated by the
+// executable system it was written for.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "hpcsim/resilience.hpp"
+#include "parallel/data_parallel.hpp"
+#include "runtime/fault.hpp"
+
+namespace candle::parallel {
+
+/// What to do when a replica dies.
+enum class RecoveryPolicy {
+  Restart,  // reload last checkpoint at full width (bit-identical)
+  Shrink,   // continue on the survivors with rescaled averaging (elastic)
+};
+
+struct ResilientOptions {
+  DataParallelOptions train;
+
+  /// Deterministic fault schedule (empty = failure-free run).
+  runtime::FaultSchedule faults;
+
+  /// Machine model used to derive the Young/Daly checkpoint interval and
+  /// the nominal checkpoint/restart costs in the modeled accounting.
+  hpcsim::ResilienceConfig resilience;
+
+  /// Nominal modeled cost of one training step, the time unit that maps
+  /// step counts onto the resilience model's seconds.
+  double step_seconds = 1.0;
+
+  /// Checkpoint every this many committed steps; 0 derives the interval
+  /// from optimal_checkpoint_interval_s(resilience) / step_seconds.
+  Index checkpoint_every_steps = 0;
+
+  /// Checkpoint file (written atomically; see nn/serialize).  Required.
+  std::string checkpoint_path;
+
+  RecoveryPolicy policy = RecoveryPolicy::Restart;
+
+  /// Dead-rank suspicion window for the collectives (keep well above the
+  /// longest healthy step, including injected straggler delays).
+  std::chrono::milliseconds collective_timeout{2000};
+
+  /// Abort if more than this many recoveries fire (runaway guard).
+  Index max_recoveries = 64;
+};
+
+struct ResilientResult {
+  std::vector<float> epoch_loss;   // per-epoch mean loss over committed steps
+  Index planned_steps = 0;         // optimizer steps the run must commit
+  Index committed_steps = 0;       // equals planned_steps on success
+  Index executed_steps = 0;        // attempts, including lost/replayed work
+  Index checkpoint_interval_steps = 0;
+  Index checkpoints_written = 0;
+  Index checkpoint_failures = 0;   // injected failed writes (old file kept)
+  Index crashes = 0;               // replica crashes injected
+  Index stragglers = 0;            // straggler delays injected
+  Index corruptions = 0;           // gradient corruptions detected
+  Index restarts = 0;              // checkpoint-restore recoveries
+  Index shrinks = 0;               // elastic p -> p-1 recoveries
+  Index final_replicas = 0;
+  double measured_seconds = 0.0;   // wall-clock of the threaded run
+  double straggler_delay_s = 0.0;  // total injected stall time
+
+  /// Modeled accounting at nominal costs (step_seconds, checkpoint_cost_s,
+  /// restart_overhead_s): ideal = planned work only; actual adds lost work,
+  /// checkpoint writes, and recovery overheads.
+  double modeled_ideal_s = 0.0;
+  double modeled_actual_s = 0.0;
+  double overhead_factor() const {
+    return modeled_ideal_s > 0.0 ? modeled_actual_s / modeled_ideal_s : 1.0;
+  }
+
+  /// Closed-form prediction for the same work at the same interval from
+  /// hpcsim::expected_runtime_s, and its overhead factor.
+  double analytic_expected_s = 0.0;
+  double analytic_overhead_factor = 0.0;
+
+  /// Structured fault/detection/recovery event log.
+  std::vector<runtime::FaultRecord> log;
+};
+
+/// Run fault-tolerant synchronous data-parallel training.  Final weights
+/// (of replica 0; replicas stay in sync) land in `out_model` when given.
+///
+/// Determinism contract: with RecoveryPolicy::Restart the final weights are
+/// bit-identical to the same configuration run without faults.  Requires
+/// dense gradients (no top-k compression: the error-feedback residual is
+/// per-replica state a checkpoint does not capture) and deterministic
+/// weight rounding (the stochastic-rounding stream is not checkpointed).
+ResilientResult train_resilient(const ModelFactory& factory,
+                                const OptimizerFactory& opt_factory,
+                                const Dataset& train, const Loss& loss,
+                                const ResilientOptions& options,
+                                Model* out_model = nullptr);
+
+}  // namespace candle::parallel

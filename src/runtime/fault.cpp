@@ -1,0 +1,125 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/rng.hpp"
+
+namespace candle::runtime {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::ReplicaCrash:        return "replica-crash";
+    case FaultKind::Straggler:           return "straggler";
+    case FaultKind::CheckpointWriteFail: return "checkpoint-write-fail";
+    case FaultKind::GradientCorruption:  return "gradient-corruption";
+  }
+  return "unknown";
+}
+
+FaultSchedule& FaultSchedule::crash(Index step, Index rank, bool announce) {
+  events.push_back({FaultKind::ReplicaCrash, step, rank, 0.0, 0, announce});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::straggle(Index step, Index rank,
+                                       double delay_s) {
+  events.push_back({FaultKind::Straggler, step, rank, delay_s, 0, true});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::fail_checkpoint(Index step) {
+  events.push_back(
+      {FaultKind::CheckpointWriteFail, step, /*rank=*/-1, 0.0, 0, true});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::corrupt(Index step, Index rank, Index entries) {
+  events.push_back(
+      {FaultKind::GradientCorruption, step, rank, 0.0, entries, true});
+  return *this;
+}
+
+FaultSchedule random_fault_schedule(std::uint64_t seed, Index steps,
+                                    Index ranks, Index crashes,
+                                    Index stragglers, Index corruptions,
+                                    double straggler_delay_s) {
+  CANDLE_CHECK(steps >= 2 && ranks >= 1, "schedule needs steps and ranks");
+  CANDLE_CHECK(crashes >= 0 && stragglers >= 0 && corruptions >= 0,
+               "negative event count");
+  const Index total = crashes + stragglers + corruptions;
+  CANDLE_CHECK(total <= (steps - 1) * ranks,
+               "more faults than (step, rank) cells");
+  Pcg32 rng(seed, 0xfa17);
+  FaultSchedule schedule;
+  std::vector<std::pair<Index, Index>> used;  // (step, rank) cells taken
+  auto draw_cell = [&] {
+    for (;;) {
+      // Steps start at 1: step 0 always completes so the run has an initial
+      // committed state to measure recovery against.
+      const Index step =
+          1 + static_cast<Index>(
+                  rng.next_below(static_cast<std::uint32_t>(steps - 1)));
+      const Index rank = static_cast<Index>(
+          rng.next_below(static_cast<std::uint32_t>(ranks)));
+      const auto cell = std::make_pair(step, rank);
+      if (std::find(used.begin(), used.end(), cell) == used.end()) {
+        used.push_back(cell);
+        return cell;
+      }
+    }
+  };
+  for (Index i = 0; i < crashes; ++i) {
+    const auto [step, rank] = draw_cell();
+    schedule.crash(step, rank, /*announce=*/true);
+  }
+  for (Index i = 0; i < stragglers; ++i) {
+    const auto [step, rank] = draw_cell();
+    schedule.straggle(step, rank, straggler_delay_s);
+  }
+  for (Index i = 0; i < corruptions; ++i) {
+    const auto [step, rank] = draw_cell();
+    schedule.corrupt(step, rank);
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : pending_(std::move(schedule.events)) {}
+
+std::optional<FaultEvent> FaultInjector::poll(FaultKind kind, Index step,
+                                              Index rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const FaultEvent& e = pending_[i];
+    if (e.kind == kind && e.step == step && e.rank == rank) {
+      FaultEvent hit = e;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::checkpoint_should_fail(Index step) {
+  return poll(FaultKind::CheckpointWriteFail, step, /*rank=*/-1).has_value();
+}
+
+Index FaultInjector::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<Index>(pending_.size());
+}
+
+void FaultInjector::record(Index step, Index rank, FaultKind kind,
+                           std::string phase, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.push_back({clock_.seconds(), step, rank, kind, std::move(phase),
+                  std::move(detail)});
+}
+
+std::vector<FaultRecord> FaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+}  // namespace candle::runtime

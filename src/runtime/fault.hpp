@@ -1,0 +1,128 @@
+// Deterministic fault injection for the executable runtime.
+//
+// The hpcsim resilience model (Young/Daly) predicts what failures *cost*; this
+// module makes failures *happen* inside the real threaded runtime so the
+// recovery machinery (timeout-detecting collectives, checkpoint/restart,
+// elastic shrink) is exercised for real.  A FaultSchedule is fixed up front —
+// either hand-built or drawn from a seeded generator — and every event fires
+// exactly once, so a run that replays work after restoring a checkpoint does
+// not re-trigger the fault that killed it (matching a real machine, where the
+// node that died stays dead and the relaunched job proceeds).
+//
+// All injector state is mutex-guarded: replica threads poll concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/error.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle::runtime {
+
+using Index = std::int64_t;
+
+/// The fault taxonomy the resilient runtime must survive (DESIGN.md
+/// "Failure model & recovery").
+enum class FaultKind {
+  ReplicaCrash,        // a replica dies mid-step (announced or silent)
+  Straggler,           // a replica stalls for delay_s but stays alive
+  CheckpointWriteFail, // the checkpoint write at this step fails mid-flight
+  GradientCorruption,  // transient bit corruption of a gradient buffer
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault.  `step` is the global committed-step index at which
+/// the event fires; `rank` targets a replica (ignored for checkpoint-write
+/// failures, which hit the shared writer).
+struct FaultEvent {
+  FaultKind kind = FaultKind::ReplicaCrash;
+  Index step = 0;
+  Index rank = 0;
+  double delay_s = 0.0;     // Straggler: stall duration
+  Index corrupt_count = 1;  // GradientCorruption: entries poisoned
+  bool announce = true;     // ReplicaCrash: announce death vs die silently
+                            // (silent death exercises timeout detection)
+};
+
+/// Builder-style container for a deterministic fault schedule.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  FaultSchedule& crash(Index step, Index rank, bool announce = true);
+  FaultSchedule& straggle(Index step, Index rank, double delay_s);
+  FaultSchedule& fail_checkpoint(Index step);
+  FaultSchedule& corrupt(Index step, Index rank, Index entries = 1);
+};
+
+/// Seeded random schedule: `crashes` replica crashes, `stragglers` stalls and
+/// `corruptions` gradient corruptions at uniform (step, rank) positions in
+/// [1, steps) x [0, ranks).  Deterministic in `seed`; at most one event per
+/// (step, rank) cell so recoveries never overlap within a step.
+FaultSchedule random_fault_schedule(std::uint64_t seed, Index steps,
+                                    Index ranks, Index crashes,
+                                    Index stragglers = 0,
+                                    Index corruptions = 0,
+                                    double straggler_delay_s = 0.0);
+
+/// One line of the structured fault/recovery event log.
+struct FaultRecord {
+  double t_s = 0.0;        // seconds since injector construction
+  Index step = 0;
+  Index rank = -1;         // -1 when not rank-specific
+  FaultKind kind = FaultKind::ReplicaCrash;
+  std::string phase;       // "injected" | "detected" | "recovered"
+  std::string detail;
+};
+
+/// Thread-safe one-shot dispenser for a FaultSchedule plus the structured
+/// event log that recovery code appends to.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// If an event of `kind` is scheduled for (step, rank), consume and return
+  /// it (one-shot); otherwise nullopt.  Thread-safe.
+  std::optional<FaultEvent> poll(FaultKind kind, Index step, Index rank);
+
+  /// Convenience: consume a CheckpointWriteFail scheduled at `step`.
+  bool checkpoint_should_fail(Index step);
+
+  /// Events not yet fired.
+  Index remaining() const;
+
+  /// Append a structured record ("injected"/"detected"/"recovered").
+  void record(Index step, Index rank, FaultKind kind, std::string phase,
+              std::string detail);
+
+  /// Snapshot of the log so far.
+  std::vector<FaultRecord> log() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultEvent> pending_;
+  std::vector<FaultRecord> log_;
+  Stopwatch clock_;
+};
+
+/// Thrown by collectives when one or more ranks are dead (announced via
+/// ShmCommunicator::mark_failed or suspected by barrier timeout).  Carries
+/// the failed ranks so the recovery layer can shrink around them; an empty
+/// list means the barrier timed out without being able to attribute blame
+/// (anonymous arrivals).
+class RankFailure : public Error {
+ public:
+  RankFailure(std::vector<Index> failed, const std::string& what)
+      : Error(what), failed_(std::move(failed)) {}
+
+  const std::vector<Index>& failed_ranks() const { return failed_; }
+
+ private:
+  std::vector<Index> failed_;
+};
+
+}  // namespace candle::runtime

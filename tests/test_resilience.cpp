@@ -1,0 +1,696 @@
+// Fault-tolerance tests: failure-aware collectives (typed RankFailure, no
+// hangs, shrink), checkpoint format v2 (CRC, atomicity, optimizer state, v1
+// compat), the resilient data-parallel trainer end-to-end (bit-identical
+// checkpoint/restart, elastic shrink, corruption rollback), and the analytic
+// Young/Daly model pinned against both the Monte-Carlo simulator and the
+// measured overhead of the executable runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "hpcsim/resilience.hpp"
+#include "nn/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "parallel/collectives.hpp"
+#include "parallel/resilient.hpp"
+#include "runtime/checksum.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle::parallel {
+namespace {
+
+using runtime::FaultKind;
+using runtime::FaultSchedule;
+
+void run_ranks(Index p, const std::function<void(Index)>& body) {
+  std::vector<std::thread> threads;
+  for (Index r = 0; r < p; ++r) threads.emplace_back([&, r] { body(r); });
+  for (auto& t : threads) t.join();
+}
+
+// ---- crc32 ------------------------------------------------------------------
+
+TEST(Crc32, KnownAnswer) {
+  // The canonical CRC32 check value.
+  EXPECT_EQ(runtime::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(runtime::crc32("", 0), 0u);
+  // Chained updates equal the one-shot checksum of the concatenation.
+  std::uint32_t crc = runtime::crc32_update(0, "1234", 4);
+  crc = runtime::crc32_update(crc, "56789", 5);
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+// ---- fault schedule / injector ----------------------------------------------
+
+TEST(FaultInjector, EventsAreOneShot) {
+  FaultSchedule sched;
+  sched.crash(3, 1).straggle(5, 0, 0.25).fail_checkpoint(4).corrupt(6, 2, 8);
+  runtime::FaultInjector inj(sched);
+  EXPECT_EQ(inj.remaining(), 4);
+  EXPECT_FALSE(inj.poll(FaultKind::ReplicaCrash, 3, 0).has_value());
+  auto hit = inj.poll(FaultKind::ReplicaCrash, 3, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->announce);
+  // Consumed: replaying the same step does not re-fire (restart safety).
+  EXPECT_FALSE(inj.poll(FaultKind::ReplicaCrash, 3, 1).has_value());
+  EXPECT_TRUE(inj.checkpoint_should_fail(4));
+  EXPECT_FALSE(inj.checkpoint_should_fail(4));
+  auto corrupt = inj.poll(FaultKind::GradientCorruption, 6, 2);
+  ASSERT_TRUE(corrupt.has_value());
+  EXPECT_EQ(corrupt->corrupt_count, 8);
+  EXPECT_EQ(inj.remaining(), 1);
+}
+
+TEST(FaultInjector, RandomScheduleIsDeterministic) {
+  const auto a = runtime::random_fault_schedule(7, 100, 4, 5, 2, 3, 0.01);
+  const auto b = runtime::random_fault_schedule(7, 100, 4, 5, 2, 3, 0.01);
+  ASSERT_EQ(a.events.size(), 10u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].step, b.events[i].step);
+    EXPECT_EQ(a.events[i].rank, b.events[i].rank);
+    EXPECT_GE(a.events[i].step, 1);
+    EXPECT_LT(a.events[i].step, 100);
+    EXPECT_LT(a.events[i].rank, 4);
+  }
+}
+
+TEST(FaultInjector, RecordsStructuredLog) {
+  runtime::FaultInjector inj(FaultSchedule{});
+  inj.record(5, 2, FaultKind::ReplicaCrash, "injected", "announced crash");
+  inj.record(5, -1, FaultKind::ReplicaCrash, "recovered", "restored");
+  const auto log = inj.log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].phase, "injected");
+  EXPECT_EQ(log[0].rank, 2);
+  EXPECT_EQ(log[1].phase, "recovered");
+  EXPECT_GE(log[1].t_s, log[0].t_s);
+  EXPECT_STREQ(runtime::fault_kind_name(log[0].kind), "replica-crash");
+}
+
+// ---- failure-aware collectives ----------------------------------------------
+
+TEST(FailureAwareCollectives, AnnouncedDeathThrowsOnAllSurvivors) {
+  ShmCommunicator comm(3);
+  comm.set_timeout(std::chrono::milliseconds(5000));
+  std::atomic<int> failures{0};
+  run_ranks(3, [&](Index r) {
+    if (r == 0) {
+      comm.mark_failed(0);  // cooperative crash notification, then death
+      return;
+    }
+    std::vector<float> buf(32, 1.0f);
+    try {
+      comm.allreduce_ring(r, buf);
+      FAIL() << "survivor rank " << r << " completed a dead collective";
+    } catch (const RankFailure& e) {
+      ++failures;
+      ASSERT_EQ(e.failed_ranks().size(), 1u);
+      EXPECT_EQ(e.failed_ranks()[0], 0);
+    }
+  });
+  EXPECT_EQ(failures.load(), 2);
+  EXPECT_TRUE(comm.has_failures());
+}
+
+TEST(FailureAwareCollectives, SilentDeathDetectedByTimeout) {
+  ShmCommunicator comm(3);
+  comm.set_timeout(std::chrono::milliseconds(150));
+  std::atomic<int> failures{0};
+  // Rank 1 simply never shows up: no announcement, no participation.
+  run_ranks(3, [&](Index r) {
+    if (r == 1) return;
+    std::vector<float> buf(16, static_cast<float>(r));
+    try {
+      comm.allreduce_flat(r, buf);
+      FAIL() << "survivor rank " << r << " completed a dead collective";
+    } catch (const RankFailure& e) {
+      ++failures;
+      ASSERT_EQ(e.failed_ranks().size(), 1u);
+      EXPECT_EQ(e.failed_ranks()[0], 1);  // timeout names the absentee
+    }
+  });
+  EXPECT_EQ(failures.load(), 2);
+  const auto dead = comm.failed_ranks();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 1);
+}
+
+TEST(FailureAwareCollectives, PoisonedCommunicatorThrowsImmediately) {
+  ShmCommunicator comm(2);
+  comm.mark_failed(1);
+  EXPECT_THROW(comm.barrier(), RankFailure);
+  std::vector<float> buf(4, 0.0f);
+  EXPECT_THROW(comm.allreduce_ring(0, buf), RankFailure);
+  EXPECT_THROW(comm.broadcast(0, buf), RankFailure);
+}
+
+TEST(FailureAwareCollectives, ShrinkRebuildsWorkingCommunicator) {
+  ShmCommunicator comm(4);
+  comm.set_timeout(std::chrono::milliseconds(5000));
+  run_ranks(4, [&](Index r) {
+    if (r == 2) {
+      comm.mark_failed(2);
+      return;
+    }
+    std::vector<float> buf(8, 1.0f);
+    EXPECT_THROW(comm.allreduce_ring(r, buf), RankFailure);
+  });
+  const ShmCommunicator::Shrunk shrunk = comm.shrink();
+  ASSERT_EQ(shrunk.comm->ranks(), 3);
+  ASSERT_EQ(shrunk.old_rank, (std::vector<Index>{0, 1, 3}));
+  // The shrunk communicator actually works: a real ring all-reduce.
+  std::vector<std::vector<float>> bufs(3, std::vector<float>(10));
+  for (Index r = 0; r < 3; ++r) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      bufs[static_cast<std::size_t>(r)][i] = static_cast<float>(r + 1);
+    }
+  }
+  run_ranks(3, [&](Index r) {
+    shrunk.comm->allreduce_ring(r, bufs[static_cast<std::size_t>(r)]);
+  });
+  for (const auto& buf : bufs) {
+    for (float v : buf) EXPECT_EQ(v, 6.0f);  // 1 + 2 + 3
+  }
+}
+
+TEST(FailureAwareCollectives, MismatchedSizesStillThrowTogether) {
+  // The pre-collective span-length validation: all live ranks throw in the
+  // registration phase, before any reduction touches a span.
+  ShmCommunicator comm(3);
+  std::vector<float> a(8), b(8), c(9);
+  std::atomic<int> errors{0};
+  run_ranks(3, [&](Index r) {
+    std::span<float> buf = r == 0 ? std::span<float>(a)
+                          : r == 1 ? std::span<float>(b)
+                                   : std::span<float>(c);
+    try {
+      comm.allreduce_ring(r, buf);
+    } catch (const Error&) {
+      ++errors;
+    }
+  });
+  EXPECT_EQ(errors.load(), 3);
+  EXPECT_FALSE(comm.has_failures());  // misuse, not a rank death
+}
+
+// ---- checkpoint format v2 ---------------------------------------------------
+
+Model small_model(std::uint64_t seed) {
+  Model m;
+  m.add(make_dense(12)).add(make_relu()).add(make_dense(2));
+  m.build({6}, seed);
+  return m;
+}
+
+Dataset blob_dataset(Index n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  Dataset d{Tensor({n, 6}), Tensor({n})};
+  for (Index i = 0; i < n; ++i) {
+    const float cls = static_cast<float>(i % 2);
+    d.y[i] = cls;
+    for (Index j = 0; j < 6; ++j) {
+      d.x.at(i, j) = static_cast<float>(rng.normal(cls * 2.0 - 1.0, 0.8));
+    }
+  }
+  return d;
+}
+
+std::vector<float> weights_of(const Model& m) {
+  std::vector<float> w(static_cast<std::size_t>(m.num_params()));
+  m.copy_weights_to(w);
+  return w;
+}
+
+TEST(CheckpointV2, RoundTripsOptimizerStateBitIdentically) {
+  const std::string path = "/tmp/candle_resil_ckpt1.bin";
+  const Dataset d = blob_dataset(64, 11);
+  SoftmaxCrossEntropy xent;
+
+  Model a = small_model(12);
+  Adam opt_a(5e-3f);
+  for (Index s = 0; s < 5; ++s) a.train_batch(d.x, d.y, xent, opt_a);
+  save_checkpoint(a, &opt_a, /*step=*/5, path);
+
+  Model b = small_model(999);  // different init, fully overwritten by load
+  Adam opt_b(5e-3f);
+  const CheckpointMeta meta = load_checkpoint(b, &opt_b, path);
+  EXPECT_EQ(meta.version, 2u);
+  EXPECT_EQ(meta.step, 5);
+  EXPECT_TRUE(meta.has_optimizer);
+  EXPECT_EQ(weights_of(a), weights_of(b));
+
+  // Continuation is bit-identical: Adam moments AND step counters restored.
+  for (Index s = 0; s < 4; ++s) {
+    a.train_batch(d.x, d.y, xent, opt_a);
+    b.train_batch(d.x, d.y, xent, opt_b);
+  }
+  EXPECT_EQ(weights_of(a), weights_of(b));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointV2, OptimizerSnapshotsRoundTripForEveryKind) {
+  const Dataset d = blob_dataset(64, 21);
+  SoftmaxCrossEntropy xent;
+  for (const std::string kind : {"sgd", "momentum", "rmsprop", "adam"}) {
+    Model a = small_model(22);
+    auto opt_a = make_optimizer(kind, 0.01f);
+    for (Index s = 0; s < 3; ++s) a.train_batch(d.x, d.y, xent, *opt_a);
+    const OptimizerSnapshot snap = opt_a->export_state();
+    EXPECT_EQ(snap.name, kind);
+
+    Model b = small_model(23);
+    b.set_weights_from(weights_of(a));
+    auto opt_b = make_optimizer(kind, 0.01f);
+    opt_b->import_state(snap);
+    for (Index s = 0; s < 3; ++s) {
+      a.train_batch(d.x, d.y, xent, *opt_a);
+      b.train_batch(d.x, d.y, xent, *opt_b);
+    }
+    EXPECT_EQ(weights_of(a), weights_of(b)) << kind;
+  }
+  // Kind mismatch is rejected.
+  auto adam = make_adam(1e-3f);
+  auto sgd = make_sgd(0.1f);
+  EXPECT_THROW(sgd->import_state(adam->export_state()), Error);
+}
+
+TEST(CheckpointV2, CrcDetectsCorruptionAndTruncation) {
+  const std::string path = "/tmp/candle_resil_ckpt2.bin";
+  Model m = small_model(31);
+  Adam opt(1e-3f);
+  save_checkpoint(m, &opt, 3, path);
+
+  // Flip one payload byte: CRC must catch it.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  Model victim = small_model(32);
+  EXPECT_THROW(load_checkpoint(victim, nullptr, path), Error);
+
+  // Truncated file (simulates a crash mid-write without atomic rename).
+  save_checkpoint(m, &opt, 3, path);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_THROW(load_checkpoint(victim, nullptr, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointV2, WritesAreAtomicOverStaleTempFiles) {
+  const std::string path = "/tmp/candle_resil_ckpt3.bin";
+  Model m = small_model(41);
+  save_weights(m, path);
+  // A previous writer died mid-checkpoint, leaving a garbage temp file; the
+  // destination still loads, and the next save overwrites the stale temp.
+  {
+    std::ofstream junk(path + ".tmp", std::ios::binary);
+    junk << "partial garbage";
+  }
+  Model v = small_model(42);
+  load_weights(v, path);
+  EXPECT_EQ(weights_of(m), weights_of(v));
+  save_weights(m, path);
+  load_weights(v, path);
+  EXPECT_EQ(weights_of(m), weights_of(v));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointV2, LoadsLegacyV1WeightsOnlyFiles) {
+  const std::string path = "/tmp/candle_resil_ckpt4.bin";
+  Model m = small_model(51);
+  // Hand-write a v1 file: magic, count, then rank/dims/data per tensor.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    const std::uint32_t magic = 0xCA9D1E01u;
+    os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    auto params = m.params();
+    const std::uint64_t count = params.size();
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const Tensor* p : params) {
+      const std::uint32_t rank = static_cast<std::uint32_t>(p->ndim());
+      os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+      for (Index dd = 0; dd < p->ndim(); ++dd) {
+        const std::int64_t dim = p->dim(dd);
+        os.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+      }
+      os.write(reinterpret_cast<const char*>(p->data()),
+               static_cast<std::streamsize>(p->numel() * sizeof(float)));
+    }
+  }
+  Model v = small_model(52);
+  Adam opt(1e-3f);
+  const CheckpointMeta meta = load_checkpoint(v, &opt, path);
+  EXPECT_EQ(meta.version, 1u);
+  EXPECT_FALSE(meta.has_optimizer);
+  EXPECT_EQ(weights_of(m), weights_of(v));
+  std::filesystem::remove(path);
+}
+
+// ---- analytic model vs Monte-Carlo simulation -------------------------------
+
+TEST(ResilienceModel, SimulationPinsClosedFormAcrossConfigGrid) {
+  // expected_runtime_s is a first-order model; the discrete-event simulator
+  // is the ground truth.  Across a grid of (nodes, MTBF, checkpoint cost)
+  // the two must agree within a stated tolerance that scales with the
+  // failure intensity (the closed form ignores failures during re-done
+  // work, a second-order term).
+  for (const Index nodes : {512, 4096}) {
+    for (const double mtbf_h : {2000.0, 20000.0}) {
+      for (const double state_gb : {1.0, 8.0}) {
+        hpcsim::ResilienceConfig cfg;
+        cfg.nodes = nodes;
+        cfg.node_mtbf_hours = mtbf_h;
+        cfg.checkpoint_state_gb = state_gb;
+        cfg.checkpoint_bandwidth_gbs = 50.0;
+        cfg.restart_overhead_s = 60.0;
+        const double interval = hpcsim::optimal_checkpoint_interval_s(cfg);
+        const double work = 300.0 * interval;
+        const double analytic = hpcsim::expected_runtime_s(cfg, work, interval);
+        const double simulated =
+            hpcsim::simulate_runtime_s(cfg, work, interval, 400, 77);
+        const double intensity = interval / hpcsim::job_mtbf_s(cfg);
+        const double tol = 0.02 + 2.0 * intensity;  // second-order headroom
+        EXPECT_NEAR(simulated / analytic, 1.0, tol)
+            << "nodes=" << nodes << " mtbf_h=" << mtbf_h
+            << " state_gb=" << state_gb;
+      }
+    }
+  }
+}
+
+TEST(ResilienceModel, OptimalIntervalMinimizesSimulatedRuntime) {
+  // Property: the Young/Daly interval beats +/-2x perturbations of itself
+  // under the executable simulator (shallow optimum, so a failure-heavy
+  // config is used to get the curvature above simulation noise).
+  hpcsim::ResilienceConfig cfg;
+  cfg.nodes = 4096;
+  cfg.node_mtbf_hours = 200.0;         // job MTBF ~175 s: failure-heavy
+  cfg.checkpoint_state_gb = 200.0;     // 4 s checkpoints
+  cfg.checkpoint_bandwidth_gbs = 50.0;
+  cfg.restart_overhead_s = 60.0;
+  const double opt = hpcsim::optimal_checkpoint_interval_s(cfg);
+  const double work = 100.0 * opt;
+  const Index trials = 1500;
+  const double at_opt = hpcsim::simulate_runtime_s(cfg, work, opt, trials, 5);
+  const double at_half =
+      hpcsim::simulate_runtime_s(cfg, work, 0.5 * opt, trials, 5);
+  const double at_double =
+      hpcsim::simulate_runtime_s(cfg, work, 2.0 * opt, trials, 5);
+  EXPECT_LE(at_opt, at_half * 1.02);
+  EXPECT_LE(at_opt, at_double * 1.02);
+}
+
+// ---- resilient end-to-end ---------------------------------------------------
+
+ModelFactory blob_model_factory(std::uint64_t seed) {
+  return [seed] {
+    Model m;
+    m.add(make_dense(12)).add(make_relu()).add(make_dense(2));
+    m.build({6}, seed);
+    return m;
+  };
+}
+
+ResilientOptions base_options(const std::string& tag) {
+  ResilientOptions o;
+  o.train.replicas = 4;
+  o.train.batch_per_replica = 16;
+  o.train.epochs = 4;   // 256 samples / 64 global batch = 4 steps/epoch
+  o.train.seed = 71;
+  o.checkpoint_every_steps = 4;
+  o.checkpoint_path = "/tmp/candle_resil_e2e_" + tag + ".bin";
+  o.collective_timeout = std::chrono::milliseconds(500);
+  return o;
+}
+
+void cleanup(const ResilientOptions& o) {
+  std::filesystem::remove(o.checkpoint_path);
+  std::filesystem::remove(o.checkpoint_path + ".tmp");
+}
+
+TEST(ResilientTraining, FailureFreeMatchesPlainDataParallelBitwise) {
+  const Dataset d = blob_dataset(256, 61);
+  ResilientOptions o = base_options("clean");
+  Model resilient_model;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), o, &resilient_model);
+  EXPECT_EQ(res.committed_steps, 16);
+  EXPECT_EQ(res.executed_steps, 16);
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_GT(res.checkpoints_written, 0);
+
+  Model plain_model;
+  train_data_parallel(blob_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, SoftmaxCrossEntropy(), o.train, &plain_model);
+  EXPECT_EQ(weights_of(resilient_model), weights_of(plain_model))
+      << "the resilient wrapper must not perturb failure-free numerics";
+  cleanup(o);
+}
+
+TEST(ResilientTraining, ThreeCrashesRestoreBitIdentically) {
+  const Dataset d = blob_dataset(256, 61);
+
+  ResilientOptions clean = base_options("ref");
+  Model reference;
+  train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+                  SoftmaxCrossEntropy(), clean, &reference);
+
+  ResilientOptions faulty = base_options("crash3");
+  faulty.faults.crash(3, 1)
+      .crash(7, 2, /*announce=*/false)  // silent: timeout detection path
+      .crash(11, 0);
+  Model recovered;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), faulty, &recovered);
+
+  EXPECT_EQ(res.crashes, 3);
+  EXPECT_EQ(res.restarts, 3);
+  EXPECT_EQ(res.shrinks, 0);
+  EXPECT_EQ(res.committed_steps, res.planned_steps);
+  EXPECT_GT(res.executed_steps, res.committed_steps);  // lost work replayed
+  EXPECT_EQ(res.final_replicas, 4);
+  EXPECT_EQ(weights_of(recovered), weights_of(reference))
+      << "checkpoint restore + deterministic replay must be bit-identical";
+
+  // The structured log saw every phase.
+  Index injected = 0, detected = 0, recovered_n = 0;
+  for (const auto& rec : res.log) {
+    injected += rec.phase == "injected";
+    detected += rec.phase == "detected";
+    recovered_n += rec.phase == "recovered";
+  }
+  EXPECT_EQ(injected, 3);
+  EXPECT_EQ(detected, 3);
+  EXPECT_EQ(recovered_n, 3);
+  cleanup(faulty);
+  cleanup(clean);
+}
+
+TEST(ResilientTraining, CorruptionRollsBackBitIdentically) {
+  const Dataset d = blob_dataset(256, 61);
+  ResilientOptions clean = base_options("ref2");
+  Model reference;
+  train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+                  SoftmaxCrossEntropy(), clean, &reference);
+
+  ResilientOptions faulty = base_options("corrupt");
+  faulty.faults.corrupt(6, 2, 16);
+  Model recovered;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), faulty, &recovered);
+  EXPECT_EQ(res.corruptions, 1);
+  EXPECT_EQ(res.restarts, 1);
+  EXPECT_EQ(weights_of(recovered), weights_of(reference));
+  cleanup(faulty);
+  cleanup(clean);
+}
+
+TEST(ResilientTraining, StragglerDelaysButDoesNotPerturb) {
+  const Dataset d = blob_dataset(256, 61);
+  ResilientOptions clean = base_options("ref3");
+  Model reference;
+  train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+                  SoftmaxCrossEntropy(), clean, &reference);
+
+  ResilientOptions faulty = base_options("straggle");
+  faulty.faults.straggle(4, 1, 0.05);
+  Model out;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), faulty, &out);
+  EXPECT_EQ(res.stragglers, 1);
+  EXPECT_NEAR(res.straggler_delay_s, 0.05, 1e-6);
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_EQ(res.crashes, 0);
+  EXPECT_EQ(weights_of(out), weights_of(reference));
+  cleanup(faulty);
+  cleanup(clean);
+}
+
+TEST(ResilientTraining, FailedCheckpointWriteKeepsPreviousCheckpoint) {
+  const Dataset d = blob_dataset(256, 61);
+  ResilientOptions clean = base_options("ref4");
+  Model reference;
+  train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+                  SoftmaxCrossEntropy(), clean, &reference);
+
+  // The write at step 8 fails; the crash at step 9 must restore the step-4
+  // checkpoint (the newest durable one) and still end bit-identical.
+  ResilientOptions faulty = base_options("ckptfail");
+  faulty.faults.fail_checkpoint(8).crash(9, 3);
+  Model recovered;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), faulty, &recovered);
+  EXPECT_EQ(res.checkpoint_failures, 1);
+  EXPECT_EQ(res.restarts, 1);
+  // 9 committed - restored to 4 - replayed: at least 5 extra steps.
+  EXPECT_GE(res.executed_steps, res.planned_steps + 5);
+  EXPECT_EQ(weights_of(recovered), weights_of(reference));
+  cleanup(faulty);
+  cleanup(clean);
+}
+
+TEST(ResilientTraining, ColdRestartWhenNoDurableCheckpointExists) {
+  const Dataset d = blob_dataset(256, 61);
+  ResilientOptions clean = base_options("ref5");
+  Model reference;
+  train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+                  SoftmaxCrossEntropy(), clean, &reference);
+
+  // Even the initial checkpoint write fails, then a replica dies: recovery
+  // falls back to a cold restart from the deterministic factory state.
+  ResilientOptions faulty = base_options("cold");
+  faulty.faults.fail_checkpoint(0).crash(2, 1);
+  Model recovered;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), faulty, &recovered);
+  EXPECT_EQ(res.restarts, 1);
+  EXPECT_EQ(weights_of(recovered), weights_of(reference));
+  cleanup(faulty);
+  cleanup(clean);
+}
+
+TEST(ResilientTraining, ElasticShrinkConvergesStatistically) {
+  const Dataset d = blob_dataset(512, 41);
+  ResilientOptions o;
+  o.train.replicas = 4;
+  o.train.batch_per_replica = 16;
+  o.train.epochs = 8;  // 512 / 64 = 8 steps per epoch
+  o.train.seed = 42;
+  o.checkpoint_every_steps = 8;
+  o.checkpoint_path = "/tmp/candle_resil_e2e_shrink.bin";
+  o.collective_timeout = std::chrono::milliseconds(500);
+  o.policy = RecoveryPolicy::Shrink;
+  o.faults.crash(10, 2);
+  Model trained;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(43), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), o, &trained);
+  EXPECT_EQ(res.shrinks, 1);
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_EQ(res.final_replicas, 3);
+  EXPECT_EQ(res.committed_steps, res.planned_steps);
+  ASSERT_EQ(res.epoch_loss.size(), 8u);
+  // Statistical equivalence: the shrunk run still solves the task.
+  EXPECT_LT(res.epoch_loss.back(), 0.5f * res.epoch_loss.front());
+  EXPECT_GT(accuracy(trained.predict(d.x), d.y), 0.93);
+  cleanup(o);
+}
+
+TEST(ResilientTraining, SingleSurvivorCrashFallsBackToRestart) {
+  const Dataset d = blob_dataset(128, 81);
+  ResilientOptions o;
+  o.train.replicas = 1;
+  o.train.batch_per_replica = 32;
+  o.train.epochs = 3;   // 128/32 = 4 steps per epoch
+  o.train.seed = 82;
+  o.checkpoint_every_steps = 3;
+  o.checkpoint_path = "/tmp/candle_resil_e2e_solo.bin";
+  o.policy = RecoveryPolicy::Shrink;  // cannot shrink below one replica
+  o.faults.crash(5, 0);
+  Model trained;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(83), [] { return make_sgd(0.05f); }, d,
+      SoftmaxCrossEntropy(), o, &trained);
+  EXPECT_EQ(res.shrinks, 0);
+  EXPECT_EQ(res.restarts, 1);
+  EXPECT_EQ(res.final_replicas, 1);
+  EXPECT_EQ(res.committed_steps, res.planned_steps);
+  cleanup(o);
+}
+
+TEST(ResilientTraining, MeasuredOverheadTracksAnalyticModel) {
+  // A dense random crash schedule, with the analytic model configured to
+  // the same failure intensity: the measured (modeled-accounting) overhead
+  // factor must track expected_runtime_s.  This is the closed form
+  // validated by the executable system it was written for.
+  const Dataset d = blob_dataset(256, 91);
+  ResilientOptions o;
+  o.train.replicas = 4;
+  o.train.batch_per_replica = 16;
+  o.train.epochs = 50;  // 256/64 = 4 steps/epoch -> 200 planned steps
+  o.train.seed = 92;
+  o.checkpoint_every_steps = 10;
+  o.checkpoint_path = "/tmp/candle_resil_e2e_overhead.bin";
+  o.collective_timeout = std::chrono::milliseconds(2000);
+  o.step_seconds = 1.0;
+  // Analytic machine: job MTBF 15 s at 1 s steps, 2 s checkpoints, 3 s
+  // restart.  16 injected crashes over ~240 s of modeled runtime matches
+  // the 240/15 = 16 failures the closed form expects.
+  o.resilience.nodes = 3600;
+  o.resilience.node_mtbf_hours = 15.0;
+  o.resilience.checkpoint_state_gb = 100.0;
+  o.resilience.checkpoint_bandwidth_gbs = 50.0;  // 2 s per checkpoint
+  o.resilience.restart_overhead_s = 3.0;
+  o.max_recoveries = 64;
+  o.faults = runtime::random_fault_schedule(1234, 200, 4, /*crashes=*/16);
+  Model trained;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(93), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), o, &trained);
+  EXPECT_EQ(res.committed_steps, 200);
+  EXPECT_EQ(res.crashes, 16);
+  EXPECT_GT(res.overhead_factor(), 1.1);  // faults genuinely cost something
+  EXPECT_GT(res.analytic_overhead_factor, 1.1);
+  EXPECT_NEAR(res.overhead_factor() / res.analytic_overhead_factor, 1.0, 0.25)
+      << "measured=" << res.overhead_factor()
+      << " analytic=" << res.analytic_overhead_factor;
+  cleanup(o);
+}
+
+TEST(ResilientTraining, RejectsUncheckpointableConfigurations) {
+  const Dataset d = blob_dataset(128, 95);
+  ResilientOptions o = base_options("reject");
+  o.train.gradient_topk_fraction = 0.1;  // error-feedback residual state
+  EXPECT_THROW(train_resilient(blob_model_factory(96),
+                               [] { return make_sgd(0.1f); }, d,
+                               SoftmaxCrossEntropy(), o),
+               Error);
+  ResilientOptions o2 = base_options("reject2");
+  o2.checkpoint_path.clear();
+  EXPECT_THROW(train_resilient(blob_model_factory(96),
+                               [] { return make_sgd(0.1f); }, d,
+                               SoftmaxCrossEntropy(), o2),
+               Error);
+}
+
+}  // namespace
+}  // namespace candle::parallel
