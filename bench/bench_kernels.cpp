@@ -3,12 +3,18 @@
 // emulation overhead, conv lowering, and the executable ring all-reduce.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/kernels.hpp"
 #include "parallel/collectives.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/timer.hpp"
 
 namespace {
 
@@ -144,6 +150,155 @@ void BM_RingAllReduce(benchmark::State& state) {
 
 BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// ---- --json mode: machine-readable GFLOP/s sweep ------------------------------
+// `bench_kernels --json[=path]` bypasses the google-benchmark runner and
+// emits a compact JSON report (default: BENCH_kernels.json) that CI checks
+// in as the performance record for this machine.
+
+// Median-of-reps wall time for `fn()`, self-calibrating the iteration count
+// so each rep runs at least ~20 ms.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  fn();  // warm-up (also brings workspace arenas to their high-water mark)
+  int iters = 1;
+  for (;;) {
+    Stopwatch sw;
+    for (int i = 0; i < iters; ++i) fn();
+    const double t = sw.seconds();
+    if (t >= 0.02 || iters >= (1 << 20)) {
+      double best = t / iters;
+      for (int rep = 0; rep < 2; ++rep) {
+        Stopwatch sw2;
+        for (int i = 0; i < iters; ++i) fn();
+        best = std::min(best, sw2.seconds() / iters);
+      }
+      return best;
+    }
+    iters *= 2;
+  }
+}
+
+struct JsonWriter {
+  std::ofstream out;
+  bool first = true;
+
+  explicit JsonWriter(const std::string& path) : out(path) {
+    out << "{\n  \"benchmarks\": [\n";
+  }
+  void entry(const std::string& kernel, Index n, const std::string& precision,
+             double gflops) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"kernel\": \"" << kernel << "\", \"n\": " << n
+        << ", \"precision\": \"" << precision
+        << "\", \"gflops\": " << gflops << "}";
+  }
+  void close() { out << "\n  ]\n}\n"; }
+};
+
+int run_json_sweep(const std::string& path) {
+  JsonWriter w(path);
+  const auto gflops_of = [](Index n, double secs) {
+    return 2.0 * static_cast<double>(n) * n * n / secs * 1e-9;
+  };
+
+  // GEMM tiers over square shapes (naive capped: it is O(n^3) at ~1 GFLOP/s).
+  const struct {
+    const char* name;
+    void (*fn)(Op, Op, Index, Index, Index, float, const float*, Index,
+               const float*, Index, float, float*, Index);
+    Index max_n;
+  } tiers[] = {{"gemm_naive", gemm_naive, 256},
+               {"gemm_serial", gemm_serial, 1024},
+               {"gemm", gemm, 1024}};
+  for (const auto& tier : tiers) {
+    for (Index n : {64, 128, 256, 512, 1024}) {
+      if (n > tier.max_n) continue;
+      Tensor a({n, n}), b({n, n}), c({n, n});
+      fill_random(a, 1);
+      fill_random(b, 2);
+      const double secs = time_seconds([&] {
+        tier.fn(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                0.0f, c.data(), n);
+      });
+      w.entry(tier.name, n, "fp32", gflops_of(n, secs));
+      std::cerr << tier.name << " n=" << n << ": " << gflops_of(n, secs)
+                << " GFLOP/s\n";
+    }
+  }
+
+  // Precision-emulated GEMM (round-at-pack / int8 requant cost included).
+  for (Precision prec : {Precision::FP32, Precision::BF16, Precision::FP16,
+                         Precision::INT8}) {
+    const Index n = 512;
+    Tensor a({n, n}), b({n, n}), c({n, n});
+    fill_random(a, 3);
+    fill_random(b, 4);
+    const double secs = time_seconds([&] {
+      gemm_emulated(prec, Op::None, Op::None, n, n, n, 1.0f, a.data(), n,
+                    b.data(), n, 0.0f, c.data(), n);
+    });
+    w.entry("gemm_emulated", n, precision_name(prec), gflops_of(n, secs));
+  }
+
+  // Fused epilogue vs unfused GEMM + separate bias/ReLU sweep.
+  {
+    const Index n = 512;
+    Tensor a({n, n}), b({n, n}), c({n, n}), bias({n});
+    fill_random(a, 5);
+    fill_random(b, 6);
+    fill_random(bias, 7);
+    Epilogue ep;
+    ep.bias = bias.data();
+    ep.act = Epilogue::Act::ReLU;
+    const double fused = time_seconds([&] {
+      gemm_fused(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                 0.0f, c.data(), n, ep);
+    });
+    const double unfused = time_seconds([&] {
+      gemm(Op::None, Op::None, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+           c.data(), n);
+      float* p = c.data();
+      for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          const float v = p[i * n + j] + bias[j];
+          p[i * n + j] = v > 0.0f ? v : 0.0f;
+        }
+      }
+    });
+    w.entry("gemm_fused_bias_relu", n, "fp32", gflops_of(n, fused));
+    w.entry("gemm_unfused_bias_relu", n, "fp32", gflops_of(n, unfused));
+  }
+
+  // GEMV (memory-bound partner): report effective GFLOP/s (2n^2 flops).
+  for (Index n : {1024, 4096}) {
+    Tensor a({n, n}), x({n}), y({n});
+    fill_random(a, 8);
+    fill_random(x, 9);
+    const double secs = time_seconds([&] {
+      gemv(Op::None, n, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+    });
+    w.entry("gemv", n, "fp32",
+            2.0 * static_cast<double>(n) * n / secs * 1e-9);
+  }
+
+  w.close();
+  std::cerr << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_json_sweep(eq != nullptr ? eq + 1 : "BENCH_kernels.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

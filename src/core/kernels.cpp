@@ -1,78 +1,545 @@
 #include "core/kernels.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
-#include <vector>
 
 #include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
 
 namespace candle {
 
 namespace {
 
-// Pack op(X) (rows x cols view) into a fresh contiguous row-major buffer.
-// GEMM fast paths only handle the untransposed layout; transposed operands
-// are packed first.  Packing is O(rows*cols) against O(M*N*K) compute, so
-// the copy never dominates.
-std::vector<float> pack(Op op, Index rows, Index cols, const float* x,
-                        Index ldx) {
-  std::vector<float> out(static_cast<std::size_t>(rows * cols));
-  if (op == Op::None) {
-    for (Index i = 0; i < rows; ++i) {
-      std::memcpy(out.data() + i * cols, x + i * ldx,
-                  static_cast<std::size_t>(cols) * sizeof(float));
-    }
-  } else {
-    // Stored as cols x rows; gather columns.
-    for (Index i = 0; i < rows; ++i) {
-      float* dst = out.data() + i * cols;
-      for (Index j = 0; j < cols; ++j) dst[j] = x[j * ldx + i];
+// ---- configure-time micro-kernel selection ----------------------------------
+//
+// CANDLE_GEMM_FORCE_SCALAR (set by -DCANDLE_GEMM_KERNEL=scalar at configure
+// time, or automatically when the compiler lacks -fopenmp-simd) compiles the
+// same engine with a tiny register tile and no SIMD pragma: a portable
+// fallback that stays bit-deterministic but leans entirely on -O3.
+#if defined(CANDLE_GEMM_FORCE_SCALAR)
+#define CANDLE_SIMD
+constexpr int kMR = 4, kNR = 4;
+#else
+#define CANDLE_SIMD _Pragma("omp simd")
+#if defined(__AVX512F__)
+// 8x32 tile: 16 zmm accumulators + 2 B vectors, broadcast-FMA per A element.
+constexpr int kMR = 8, kNR = 32;
+#elif defined(__AVX__)
+// 8x16 tile: 16 ymm accumulators (full register file on AVX2).
+constexpr int kMR = 8, kNR = 16;
+#else
+// 128-bit SIMD or plain SSE2: 8 xmm accumulators.
+constexpr int kMR = 4, kNR = 8;
+#endif
+#endif
+
+// Cache blocking (sized for ~32-48K L1 / ~1-2M L2 per core; see DESIGN.md):
+//   kKC: A micro-panels (kMR x kKC = 8 KB) and one B micro-panel
+//        (kKC x kNR = 32 KB) stay L1/L2 resident through the k loop.
+//   kMC: the packed A block (kMC x kKC x 4 B = 128 KB) sits in L2.
+//   kNC: the packed B panel (kKC x kNC x 4 B = 4 MB) sits in L3.
+constexpr Index kMC = 128;
+constexpr Index kKC = 256;
+constexpr Index kNC = 4096;
+static_assert(kMC % kMR == 0, "kMC must be a multiple of the register tile");
+
+Index round_up(Index v, Index to) { return (v + to - 1) / to * to; }
+
+// ---- pack-time operand transforms -------------------------------------------
+// Precision emulation rounds operands *while packing*, so reduced-precision
+// GEMM performs no extra full-operand copy passes.
+
+struct RoundNone {
+  float operator()(float v) const { return v; }
+};
+struct RoundFp16 {
+  float operator()(float v) const { return round_fp16(v); }
+};
+struct RoundBf16 {
+  float operator()(float v) const { return round_bf16(v); }
+};
+
+// op-resolved view of a stored matrix: logical (rows x cols) of op(X).
+struct MatView {
+  const float* p;
+  Index ld;
+  bool trans;  // stored cols x rows
+
+  float at(Index r, Index c) const {
+    return trans ? p[c * ld + r] : p[r * ld + c];
+  }
+};
+
+// ---- B-panel sources --------------------------------------------------------
+// pack_b is generic over where the K x N operand comes from; each source
+// fills one packed row segment (logical row p, columns [j0, j0+nr)).  The
+// im2col sources let convolution unfold its input directly into the packed
+// panel, skipping the materialized column matrix entirely.
+
+struct MatSrcB {
+  MatView v;
+
+  template <typename Round>
+  void fill_row(Index p, Index j0, Index nr, Round rnd, float* dst) const {
+    if (!v.trans) {
+      const float* src = v.p + p * v.ld + j0;
+      CANDLE_SIMD
+      for (Index j = 0; j < nr; ++j) dst[j] = rnd(src[j]);
+    } else {
+      const float* src = v.p + j0 * v.ld + p;
+      for (Index j = 0; j < nr; ++j) dst[j] = rnd(src[j * v.ld]);
     }
   }
-  return out;
+};
+
+struct Im2col1dSrcB {
+  const float* x;
+  Index length, kernel, stride;
+
+  template <typename Round>
+  void fill_row(Index p, Index j0, Index nr, Round rnd, float* dst) const {
+    const Index ch = p / kernel;
+    const Index t = p % kernel;
+    const float* src = x + ch * length + t + j0 * stride;
+    if (stride == 1) {
+      CANDLE_SIMD
+      for (Index j = 0; j < nr; ++j) dst[j] = rnd(src[j]);
+    } else {
+      for (Index j = 0; j < nr; ++j) dst[j] = rnd(src[j * stride]);
+    }
+  }
+};
+
+struct Im2col2dSrcB {
+  const float* x;
+  Index height, width, kernel, stride, wout;
+
+  template <typename Round>
+  void fill_row(Index p, Index j0, Index nr, Round rnd, float* dst) const {
+    const Index kk = kernel * kernel;
+    const Index ch = p / kk;
+    const Index rem = p % kk;
+    const Index ky = rem / kernel;
+    const Index kx = rem % kernel;
+    const float* base = x + ch * height * width + ky * width + kx;
+    Index oy = j0 / wout;
+    Index ox = j0 % wout;
+    for (Index j = 0; j < nr; ++j) {
+      dst[j] = rnd(base[oy * stride * width + ox * stride]);
+      if (++ox == wout) {
+        ox = 0;
+        ++oy;
+      }
+    }
+  }
+};
+
+// ---- packing ----------------------------------------------------------------
+
+// Pack rows [r0, r0+mc) x k [p0, p0+kc) of op(A) into kMR-row strips laid
+// out strip-major: dst[strip][p][i].  alpha is folded in here (after the
+// precision rounding), so the micro-kernel itself is pure FMA.  Strip tails
+// beyond mc are zero-filled and contribute nothing.
+template <typename Round>
+void pack_a(const MatView& a, Index r0, Index mc, Index p0, Index kc,
+            float alpha, Round rnd, float* dst) {
+  for (Index ir = 0; ir < mc; ir += kMR) {
+    const Index mr = std::min<Index>(kMR, mc - ir);
+    float* d = dst + ir * kc;
+    if (!a.trans) {
+      for (Index i = 0; i < mr; ++i) {
+        const float* src = a.p + (r0 + ir + i) * a.ld + p0;
+        for (Index p = 0; p < kc; ++p) d[p * kMR + i] = alpha * rnd(src[p]);
+      }
+    } else {
+      for (Index i = 0; i < mr; ++i) {
+        const float* src = a.p + p0 * a.ld + (r0 + ir + i);
+        for (Index p = 0; p < kc; ++p) {
+          d[p * kMR + i] = alpha * rnd(src[p * a.ld]);
+        }
+      }
+    }
+    for (Index i = mr; i < kMR; ++i) {
+      for (Index p = 0; p < kc; ++p) d[p * kMR + i] = 0.0f;
+    }
+  }
 }
 
-constexpr Index kKBlock = 256;  // K tile sized for L1-resident A fragments
+// Pack k [p0, p0+kc) x columns [j0, j0+nc) of the B source into kNR-column
+// strips laid out strip-major: dst[strip][p][j].  Strip tails are zeroed.
+template <typename Src, typename Round>
+void pack_b(const Src& src, Index p0, Index kc, Index j0, Index nc, Round rnd,
+            float* dst) {
+  for (Index jr = 0; jr < nc; jr += kNR) {
+    const Index nr = std::min<Index>(kNR, nc - jr);
+    float* d = dst + jr * kc;
+    for (Index p = 0; p < kc; ++p) {
+      float* dp = d + p * kNR;
+      src.fill_row(p0 + p, j0 + jr, nr, rnd, dp);
+      for (Index j = nr; j < kNR; ++j) dp[j] = 0.0f;
+    }
+  }
+}
 
-// Core blocked kernel over contiguous untransposed panels:
-// C[i0:i1, :] += alpha * A[i0:i1, :] * B, with A M x K (ld k) and B K x N
-// (ld n).  beta has already been applied to C.
-void gemm_panel_nn(Index i0, Index i1, Index n, Index k, float alpha,
-                   const float* a, const float* b, float* c, Index ldc) {
-  for (Index kk = 0; kk < k; kk += kKBlock) {
-    const Index kend = std::min(k, kk + kKBlock);
-    for (Index i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * ldc;
-      for (Index p = kk; p < kend; ++p) {
-        const float aval = alpha * arow[p];
-        if (aval == 0.0f) continue;
-        const float* brow = b + p * n;
-        // Contiguous axpy over the C row: auto-vectorizes under -O3.
-        for (Index j = 0; j < n; ++j) crow[j] += aval * brow[j];
+// ---- micro-kernel -----------------------------------------------------------
+
+// The register-blocked core: acc[MR][NR] += sum_p ap[p][:] (x) bp[p][:].
+// ap already carries alpha.  With CANDLE_SIMD this compiles to a
+// broadcast-FMA sequence that keeps the whole accumulator tile in vector
+// registers for the entire k loop.
+inline void micro_compute(Index kc, const float* ap, const float* bp,
+                          float (&acc)[kMR][kNR]) {
+  for (int i = 0; i < kMR; ++i) {
+    CANDLE_SIMD
+    for (int j = 0; j < kNR; ++j) acc[i][j] = 0.0f;
+  }
+  for (Index p = 0; p < kc; ++p) {
+    const float* b = bp + p * kNR;
+    const float* a = ap + p * kMR;
+    for (int i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      CANDLE_SIMD
+      for (int j = 0; j < kNR; ++j) acc[i][j] += av * b[j];
+    }
+  }
+}
+
+// Scalar epilogue formulas — kept identical to nn::ActivationLayer::forward
+// so fused results are bit-identical to an unfused elementwise pass.
+inline float epilogue_apply(float v, const Epilogue& ep, Index row,
+                            Index col) {
+  if (ep.bias != nullptr) {
+    v += ep.bias[ep.bias_axis == Epilogue::BiasAxis::Column ? col : row];
+  }
+  switch (ep.act) {
+    case Epilogue::Act::None:
+      break;
+    case Epilogue::Act::ReLU:
+      v = v > 0.0f ? v : 0.0f;
+      break;
+    case Epilogue::Act::Sigmoid:
+      v = 1.0f / (1.0f + std::exp(-v));
+      break;
+    case Epilogue::Act::Tanh:
+      v = std::tanh(v);
+      break;
+  }
+  return v;
+}
+
+// C-write of a full register tile.  `first` applies beta (beta == 0 never
+// reads C, so garbage/NaN in the output buffer is overwritten); `last`
+// applies the fused epilogue after the final k-block accumulates.
+void micro_store(const float (&acc)[kMR][kNR], float* c, Index ldc,
+                 float beta, bool first, bool last, const Epilogue& ep,
+                 Index row0, Index col0) {
+  const bool fuse = last && !ep.empty();
+  for (int i = 0; i < kMR; ++i) {
+    float* crow = c + i * ldc;
+    float vals[kNR];
+    if (first) {
+      if (beta == 0.0f) {
+        CANDLE_SIMD
+        for (int j = 0; j < kNR; ++j) vals[j] = acc[i][j];
+      } else {
+        CANDLE_SIMD
+        for (int j = 0; j < kNR; ++j) vals[j] = acc[i][j] + beta * crow[j];
+      }
+    } else {
+      CANDLE_SIMD
+      for (int j = 0; j < kNR; ++j) vals[j] = acc[i][j] + crow[j];
+    }
+    if (fuse) {
+      // Same scalar op order as epilogue_apply (bias, then activation), with
+      // the branches hoisted out of the lane loop so the tile stays SIMD.
+      if (ep.bias != nullptr) {
+        if (ep.bias_axis == Epilogue::BiasAxis::Column) {
+          const float* bj = ep.bias + col0;
+          CANDLE_SIMD
+          for (int j = 0; j < kNR; ++j) vals[j] += bj[j];
+        } else {
+          const float bv = ep.bias[row0 + i];
+          CANDLE_SIMD
+          for (int j = 0; j < kNR; ++j) vals[j] += bv;
+        }
+      }
+      switch (ep.act) {
+        case Epilogue::Act::None:
+          break;
+        case Epilogue::Act::ReLU:
+          CANDLE_SIMD
+          for (int j = 0; j < kNR; ++j) {
+            vals[j] = vals[j] > 0.0f ? vals[j] : 0.0f;
+          }
+          break;
+        case Epilogue::Act::Sigmoid:
+          for (int j = 0; j < kNR; ++j) {
+            vals[j] = 1.0f / (1.0f + std::exp(-vals[j]));
+          }
+          break;
+        case Epilogue::Act::Tanh:
+          for (int j = 0; j < kNR; ++j) vals[j] = std::tanh(vals[j]);
+          break;
+      }
+    }
+    CANDLE_SIMD
+    for (int j = 0; j < kNR; ++j) crow[j] = vals[j];
+  }
+}
+
+// C-write of a partial tile at the m/n edges (same scalar op sequence as the
+// full-tile store, so edge elements remain bit-identical to it).
+void micro_store_edge(const float (&acc)[kMR][kNR], Index mr, Index nr,
+                      float* c, Index ldc, float beta, bool first, bool last,
+                      const Epilogue& ep, Index row0, Index col0) {
+  const bool fuse = last && !ep.empty();
+  for (Index i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (Index j = 0; j < nr; ++j) {
+      float v = acc[i][j];
+      if (first) {
+        if (beta != 0.0f) v += beta * crow[j];
+      } else {
+        v += crow[j];
+      }
+      if (fuse) v = epilogue_apply(v, ep, row0 + i, col0 + j);
+      crow[j] = v;
+    }
+  }
+}
+
+// ---- blocked driver ---------------------------------------------------------
+
+// Per-(jc, pc) state shared by the strip workers.  parallel_for bodies
+// capture a single pointer to this so dispatch stays allocation-free.
+struct PanelCtx {
+  const MatView* a;
+  const float* bpack;
+  float* c;
+  Index m, ldc;
+  Index pc, kc, jc, nc;
+  float alpha, beta;
+  bool first, last;
+  const Epilogue* ep;
+};
+
+// Process micro-panel strips [s0, s1): pack the corresponding A rows into
+// this thread's arena (kMC rows at a time, preserving L2 blocking even when
+// a chunk is larger) and run the micro-kernel across the B panel.
+template <typename Round>
+void compute_strips(const PanelCtx& ctx, Round rnd, Index s0, Index s1) {
+  WorkspaceArena& arena = WorkspaceArena::local();
+  WorkspaceArena::Scope scope(arena);
+  float* apack =
+      arena.alloc<float>(static_cast<std::size_t>(kMC * ctx.kc));
+  const Index strips_per_mc = kMC / kMR;
+  for (Index sb = s0; sb < s1; sb += strips_per_mc) {
+    const Index sb_end = std::min(s1, sb + strips_per_mc);
+    const Index r0 = sb * kMR;
+    const Index mc = std::min(sb_end * kMR, ctx.m) - r0;
+    pack_a(*ctx.a, r0, mc, ctx.pc, ctx.kc, ctx.alpha, rnd, apack);
+    for (Index jr = 0; jr < ctx.nc; jr += kNR) {
+      const Index nr = std::min<Index>(kNR, ctx.nc - jr);
+      const float* bp = ctx.bpack + jr * ctx.kc;
+      for (Index s = sb; s < sb_end; ++s) {
+        const Index ir = (s - sb) * kMR;
+        const Index mr = std::min<Index>(kMR, ctx.m - (r0 + ir));
+        float acc[kMR][kNR];
+        micro_compute(ctx.kc, apack + ir * ctx.kc, bp, acc);
+        float* ct = ctx.c + (r0 + ir) * ctx.ldc + ctx.jc + jr;
+        if (mr == kMR && nr == kNR) {
+          micro_store(acc, ct, ctx.ldc, ctx.beta, ctx.first, ctx.last,
+                      *ctx.ep, r0 + ir, ctx.jc + jr);
+        } else {
+          micro_store_edge(acc, mr, nr, ct, ctx.ldc, ctx.beta, ctx.first,
+                           ctx.last, *ctx.ep, r0 + ir, ctx.jc + jr);
+        }
       }
     }
   }
 }
 
-void scale_c(Index m, Index n, float beta, float* c, Index ldc) {
-  if (beta == 1.0f) return;
+// beta-scale + epilogue over all of C: the k == 0 / alpha == 0 degenerate
+// path (the epilogue still runs — C = act(beta*C + bias)).
+void scale_epilogue_c(Index m, Index n, float beta, float* c, Index ldc,
+                      const Epilogue& ep) {
   for (Index i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-    } else {
-      for (Index j = 0; j < n; ++j) crow[j] *= beta;
+    for (Index j = 0; j < n; ++j) {
+      float v = beta == 0.0f ? 0.0f : beta * crow[j];
+      v = epilogue_apply(v, ep, i, j);
+      crow[j] = v;
     }
   }
 }
 
+// The BLIS-style engine: pack B per (jc, pc) panel on the calling thread,
+// then fan the micro-panel strips out over the pool (or run them inline for
+// the serial tier).  The grain is flop-derived so cheap strips coalesce
+// instead of degenerating to one strip per steal.
+template <typename SrcB, typename Round>
+void gemm_packed(const MatView& a, const SrcB& bsrc, Index m, Index n,
+                 Index k, float alpha, float beta, float* c, Index ldc,
+                 const Epilogue& ep, Round rnd, bool threads) {
+  WorkspaceArena& arena = WorkspaceArena::local();
+  WorkspaceArena::Scope scope(arena);
+  const Index nstrips = (m + kMR - 1) / kMR;
+  const Index nc_max = std::min<Index>(kNC, round_up(n, kNR));
+  const Index kc_max = std::min<Index>(kKC, k);
+  float* bpack =
+      arena.alloc<float>(static_cast<std::size_t>(kc_max * nc_max));
+  for (Index jc = 0; jc < n; jc += kNC) {
+    const Index nc = std::min<Index>(kNC, n - jc);
+    for (Index pc = 0; pc < k; pc += kKC) {
+      const Index kc = std::min<Index>(kKC, k - pc);
+      pack_b(bsrc, pc, kc, jc, nc, rnd, bpack);
+      PanelCtx ctx{&a,    bpack, c,  m,       ldc,  pc,
+                   kc,    jc,    nc, alpha,   beta, pc == 0,
+                   pc + kc >= k, &ep};
+      if (threads) {
+        const double flops_per_strip =
+            2.0 * static_cast<double>(kMR) * static_cast<double>(kc) *
+            static_cast<double>(nc);
+        parallel_for(0, nstrips, grain_for_flops(nstrips, flops_per_strip),
+                     [&ctx](Index s0, Index s1) {
+                       compute_strips(ctx, Round{}, s0, s1);
+                     });
+      } else {
+        compute_strips(ctx, rnd, 0, nstrips);
+      }
+    }
+  }
+}
+
+// Dispatch helper shared by the fp32 and emulated entry points.
+template <typename SrcB>
+void gemm_packed_rounded(Precision prec, const MatView& a, const SrcB& bsrc,
+                         Index m, Index n, Index k, float alpha, float beta,
+                         float* c, Index ldc, const Epilogue& ep,
+                         bool threads) {
+  switch (prec) {
+    case Precision::FP16:
+      gemm_packed(a, bsrc, m, n, k, alpha, beta, c, ldc, ep, RoundFp16{},
+                  threads);
+      break;
+    case Precision::BF16:
+      gemm_packed(a, bsrc, m, n, k, alpha, beta, c, ldc, ep, RoundBf16{},
+                  threads);
+      break;
+    default:
+      gemm_packed(a, bsrc, m, n, k, alpha, beta, c, ldc, ep, RoundNone{},
+                  threads);
+      break;
+  }
+}
+
+// ---- int8 engine ------------------------------------------------------------
+
+// Quantize the logical (rows x cols) view of op(X) into contiguous
+// row-major int8 in `dst` (same scale rule as formats.hpp quantize_int8).
+float quantize_view(const MatView& v, Index rows, Index cols,
+                    std::int8_t* dst) {
+  float amax = 0.0f;
+  for (Index r = 0; r < rows; ++r) {
+    for (Index j = 0; j < cols; ++j) {
+      amax = std::max(amax, std::abs(v.at(r, j)));
+    }
+  }
+  const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (Index r = 0; r < rows; ++r) {
+    std::int8_t* drow = dst + r * cols;
+    if (!v.trans) {
+      const float* src = v.p + r * v.ld;
+      for (Index j = 0; j < cols; ++j) {
+        drow[j] = static_cast<std::int8_t>(
+            std::lrintf(std::clamp(src[j] * inv, -127.0f, 127.0f)));
+      }
+    } else {
+      for (Index j = 0; j < cols; ++j) {
+        drow[j] = static_cast<std::int8_t>(
+            std::lrintf(std::clamp(v.p[j * v.ld + r] * inv, -127.0f,
+                                   127.0f)));
+      }
+    }
+  }
+  return scale;
+}
+
+struct Int8Ctx {
+  const std::int8_t* qa;  // m x k
+  const std::int8_t* qb;  // k x n
+  float* c;
+  Index n, k, ldc;
+  float alpha_scale;  // alpha * scaleA * scaleB, folded into the dequant
+  float beta;
+  const Epilogue* ep;
+};
+
+// int32-accumulating row-panel kernel; alpha/beta and the epilogue are
+// folded into the single dequantizing C-write (no float product temporary).
+void gemm_int8_panel(const Int8Ctx& ctx, Index i0, Index i1) {
+  WorkspaceArena& arena = WorkspaceArena::local();
+  WorkspaceArena::Scope scope(arena);
+  std::int32_t* acc =
+      arena.alloc<std::int32_t>(static_cast<std::size_t>(ctx.n));
+  for (Index i = i0; i < i1; ++i) {
+    std::fill(acc, acc + ctx.n, 0);
+    const std::int8_t* arow = ctx.qa + i * ctx.k;
+    for (Index p = 0; p < ctx.k; ++p) {
+      const std::int32_t av = arow[p];
+      if (av == 0) continue;
+      const std::int8_t* brow = ctx.qb + p * ctx.n;
+      CANDLE_SIMD
+      for (Index j = 0; j < ctx.n; ++j) acc[j] += av * brow[j];
+    }
+    float* crow = ctx.c + i * ctx.ldc;
+    for (Index j = 0; j < ctx.n; ++j) {
+      float v = ctx.alpha_scale * static_cast<float>(acc[j]);
+      if (ctx.beta != 0.0f) v += ctx.beta * crow[j];
+      v = epilogue_apply(v, *ctx.ep, i, j);
+      crow[j] = v;
+    }
+  }
+}
+
+void gemm_int8_quantized(Index m, Index n, Index k, float alpha_scale,
+                         const std::int8_t* qa, const std::int8_t* qb,
+                         float beta, float* c, Index ldc,
+                         const Epilogue& ep) {
+  Int8Ctx ctx{qa, qb, c, n, k, ldc, alpha_scale, beta, &ep};
+  parallel_for(0, m, grain_for_flops(m, 2.0 * static_cast<double>(n) * k),
+               [&ctx](Index i0, Index i1) { gemm_int8_panel(ctx, i0, i1); });
+}
+
+void gemm_emulated_int8(Op op_a, Op op_b, Index m, Index n, Index k,
+                        float alpha, const float* a, Index lda,
+                        const float* b, Index ldb, float beta, float* c,
+                        Index ldc, const Epilogue& ep) {
+  WorkspaceArena& arena = WorkspaceArena::local();
+  WorkspaceArena::Scope scope(arena);
+  std::int8_t* qa = arena.alloc<std::int8_t>(static_cast<std::size_t>(m * k));
+  std::int8_t* qb = arena.alloc<std::int8_t>(static_cast<std::size_t>(k * n));
+  const float sa =
+      quantize_view({a, lda, op_a == Op::Transpose}, m, k, qa);
+  const float sb =
+      quantize_view({b, ldb, op_b == Op::Transpose}, k, n, qb);
+  gemm_int8_quantized(m, n, k, alpha * sa * sb, qa, qb, beta, c, ldc, ep);
+}
+
+void check_gemm_dims(Index m, Index n, Index k) {
+  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+}
+
 }  // namespace
+
+// ---- public GEMM tiers ------------------------------------------------------
 
 void gemm_naive(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
                 const float* a, Index lda, const float* b, Index ldb,
                 float beta, float* c, Index ldc) {
-  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+  check_gemm_dims(m, n, k);
   for (Index i = 0; i < m; ++i) {
     for (Index j = 0; j < n; ++j) {
       float acc = 0.0f;
@@ -86,134 +553,139 @@ void gemm_naive(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
   }
 }
 
-void gemm_serial(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
-                 const float* a, Index lda, const float* b, Index ldb,
-                 float beta, float* c, Index ldc) {
-  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+void gemm_fused(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+                const float* a, Index lda, const float* b, Index ldb,
+                float beta, float* c, Index ldc, const Epilogue& ep) {
+  check_gemm_dims(m, n, k);
   if (m == 0 || n == 0) return;
-  const std::vector<float> ap =
-      op_a == Op::None && lda == k
-          ? std::vector<float>()
-          : pack(op_a, m, k, a, lda);
-  const std::vector<float> bp =
-      op_b == Op::None && ldb == n
-          ? std::vector<float>()
-          : pack(op_b, k, n, b, ldb);
-  const float* aa = ap.empty() ? a : ap.data();
-  const float* bb = bp.empty() ? b : bp.data();
-  scale_c(m, n, beta, c, ldc);
-  if (k == 0) return;
-  gemm_panel_nn(0, m, n, k, alpha, aa, bb, c, ldc);
+  if (k == 0 || alpha == 0.0f) {
+    scale_epilogue_c(m, n, beta, c, ldc, ep);
+    return;
+  }
+  const MatView av{a, lda, op_a == Op::Transpose};
+  const MatSrcB bv{{b, ldb, op_b == Op::Transpose}};
+  gemm_packed(av, bv, m, n, k, alpha, beta, c, ldc, ep, RoundNone{},
+              /*threads=*/true);
 }
 
 void gemm(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
           const float* a, Index lda, const float* b, Index ldb, float beta,
           float* c, Index ldc) {
-  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
+  gemm_fused(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, {});
+}
+
+void gemm_serial(Op op_a, Op op_b, Index m, Index n, Index k, float alpha,
+                 const float* a, Index lda, const float* b, Index ldb,
+                 float beta, float* c, Index ldc) {
+  check_gemm_dims(m, n, k);
   if (m == 0 || n == 0) return;
-  // Below ~1 MFLOP the fork/join overhead beats the speedup.
-  if (m * n * k < (1 << 18)) {
-    gemm_serial(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  if (k == 0 || alpha == 0.0f) {
+    scale_epilogue_c(m, n, beta, c, ldc, {});
     return;
   }
-  const std::vector<float> ap =
-      op_a == Op::None && lda == k ? std::vector<float>()
-                                   : pack(op_a, m, k, a, lda);
-  const std::vector<float> bp =
-      op_b == Op::None && ldb == n ? std::vector<float>()
-                                   : pack(op_b, k, n, b, ldb);
-  const float* aa = ap.empty() ? a : ap.data();
-  const float* bb = bp.empty() ? b : bp.data();
-  scale_c(m, n, beta, c, ldc);
-  if (k == 0) return;
-  parallel_for(0, m, [&](Index i0, Index i1) {
-    gemm_panel_nn(i0, i1, n, k, alpha, aa, bb, c, ldc);
-  });
+  const MatView av{a, lda, op_a == Op::Transpose};
+  const MatSrcB bv{{b, ldb, op_b == Op::Transpose}};
+  const Epilogue ep;
+  gemm_packed(av, bv, m, n, k, alpha, beta, c, ldc, ep, RoundNone{},
+              /*threads=*/false);
 }
+
+// ---- GEMV -------------------------------------------------------------------
+
+namespace {
+
+struct GemvCtx {
+  const float* a;
+  const float* x;
+  float* y;
+  Index n, lda;
+  float alpha, beta;
+};
+
+void gemv_rows(const GemvCtx& ctx, Index i0, Index i1) {
+  for (Index i = i0; i < i1; ++i) {
+    const float* arow = ctx.a + i * ctx.lda;
+    float acc = 0.0f;
+    for (Index j = 0; j < ctx.n; ++j) acc += arow[j] * ctx.x[j];
+    // beta == 0 is an explicit overwrite (NaN/Inf in y must not survive).
+    ctx.y[i] = ctx.beta == 0.0f ? ctx.alpha * acc
+                                : ctx.alpha * acc + ctx.beta * ctx.y[i];
+  }
+}
+
+void gemv_cols(const GemvCtx& ctx, Index i0, Index i1) {
+  // A stored n x m; this chunk owns output slots [i0, i1) and streams the
+  // corresponding segment of every stored row.
+  for (Index i = i0; i < i1; ++i) {
+    ctx.y[i] = ctx.beta == 0.0f ? 0.0f : ctx.beta * ctx.y[i];
+  }
+  const Index w = i1 - i0;
+  for (Index j = 0; j < ctx.n; ++j) {
+    const float xv = ctx.alpha * ctx.x[j];
+    const float* arow = ctx.a + j * ctx.lda + i0;
+    float* yseg = ctx.y + i0;
+    CANDLE_SIMD
+    for (Index t = 0; t < w; ++t) yseg[t] += xv * arow[t];
+  }
+}
+
+}  // namespace
 
 void gemv(Op op_a, Index m, Index n, float alpha, const float* a, Index lda,
           const float* x, float beta, float* y) {
   CANDLE_CHECK(m >= 0 && n >= 0, "negative gemv dimension");
+  if (m == 0) return;
+  GemvCtx ctx{a, x, y, n, lda, alpha, beta};
+  const std::int64_t grain = grain_for_flops(m, 2.0 * static_cast<double>(n));
   if (op_a == Op::None) {
-    // y[i] = alpha * dot(A[i,:], x) + beta*y[i]
-    for (Index i = 0; i < m; ++i) {
-      const float* arow = a + i * lda;
-      float acc = 0.0f;
-      for (Index j = 0; j < n; ++j) acc += arow[j] * x[j];
-      y[i] = alpha * acc + beta * y[i];
-    }
+    parallel_for(0, m, grain,
+                 [&ctx](Index i0, Index i1) { gemv_rows(ctx, i0, i1); });
   } else {
-    // A stored n x m; y[i] = alpha * dot(A[:,i], x).  Stream A row-wise.
-    for (Index i = 0; i < m; ++i) y[i] *= beta == 0.0f ? 0.0f : beta;
-    for (Index j = 0; j < n; ++j) {
-      const float xv = alpha * x[j];
-      if (xv == 0.0f) continue;
-      const float* arow = a + j * lda;
-      for (Index i = 0; i < m; ++i) y[i] += xv * arow[i];
-    }
+    parallel_for(0, m, grain,
+                 [&ctx](Index i0, Index i1) { gemv_cols(ctx, i0, i1); });
   }
 }
 
+// ---- int8 + emulated entry points -------------------------------------------
+
 void gemm_int8(Index m, Index n, Index k, const float* a, const float* b,
                float* c) {
-  CANDLE_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dimension");
-  const QuantizedTensor qa =
-      quantize_int8({a, static_cast<std::size_t>(m * k)});
-  const QuantizedTensor qb =
-      quantize_int8({b, static_cast<std::size_t>(k * n)});
-  const float scale = qa.scale * qb.scale;
-  const std::int8_t* pa = qa.values.data();
-  const std::int8_t* pb = qb.values.data();
-  parallel_for(0, m, [&](Index i0, Index i1) {
-    std::vector<std::int32_t> acc(static_cast<std::size_t>(n));
-    for (Index i = i0; i < i1; ++i) {
-      std::fill(acc.begin(), acc.end(), 0);
-      const std::int8_t* arow = pa + i * k;
-      for (Index p = 0; p < k; ++p) {
-        const std::int32_t av = arow[p];
-        if (av == 0) continue;
-        const std::int8_t* brow = pb + p * n;
-        for (Index j = 0; j < n; ++j) acc[static_cast<std::size_t>(j)] += av * brow[j];
-      }
-      float* crow = c + i * n;
-      for (Index j = 0; j < n; ++j) {
-        crow[j] = scale * static_cast<float>(acc[static_cast<std::size_t>(j)]);
-      }
-    }
-  });
+  check_gemm_dims(m, n, k);
+  if (m == 0 || n == 0) return;
+  gemm_emulated_int8(Op::None, Op::None, m, n, k, 1.0f, a, k, b, n, 0.0f, c,
+                     n, {});
 }
 
 void gemm_emulated(Precision prec, Op op_a, Op op_b, Index m, Index n,
                    Index k, float alpha, const float* a, Index lda,
                    const float* b, Index ldb, float beta, float* c,
-                   Index ldc) {
+                   Index ldc, const Epilogue& ep) {
   if (prec == Precision::FP32 || prec == Precision::FP64) {
-    gemm(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    gemm_fused(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ep);
     return;
   }
-  // Pack to contiguous untransposed layout, then round through the format.
-  std::vector<float> ap = pack(op_a, m, k, a, lda);
-  std::vector<float> bp = pack(op_b, k, n, b, ldb);
+  check_gemm_dims(m, n, k);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    scale_epilogue_c(m, n, beta, c, ldc, ep);
+    return;
+  }
   if (prec == Precision::INT8) {
-    std::vector<float> prod(static_cast<std::size_t>(m * n));
-    gemm_int8(m, n, k, ap.data(), bp.data(), prod.data());
-    for (Index i = 0; i < m; ++i) {
-      float* crow = c + i * ldc;
-      const float* prow = prod.data() + i * n;
-      for (Index j = 0; j < n; ++j) {
-        crow[j] = alpha * prow[j] + beta * crow[j];
-      }
-    }
+    gemm_emulated_int8(op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                       ldc, ep);
     return;
   }
-  round_through(prec, ap);
-  round_through(prec, bp);
-  gemm(Op::None, Op::None, m, n, k, alpha, ap.data(), k, bp.data(), n, beta,
-       c, ldc);
+  const MatView av{a, lda, op_a == Op::Transpose};
+  const MatSrcB bv{{b, ldb, op_b == Op::Transpose}};
+  gemm_packed_rounded(prec, av, bv, m, n, k, alpha, beta, c, ldc, ep,
+                      /*threads=*/true);
 }
 
+// ---- tensor-level wrappers --------------------------------------------------
+
 void matmul_into(Tensor& c, const Tensor& a, Op op_a, const Tensor& b,
-                 Op op_b, float alpha, float beta, Precision prec) {
+                 Op op_b, float alpha, float beta, Precision prec,
+                 const Epilogue& ep) {
   CANDLE_CHECK(a.ndim() == 2 && b.ndim() == 2 && c.ndim() == 2,
                "matmul_into requires rank-2 tensors");
   const Index m = op_a == Op::None ? a.dim(0) : a.dim(1);
@@ -226,7 +698,7 @@ void matmul_into(Tensor& c, const Tensor& a, Op op_a, const Tensor& b,
   CANDLE_CHECK(c.dim(0) == m && c.dim(1) == n,
                "matmul output shape mismatch");
   gemm_emulated(prec, op_a, op_b, m, n, k, alpha, a.data(), a.dim(1),
-                b.data(), b.dim(1), beta, c.data(), n);
+                b.data(), b.dim(1), beta, c.data(), n, ep);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -234,6 +706,57 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor c({a.dim(0), b.dim(1)});
   matmul_into(c, a, Op::None, b, Op::None);
   return c;
+}
+
+// ---- convolution ------------------------------------------------------------
+
+void conv1d_forward_gemm(Precision prec, const float* x, Index channels,
+                         Index length, Index kernel, Index stride,
+                         const float* w, Index filters, const float* bias,
+                         float* y) {
+  const Index lout = conv_out_length(length, kernel, stride);
+  const Index fan_in = channels * kernel;
+  const Epilogue ep{bias, Epilogue::BiasAxis::Row, Epilogue::Act::None};
+  if (prec == Precision::INT8) {
+    // int8 quantizes whole operands up front; stage the unfold in the arena.
+    WorkspaceArena& arena = WorkspaceArena::local();
+    WorkspaceArena::Scope scope(arena);
+    float* cols =
+        arena.alloc<float>(static_cast<std::size_t>(fan_in * lout));
+    im2col_1d(x, channels, length, kernel, stride, cols);
+    gemm_emulated(prec, Op::None, Op::None, filters, lout, fan_in, 1.0f, w,
+                  fan_in, cols, lout, 0.0f, y, lout, ep);
+    return;
+  }
+  const MatView av{w, fan_in, false};
+  const Im2col1dSrcB bv{x, length, kernel, stride};
+  gemm_packed_rounded(prec, av, bv, filters, lout, fan_in, 1.0f, 0.0f, y,
+                      lout, ep, /*threads=*/true);
+}
+
+void conv2d_forward_gemm(Precision prec, const float* x, Index channels,
+                         Index height, Index width, Index kernel,
+                         Index stride, const float* w, Index filters,
+                         const float* bias, float* y) {
+  const Index hout = conv_out_length(height, kernel, stride);
+  const Index wout = conv_out_length(width, kernel, stride);
+  const Index ncols = hout * wout;
+  const Index fan_in = channels * kernel * kernel;
+  const Epilogue ep{bias, Epilogue::BiasAxis::Row, Epilogue::Act::None};
+  if (prec == Precision::INT8) {
+    WorkspaceArena& arena = WorkspaceArena::local();
+    WorkspaceArena::Scope scope(arena);
+    float* cols =
+        arena.alloc<float>(static_cast<std::size_t>(fan_in * ncols));
+    im2col_2d(x, channels, height, width, kernel, stride, cols);
+    gemm_emulated(prec, Op::None, Op::None, filters, ncols, fan_in, 1.0f, w,
+                  fan_in, cols, ncols, 0.0f, y, ncols, ep);
+    return;
+  }
+  const MatView av{w, fan_in, false};
+  const Im2col2dSrcB bv{x, height, width, kernel, stride, wout};
+  gemm_packed_rounded(prec, av, bv, filters, ncols, fan_in, 1.0f, 0.0f, y,
+                      ncols, ep, /*threads=*/true);
 }
 
 void im2col_1d(const float* x, Index channels, Index length, Index kernel,

@@ -18,7 +18,7 @@ std::string shape_to_string(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   CANDLE_CHECK(static_cast<Index>(data_.size()) == shape_numel(shape_),
                "value count does not match shape " + shape_to_string(shape_));
 }

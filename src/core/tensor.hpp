@@ -18,6 +18,7 @@
 
 #include "runtime/error.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/workspace.hpp"
 
 namespace candle {
 
@@ -53,7 +54,7 @@ class Tensor {
       : shape_(std::move(shape)),
         data_(static_cast<std::size_t>(shape_numel(shape_)), value) {}
 
-  /// Tensor adopting explicit contents (must match the shape's numel).
+  /// Tensor copying explicit contents (must match the shape's numel).
   Tensor(Shape shape, std::vector<float> values);
 
   // ---- factories -----------------------------------------------------------
@@ -136,7 +137,10 @@ class Tensor {
   std::size_t offset_of(std::initializer_list<Index> ix) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  // Cache-line-aligned storage so GEMM operands start on 64-byte boundaries
+  // (the packed kernels issue aligned SIMD loads against pack buffers and
+  // stream C rows; alignment keeps split-line traffic off the hot path).
+  AlignedVector data_;
 };
 
 /// Max elementwise absolute difference; tensors must have equal shapes.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/workspace.hpp"
+
 namespace candle {
 
 namespace {
@@ -39,11 +41,10 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   x_cache_ = x;
   const Index batch = x.dim(0);
   Tensor y({batch, units_});
-  matmul_into(y, x, Op::None, w_, Op::None, 1.0f, 0.0f, precision_);
-  for (Index i = 0; i < batch; ++i) {
-    float* yrow = y.data() + i * units_;
-    for (Index j = 0; j < units_; ++j) yrow[j] += b_[j];
-  }
+  // Per-unit bias rides the GEMM's C-write as a fused Column epilogue.
+  const Epilogue ep{b_.data(), Epilogue::BiasAxis::Column,
+                    Epilogue::Act::None};
+  matmul_into(y, x, Op::None, w_, Op::None, 1.0f, 0.0f, precision_, ep);
   return y;
 }
 
@@ -241,19 +242,14 @@ Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
                "Conv1D forward shape mismatch: " + shape_to_string(x.shape()));
   x_cache_ = x;
   const Index batch = x.dim(0);
-  const Index fan_in = channels_ * kernel_;
   Tensor y({batch, filters_, lout_});
-  std::vector<float> cols(static_cast<std::size_t>(fan_in * lout_));
+  // The unfold streams straight into the GEMM's packed-B panels and the
+  // per-filter bias is fused into the C-write — no im2col matrix, no
+  // separate bias sweep.
   for (Index s = 0; s < batch; ++s) {
-    im2col_1d(x.data() + s * channels_ * length_, channels_, length_, kernel_,
-              stride_, cols.data());
-    gemm_emulated(precision_, Op::None, Op::None, filters_, lout_, fan_in,
-                  1.0f, w_.data(), fan_in, cols.data(), lout_, 0.0f,
-                  y.data() + s * filters_ * lout_, lout_);
-    float* ys = y.data() + s * filters_ * lout_;
-    for (Index f = 0; f < filters_; ++f) {
-      for (Index j = 0; j < lout_; ++j) ys[f * lout_ + j] += b_[f];
-    }
+    conv1d_forward_gemm(precision_, x.data() + s * channels_ * length_,
+                        channels_, length_, kernel_, stride_, w_.data(),
+                        filters_, b_.data(), y.data() + s * filters_ * lout_);
   }
   return y;
 }
@@ -266,8 +262,10 @@ Tensor Conv1D::backward(const Tensor& dy) {
   dw_.fill(0.0f);
   db_.fill(0.0f);
   Tensor dx({batch, channels_, length_});
-  std::vector<float> cols(static_cast<std::size_t>(fan_in * lout_));
-  std::vector<float> dcols(static_cast<std::size_t>(fan_in * lout_));
+  WorkspaceArena& arena = WorkspaceArena::local();
+  WorkspaceArena::Scope scope(arena);
+  float* cols = arena.alloc<float>(static_cast<std::size_t>(fan_in * lout_));
+  float* dcols = arena.alloc<float>(static_cast<std::size_t>(fan_in * lout_));
   for (Index s = 0; s < batch; ++s) {
     const float* dys = dy.data() + s * filters_ * lout_;
     // db
@@ -276,15 +274,15 @@ Tensor Conv1D::backward(const Tensor& dy) {
     }
     // dW += dy_s @ cols^T
     im2col_1d(x_cache_.data() + s * channels_ * length_, channels_, length_,
-              kernel_, stride_, cols.data());
+              kernel_, stride_, cols);
     gemm_emulated(precision_, Op::None, Op::Transpose, filters_, fan_in,
-                  lout_, 1.0f, dys, lout_, cols.data(), lout_, 1.0f,
+                  lout_, 1.0f, dys, lout_, cols, lout_, 1.0f,
                   dw_.data(), fan_in);
     // dcols = W^T @ dy_s ; then scatter back.
     gemm_emulated(precision_, Op::Transpose, Op::None, fan_in, lout_,
                   filters_, 1.0f, w_.data(), fan_in, dys, lout_, 0.0f,
-                  dcols.data(), lout_);
-    col2im_1d(dcols.data(), channels_, length_, kernel_, stride_,
+                  dcols, lout_);
+    col2im_1d(dcols, channels_, length_, kernel_, stride_,
               dx.data() + s * channels_ * length_);
   }
   return dx;
@@ -321,20 +319,14 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
                "Conv2D forward shape mismatch: " + shape_to_string(x.shape()));
   x_cache_ = x;
   const Index batch = x.dim(0);
-  const Index fan_in = channels_ * kernel_ * kernel_;
   const Index ncols = hout_ * wout_;
   Tensor y({batch, filters_, hout_, wout_});
-  std::vector<float> cols(static_cast<std::size_t>(fan_in * ncols));
+  // Fused unfold-into-pack + per-filter bias epilogue (see Conv1D::forward).
   for (Index s = 0; s < batch; ++s) {
-    im2col_2d(x.data() + s * channels_ * height_ * width_, channels_, height_,
-              width_, kernel_, stride_, cols.data());
-    gemm_emulated(precision_, Op::None, Op::None, filters_, ncols, fan_in,
-                  1.0f, w_.data(), fan_in, cols.data(), ncols, 0.0f,
-                  y.data() + s * filters_ * ncols, ncols);
-    float* ys = y.data() + s * filters_ * ncols;
-    for (Index f = 0; f < filters_; ++f) {
-      for (Index j = 0; j < ncols; ++j) ys[f * ncols + j] += b_[f];
-    }
+    conv2d_forward_gemm(precision_, x.data() + s * channels_ * height_ * width_,
+                        channels_, height_, width_, kernel_, stride_,
+                        w_.data(), filters_, b_.data(),
+                        y.data() + s * filters_ * ncols);
   }
   return y;
 }
@@ -349,22 +341,24 @@ Tensor Conv2D::backward(const Tensor& dy) {
   dw_.fill(0.0f);
   db_.fill(0.0f);
   Tensor dx({batch, channels_, height_, width_});
-  std::vector<float> cols(static_cast<std::size_t>(fan_in * ncols));
-  std::vector<float> dcols(static_cast<std::size_t>(fan_in * ncols));
+  WorkspaceArena& arena = WorkspaceArena::local();
+  WorkspaceArena::Scope scope(arena);
+  float* cols = arena.alloc<float>(static_cast<std::size_t>(fan_in * ncols));
+  float* dcols = arena.alloc<float>(static_cast<std::size_t>(fan_in * ncols));
   for (Index s = 0; s < batch; ++s) {
     const float* dys = dy.data() + s * filters_ * ncols;
     for (Index f = 0; f < filters_; ++f) {
       for (Index j = 0; j < ncols; ++j) db_[f] += dys[f * ncols + j];
     }
     im2col_2d(x_cache_.data() + s * channels_ * height_ * width_, channels_,
-              height_, width_, kernel_, stride_, cols.data());
+              height_, width_, kernel_, stride_, cols);
     gemm_emulated(precision_, Op::None, Op::Transpose, filters_, fan_in,
-                  ncols, 1.0f, dys, ncols, cols.data(), ncols, 1.0f,
+                  ncols, 1.0f, dys, ncols, cols, ncols, 1.0f,
                   dw_.data(), fan_in);
     gemm_emulated(precision_, Op::Transpose, Op::None, fan_in, ncols,
                   filters_, 1.0f, w_.data(), fan_in, dys, ncols, 0.0f,
-                  dcols.data(), ncols);
-    col2im_2d(dcols.data(), channels_, height_, width_, kernel_, stride_,
+                  dcols, ncols);
+    col2im_2d(dcols, channels_, height_, width_, kernel_, stride_,
               dx.data() + s * channels_ * height_ * width_);
   }
   return dx;

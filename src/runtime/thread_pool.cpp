@@ -132,14 +132,22 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
     return;
   }
 
-  std::atomic<std::int64_t> cursor{begin};
-  const bool dispatched = pool.try_run_on_all([&](unsigned /*worker*/) {
+  // The job lambda captures a single pointer so the std::function fits its
+  // small-buffer slot: dispatching a parallel loop performs no heap
+  // allocation (the GEMM steady-state path must be allocation-free).
+  struct Ctx {
+    std::atomic<std::int64_t> cursor;
+    std::int64_t end, grain;
+    const std::function<void(std::int64_t, std::int64_t)>* body;
+  } ctx{{begin}, end, grain, &body};
+  const bool dispatched = pool.try_run_on_all([&ctx](unsigned /*worker*/) {
     tls_inside_parallel_region = true;
     for (;;) {
-      const std::int64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
-      if (lo >= end) break;
-      const std::int64_t hi = std::min(end, lo + grain);
-      body(lo, hi);
+      const std::int64_t lo =
+          ctx.cursor.fetch_add(ctx.grain, std::memory_order_relaxed);
+      if (lo >= ctx.end) break;
+      const std::int64_t hi = std::min(ctx.end, lo + ctx.grain);
+      (*ctx.body)(lo, hi);
     }
     tls_inside_parallel_region = false;
   });

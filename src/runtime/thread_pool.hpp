@@ -90,4 +90,23 @@ inline void parallel_for(
   parallel_for(begin, end, grain, body);
 }
 
+/// Grain for a loop whose iterations each cost `flops_per_item` flops: large
+/// enough that one steal amortizes dispatch overhead (>= min_flops_per_chunk
+/// of work per chunk), small enough for ~4 chunks per lane when the work
+/// allows it.  GEMM uses this so small-m/large-n shapes stop degenerating to
+/// one cheap row per steal, and so tiny loops fall back to serial (the
+/// 3-argument parallel_for runs serially when n <= grain).
+inline std::int64_t grain_for_flops(std::int64_t n, double flops_per_item,
+                                    double min_flops_per_chunk = 262144.0) {
+  if (n <= 0) return 1;
+  const std::int64_t lanes = static_cast<std::int64_t>(parallel_lanes());
+  const std::int64_t balance = (n + 4 * lanes - 1) / (4 * lanes);
+  std::int64_t floor_items = 1;
+  if (flops_per_item > 0.0 && flops_per_item < min_flops_per_chunk) {
+    floor_items =
+        static_cast<std::int64_t>(min_flops_per_chunk / flops_per_item) + 1;
+  }
+  return std::max(balance, floor_items);
+}
+
 }  // namespace candle

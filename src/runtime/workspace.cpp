@@ -1,0 +1,115 @@
+#include "runtime/workspace.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace candle {
+
+namespace {
+
+constexpr std::size_t kMinBlockBytes = 1 << 20;  // 1 MiB floor per block
+
+std::size_t round_up(std::size_t bytes, std::size_t align) {
+  return (bytes + align - 1) / align * align;
+}
+
+// Registry of live arenas plus the accumulated counters of destroyed ones,
+// so workspace_stats() is monotone in grow/alloc counts.
+struct Registry {
+  std::mutex mu;
+  std::vector<const WorkspaceArena*> arenas;
+  std::uint64_t retired_grow = 0;
+  std::uint64_t retired_alloc = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives thread-local dtors
+  return *r;
+}
+
+}  // namespace
+
+WorkspaceArena::WorkspaceArena() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.arenas.push_back(this);
+}
+
+WorkspaceArena::~WorkspaceArena() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired_grow += grow_count();
+  r.retired_alloc += alloc_count();
+  r.arenas.erase(std::find(r.arenas.begin(), r.arenas.end(), this));
+}
+
+WorkspaceArena::Block WorkspaceArena::make_block(std::size_t bytes) {
+  Block b;
+  b.capacity = std::max(bytes, std::max(kMinBlockBytes,
+                                        2 * static_cast<std::size_t>(
+                                                bytes_reserved())));
+  b.data.reset(static_cast<std::byte*>(
+      ::operator new(b.capacity, std::align_val_t(kWorkspaceAlign))));
+  grow_count_.fetch_add(1, std::memory_order_relaxed);
+  bytes_reserved_.fetch_add(b.capacity, std::memory_order_relaxed);
+  return b;
+}
+
+void* WorkspaceArena::alloc_bytes(std::size_t bytes) {
+  alloc_count_.fetch_add(1, std::memory_order_relaxed);
+  bytes = round_up(std::max<std::size_t>(bytes, 1), kWorkspaceAlign);
+  // Find the first block from the cursor onward with room; later blocks are
+  // empty (rollback zeroes their `used`).
+  while (cur_block_ < blocks_.size() &&
+         blocks_[cur_block_].capacity - cur_used_ < bytes) {
+    blocks_[cur_block_].used = cur_used_;
+    ++cur_block_;
+    cur_used_ = cur_block_ < blocks_.size() ? blocks_[cur_block_].used : 0;
+  }
+  if (cur_block_ == blocks_.size()) {
+    blocks_.push_back(make_block(bytes));
+    cur_used_ = 0;
+  }
+  Block& b = blocks_[cur_block_];
+  void* p = b.data.get() + cur_used_;
+  cur_used_ += bytes;
+  b.used = cur_used_;
+  return p;
+}
+
+void WorkspaceArena::reserve(std::size_t bytes) {
+  for (const Block& b : blocks_) {
+    if (b.capacity - b.used >= bytes) return;
+  }
+  blocks_.push_back(make_block(bytes));
+}
+
+void WorkspaceArena::rollback(std::size_t block, std::size_t used) {
+  for (std::size_t i = block + 1; i <= cur_block_ && i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+  cur_block_ = block;
+  cur_used_ = used;
+  if (cur_block_ < blocks_.size()) blocks_[cur_block_].used = used;
+}
+
+WorkspaceArena& WorkspaceArena::local() {
+  thread_local WorkspaceArena arena;
+  return arena;
+}
+
+WorkspaceStats workspace_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  WorkspaceStats s;
+  s.grow_count = r.retired_grow;
+  s.alloc_count = r.retired_alloc;
+  for (const WorkspaceArena* a : r.arenas) {
+    s.grow_count += a->grow_count();
+    s.alloc_count += a->alloc_count();
+    s.bytes_reserved += a->bytes_reserved();
+  }
+  return s;
+}
+
+}  // namespace candle

@@ -347,5 +347,264 @@ TEST(Im2col2d, ConvViaGemmMatchesDirectConvolution) {
   }
 }
 
+// ---- randomized property grid ------------------------------------------------
+// Pins every production tier against gemm_naive over randomized shapes
+// (including 0, 1 and non-multiples of the register tile), both transposes,
+// padded leading dimensions, and an alpha/beta set that includes the
+// never-read-C beta == 0 case.
+
+TEST(GemmProperty, RandomizedShapesLeadingDimsAndScalars) {
+  Pcg32 rng(0xCAFE);
+  const Index dims[] = {0, 1, 2, 3, 7, 8, 9, 31, 32, 33, 65, 130};
+  const float alphas[] = {1.0f, -0.7f, 0.0f};
+  const float betas[] = {0.0f, 1.0f, -0.3f};
+  for (int trial = 0; trial < 60; ++trial) {
+    const Index m = dims[rng.next_below(12)];
+    const Index n = dims[rng.next_below(12)];
+    const Index k = dims[rng.next_below(12)];
+    const Op op_a = rng.next_below(2) ? Op::Transpose : Op::None;
+    const Op op_b = rng.next_below(2) ? Op::Transpose : Op::None;
+    const float alpha = alphas[rng.next_below(3)];
+    const float beta = betas[rng.next_below(3)];
+    const Index pad_a = static_cast<Index>(rng.next_below(4));
+    const Index pad_b = static_cast<Index>(rng.next_below(4));
+    const Index lda = (op_a == Op::None ? k : m) + pad_a;
+    const Index ldb = (op_b == Op::None ? n : k) + pad_b;
+
+    Tensor a = random_matrix(op_a == Op::None ? m : k, lda > 0 ? lda : 1, rng);
+    Tensor b = random_matrix(op_b == Op::None ? k : n, ldb > 0 ? ldb : 1, rng);
+    Tensor c0 = random_matrix(m, n > 0 ? n : 1, rng);
+    Tensor c1 = c0;
+    Tensor c2 = c0;
+
+    gemm_naive(op_a, op_b, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+               c0.data(), n);
+    gemm_serial(op_a, op_b, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                beta, c1.data(), n);
+    gemm(op_a, op_b, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+         c2.data(), n);
+
+    const float tol = 1e-4f * static_cast<float>(k > 0 ? k : 1);
+    ASSERT_LE(max_abs_diff(c0, c1), tol)
+        << "serial m=" << m << " n=" << n << " k=" << k;
+    ASSERT_LE(max_abs_diff(c0, c2), tol)
+        << "parallel m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(GemmProperty, EmulatedPrecisionsHandleAwkwardShapes) {
+  // The round-at-pack emulation must survive the same edge geometry as fp32;
+  // correctness is checked against rounding the operands up front and running
+  // the naive kernel on them (identical mathematical definition).
+  Pcg32 rng(0xBEEF);
+  const Index shapes[][3] = {{1, 1, 1}, {5, 3, 9},  {8, 32, 16},
+                             {9, 33, 17}, {33, 9, 40}, {2, 130, 7}};
+  for (Precision prec : {Precision::BF16, Precision::FP16}) {
+    for (const auto& s : shapes) {
+      const Index m = s[0], n = s[1], k = s[2];
+      Tensor a = random_matrix(m, k, rng);
+      Tensor b = random_matrix(k, n, rng);
+      Tensor ar = a, br = b;
+      round_through(prec, ar.flat());
+      round_through(prec, br.flat());
+      Tensor want({m, n});
+      gemm_naive(Op::None, Op::None, m, n, k, 1.0f, ar.data(), k, br.data(),
+                 n, 0.0f, want.data(), n);
+      Tensor got({m, n});
+      gemm_emulated(prec, Op::None, Op::None, m, n, k, 1.0f, a.data(), k,
+                    b.data(), n, 0.0f, got.data(), n);
+      ASSERT_LE(max_abs_diff(want, got), 1e-4f * static_cast<float>(k))
+          << precision_name(prec) << " m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+// ---- fused epilogues ---------------------------------------------------------
+
+float reference_act(Epilogue::Act act, float v) {
+  switch (act) {
+    case Epilogue::Act::ReLU: return v > 0.0f ? v : 0.0f;
+    case Epilogue::Act::Sigmoid: return 1.0f / (1.0f + std::exp(-v));
+    case Epilogue::Act::Tanh: return std::tanh(v);
+    case Epilogue::Act::None: break;
+  }
+  return v;
+}
+
+class FusedEpilogue : public ::testing::TestWithParam<Epilogue::Act> {};
+
+TEST_P(FusedEpilogue, BitIdenticalToUnfusedReference) {
+  // Fusing is a pure data-movement optimization: the fused C-write must
+  // produce the exact bits of "plain GEMM, then bias add, then activation".
+  const Epilogue::Act act = GetParam();
+  Pcg32 rng(0xF00D);
+  const Index m = 37, n = 41, k = 29;  // all non-multiples of the tile
+  Tensor a = random_matrix(m, k, rng);
+  Tensor b = random_matrix(k, n, rng);
+  Tensor col_bias = Tensor::randn({n}, rng);
+  Tensor row_bias = Tensor::randn({m}, rng);
+  Tensor c_init = random_matrix(m, n, rng);
+
+  for (const bool row_axis : {false, true}) {
+    for (const float beta : {0.0f, 0.6f}) {
+      Tensor want = c_init;
+      gemm(Op::None, Op::None, m, n, k, 1.0f, a.data(), k, b.data(), n, beta,
+           want.data(), n);
+      for (Index i = 0; i < m; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          float v = want.at(i, j) + (row_axis ? row_bias[i] : col_bias[j]);
+          want.at(i, j) = reference_act(act, v);
+        }
+      }
+      Epilogue ep;
+      ep.bias = row_axis ? row_bias.data() : col_bias.data();
+      ep.bias_axis =
+          row_axis ? Epilogue::BiasAxis::Row : Epilogue::BiasAxis::Column;
+      ep.act = act;
+      Tensor got = c_init;
+      gemm_fused(Op::None, Op::None, m, n, k, 1.0f, a.data(), k, b.data(), n,
+                 beta, got.data(), n, ep);
+      ASSERT_EQ(max_abs_diff(want, got), 0.0f)
+          << "axis=" << (row_axis ? "row" : "col") << " beta=" << beta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, FusedEpilogue,
+                         ::testing::Values(Epilogue::Act::None,
+                                           Epilogue::Act::ReLU,
+                                           Epilogue::Act::Sigmoid,
+                                           Epilogue::Act::Tanh));
+
+TEST(FusedEpilogueDegenerate, AppliesToScaledCWhenKIsZero) {
+  // k == 0 still runs the epilogue: C = act(beta*C + bias).
+  Tensor c({2, 3}, {1, -2, 3, -4, 5, -6});
+  Tensor bias({3}, {10, 20, 30});
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.act = Epilogue::Act::ReLU;
+  gemm_fused(Op::None, Op::None, 2, 3, 0, 1.0f, nullptr, 1, nullptr, 1, 1.0f,
+             c.data(), 3, ep);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 18.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 24.0f);
+}
+
+TEST(FusedEpilogueInt8, BiasAndActRideTheDequant) {
+  Pcg32 rng(0xACE);
+  const Index m = 12, n = 10, k = 16;
+  Tensor a = random_matrix(m, k, rng);
+  Tensor b = random_matrix(k, n, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  Tensor plain({m, n});
+  gemm_emulated(Precision::INT8, Op::None, Op::None, m, n, k, 1.0f, a.data(),
+                k, b.data(), n, 0.0f, plain.data(), n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      plain.at(i, j) = reference_act(Epilogue::Act::ReLU,
+                                     plain.at(i, j) + bias[j]);
+    }
+  }
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.act = Epilogue::Act::ReLU;
+  Tensor fused({m, n});
+  gemm_emulated(Precision::INT8, Op::None, Op::None, m, n, k, 1.0f, a.data(),
+                k, b.data(), n, 0.0f, fused.data(), n, ep);
+  EXPECT_EQ(max_abs_diff(plain, fused), 0.0f);
+}
+
+// ---- gemv beta == 0 regression ----------------------------------------------
+
+TEST(Gemv, BetaZeroOverwritesNaNPoisonedY) {
+  // BLAS convention: beta == 0 means y is write-only.  A NaN-poisoned y must
+  // come out finite — the old kernel computed y[i] *= 0 which kept the NaN.
+  Pcg32 rng(0xDEAD);
+  const Index m = 67, n = 45;
+  Tensor a = random_matrix(m, n, rng);
+  Tensor x = Tensor::randn({n}, rng);
+  Tensor y({m}, std::vector<float>(static_cast<std::size_t>(m),
+                                   std::nanf("")));
+  gemv(Op::None, m, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+  Tensor want = Tensor::zeros({m});
+  gemm_naive(Op::None, Op::None, m, 1, n, 1.0f, a.data(), n, x.data(), 1,
+             0.0f, want.data(), 1);
+  for (Index i = 0; i < m; ++i) {
+    ASSERT_FALSE(std::isnan(y[i])) << i;
+  }
+  EXPECT_LE(max_abs_diff(y, want), 1e-4f);
+}
+
+TEST(Gemv, BetaZeroOverwritesNaNPoisonedYTransposed) {
+  Pcg32 rng(0xD00D);
+  const Index m = 53, n = 31;  // op(A) m x n, stored n x m
+  Tensor a = random_matrix(n, m, rng);
+  Tensor x = Tensor::randn({n}, rng);
+  Tensor y({m}, std::vector<float>(static_cast<std::size_t>(m),
+                                   std::nanf("")));
+  gemv(Op::Transpose, m, n, -0.5f, a.data(), m, x.data(), 0.0f, y.data());
+  Tensor want = Tensor::zeros({m});
+  gemm_naive(Op::Transpose, Op::None, m, 1, n, -0.5f, a.data(), m, x.data(),
+             1, 0.0f, want.data(), 1);
+  for (Index i = 0; i < m; ++i) {
+    ASSERT_FALSE(std::isnan(y[i])) << i;
+  }
+  EXPECT_LE(max_abs_diff(y, want), 1e-4f);
+}
+
+// ---- fused conv forward ------------------------------------------------------
+
+TEST(ConvForwardGemm, MatchesExplicitIm2colPlusBias1d) {
+  Pcg32 rng(0xC0FFEE);
+  const Index channels = 3, length = 40, kernel = 5, stride = 2, filters = 7;
+  const Index lout = conv_out_length(length, kernel, stride);
+  const Index fan_in = channels * kernel;
+  Tensor x = Tensor::randn({channels, length}, rng);
+  Tensor w = Tensor::randn({filters, fan_in}, rng);
+  Tensor bias = Tensor::randn({filters}, rng);
+
+  std::vector<float> cols(static_cast<std::size_t>(fan_in * lout));
+  im2col_1d(x.data(), channels, length, kernel, stride, cols.data());
+  Tensor want({filters, lout});
+  gemm(Op::None, Op::None, filters, lout, fan_in, 1.0f, w.data(), fan_in,
+       cols.data(), lout, 0.0f, want.data(), lout);
+  for (Index f = 0; f < filters; ++f) {
+    for (Index j = 0; j < lout; ++j) want.at(f, j) += bias[f];
+  }
+
+  Tensor got({filters, lout});
+  conv1d_forward_gemm(Precision::FP32, x.data(), channels, length, kernel,
+                      stride, w.data(), filters, bias.data(), got.data());
+  EXPECT_EQ(max_abs_diff(want, got), 0.0f);
+}
+
+TEST(ConvForwardGemm, MatchesExplicitIm2colPlusBias2d) {
+  Pcg32 rng(0xC0DE);
+  const Index channels = 2, height = 13, width = 11, kernel = 3, stride = 2;
+  const Index filters = 5;
+  const Index hout = conv_out_length(height, kernel, stride);
+  const Index wout = conv_out_length(width, kernel, stride);
+  const Index ncols = hout * wout;
+  const Index fan_in = channels * kernel * kernel;
+  Tensor x = Tensor::randn({channels, height, width}, rng);
+  Tensor w = Tensor::randn({filters, fan_in}, rng);
+  Tensor bias = Tensor::randn({filters}, rng);
+
+  std::vector<float> cols(static_cast<std::size_t>(fan_in * ncols));
+  im2col_2d(x.data(), channels, height, width, kernel, stride, cols.data());
+  Tensor want({filters, ncols});
+  gemm(Op::None, Op::None, filters, ncols, fan_in, 1.0f, w.data(), fan_in,
+       cols.data(), ncols, 0.0f, want.data(), ncols);
+  for (Index f = 0; f < filters; ++f) {
+    for (Index j = 0; j < ncols; ++j) want.at(f, j) += bias[f];
+  }
+
+  Tensor got({filters, ncols});
+  conv2d_forward_gemm(Precision::FP32, x.data(), channels, height, width,
+                      kernel, stride, w.data(), filters, bias.data(),
+                      got.data());
+  EXPECT_EQ(max_abs_diff(want, got), 0.0f);
+}
+
 }  // namespace
 }  // namespace candle
