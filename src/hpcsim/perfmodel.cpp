@@ -196,4 +196,17 @@ ParallelPlan best_hybrid_plan(const NodeSpec& node, const Fabric& fabric,
   return best;
 }
 
+double estimate_step_with_stragglers(const NodeSpec& node, const Fabric& fabric,
+                                     const TrainingWorkload& workload,
+                                     const ParallelPlan& plan,
+                                     const StragglerModel& straggler,
+                                     StragglerMitigation mode,
+                                     Index backup_workers,
+                                     Index staleness_bound) {
+  const StepEstimate est = estimate_step(node, fabric, workload, plan);
+  return expected_straggler_step_s(straggler, mode, est.step_s,
+                                   plan.data_replicas, backup_workers,
+                                   staleness_bound);
+}
+
 }  // namespace candle::hpcsim

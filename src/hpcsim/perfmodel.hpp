@@ -20,6 +20,7 @@
 
 #include "hpcsim/fabric.hpp"
 #include "hpcsim/machine.hpp"
+#include "hpcsim/resilience.hpp"
 
 namespace candle::hpcsim {
 
@@ -98,6 +99,19 @@ std::vector<ScalingPoint> weak_scaling(const NodeSpec& node,
                                        Index batch_per_replica,
                                        const std::vector<Index>& node_counts,
                                        Precision prec = Precision::FP32);
+
+/// Expected per-step time of the workload under the plan when ranks stall
+/// per the heavy-tailed `straggler` model, for a given mitigation mode: the
+/// fabric-modeled synchronous step (estimate_step) stretched by the tail
+/// expectation from hpcsim::resilience.  This is the planning-level view of
+/// what the executable `parallel/resilient` mitigation modes measure.
+double estimate_step_with_stragglers(const NodeSpec& node, const Fabric& fabric,
+                                     const TrainingWorkload& workload,
+                                     const ParallelPlan& plan,
+                                     const StragglerModel& straggler,
+                                     StragglerMitigation mode,
+                                     Index backup_workers,
+                                     Index staleness_bound);
 
 /// Search over (data_replicas, model_shards) factorizations of `nodes` for
 /// the plan with the highest samples/s; used by E4 together with search

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "runtime/error.hpp"
 #include "runtime/rng.hpp"
@@ -100,6 +101,159 @@ double simulate_runtime_s(const ResilienceConfig& cfg, double work_s,
       until_failure -= c;
       done += segment;
       segment = 0.0;
+    }
+    total += clock;
+  }
+  return total / static_cast<double>(trials);
+}
+
+// ---- straggler / tail-latency model -----------------------------------------
+
+namespace {
+
+void validate(const StragglerModel& m, double step_s, Index ranks,
+              Index backup_workers, Index staleness_bound) {
+  CANDLE_CHECK(m.prob >= 0.0 && m.prob <= 1.0, "straggle prob in [0, 1]");
+  CANDLE_CHECK(m.pareto_alpha > 1.0, "Pareto tail index must exceed 1");
+  CANDLE_CHECK(m.min_delay_s > 0.0, "Pareto scale must be positive");
+  CANDLE_CHECK(step_s > 0.0 && ranks >= 1, "invalid step/rank arguments");
+  CANDLE_CHECK(backup_workers >= 0 && backup_workers < ranks,
+               "backup workers must leave a non-empty quorum");
+  CANDLE_CHECK(staleness_bound >= 0, "staleness bound must be >= 0");
+}
+
+/// log C(n, j) via lgamma.
+double log_choose(Index n, Index j) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(j) + 1.0) -
+         std::lgamma(static_cast<double>(n - j) + 1.0);
+}
+
+/// P(exactly j of n ranks straggle) for the binomial mixture.
+double binom_pmf(Index n, Index j, double q) {
+  if (q <= 0.0) return j == 0 ? 1.0 : 0.0;
+  if (q >= 1.0) return j == n ? 1.0 : 0.0;
+  const double lp = log_choose(n, j) + static_cast<double>(j) * std::log(q) +
+                    static_cast<double>(n - j) * std::log1p(-q);
+  return std::exp(lp);
+}
+
+/// E[r-th smallest of j iid Pareto(alpha, m) draws]:
+///   m * Gamma(j+1) Gamma(j-r+1-1/alpha) / (Gamma(j-r+1) Gamma(j+1-1/alpha)).
+double pareto_order_stat_mean(Index j, Index r, double alpha, double m) {
+  const double inv = 1.0 / alpha;
+  const double jd = static_cast<double>(j);
+  const double rd = static_cast<double>(r);
+  return m * std::exp(std::lgamma(jd + 1.0) + std::lgamma(jd - rd + 1.0 - inv) -
+                      std::lgamma(jd - rd + 1.0) - std::lgamma(jd + 1.0 - inv));
+}
+
+}  // namespace
+
+const char* straggler_mitigation_name(StragglerMitigation mode) {
+  switch (mode) {
+    case StragglerMitigation::Synchronous:      return "synchronous";
+    case StragglerMitigation::BackupWorkers:    return "backup-workers";
+    case StragglerMitigation::BoundedStaleness: return "bounded-staleness";
+  }
+  return "unknown";
+}
+
+double expected_straggler_step_s(const StragglerModel& model,
+                                 StragglerMitigation mode, double step_s,
+                                 Index ranks, Index backup_workers,
+                                 Index staleness_bound) {
+  validate(model, step_s, ranks, backup_workers, staleness_bound);
+  const double q = model.prob;
+  const double alpha = model.pareto_alpha;
+  const double m = model.min_delay_s;
+  double extra = 0.0;
+  switch (mode) {
+    case StragglerMitigation::Synchronous:
+      // E[max over j stragglers], mixed over j ~ Binomial(ranks, q).
+      for (Index j = 1; j <= ranks; ++j) {
+        extra += binom_pmf(ranks, j, q) * pareto_order_stat_mean(j, j, alpha, m);
+      }
+      break;
+    case StragglerMitigation::BackupWorkers:
+      // Quorum ranks-k commits once all but k stragglers arrived: with j > k
+      // concurrent stragglers the step waits for the (j-k)-th smallest stall.
+      for (Index j = backup_workers + 1; j <= ranks; ++j) {
+        extra += binom_pmf(ranks, j, q) *
+                 pareto_order_stat_mean(j, j - backup_workers, alpha, m);
+      }
+      break;
+    case StragglerMitigation::BoundedStaleness: {
+      // A straggler lags sigma = ceil(D / step) steps; the quorum only waits
+      // for the part beyond the bound: E[(sigma - s)+] = sum_{i>=s} P(D > i*step)
+      // (per straggler, first-order additive over the ranks*q events/step).
+      double tail_sum = 0.0;
+      for (Index i = staleness_bound;; ++i) {
+        const double x = static_cast<double>(i) * step_s;
+        const double p_tail = x <= m ? 1.0 : std::pow(m / x, alpha);
+        tail_sum += p_tail;
+        if (p_tail < 1e-12) break;
+        CANDLE_CHECK(i < 100000000, "staleness tail sum failed to converge");
+      }
+      extra = static_cast<double>(ranks) * q * step_s * tail_sum;
+      break;
+    }
+  }
+  return step_s + extra;
+}
+
+double expected_straggler_runtime_s(const StragglerModel& model,
+                                    StragglerMitigation mode, double step_s,
+                                    Index ranks, Index backup_workers,
+                                    Index staleness_bound, Index steps) {
+  CANDLE_CHECK(steps >= 1, "need at least one step");
+  return static_cast<double>(steps) *
+         expected_straggler_step_s(model, mode, step_s, ranks, backup_workers,
+                                   staleness_bound);
+}
+
+double simulate_straggler_runtime_s(const StragglerModel& model,
+                                    StragglerMitigation mode, double step_s,
+                                    Index ranks, Index backup_workers,
+                                    Index staleness_bound, Index steps,
+                                    Index trials, std::uint64_t seed) {
+  validate(model, step_s, ranks, backup_workers, staleness_bound);
+  CANDLE_CHECK(steps >= 1 && trials >= 1, "invalid simulation query");
+  Pcg32 rng(seed, 0x57a6);
+  const double inv_alpha = 1.0 / model.pareto_alpha;
+  std::vector<double> delays;
+  double total = 0.0;
+  for (Index t = 0; t < trials; ++t) {
+    double clock = 0.0;
+    for (Index s = 0; s < steps; ++s) {
+      delays.clear();
+      for (Index r = 0; r < ranks; ++r) {
+        if (rng.next_double() >= model.prob) continue;
+        double u = rng.next_double();
+        if (u < 1e-12) u = 1e-12;
+        delays.push_back(model.min_delay_s * std::pow(u, -inv_alpha));
+      }
+      double extra = 0.0;
+      const auto j = static_cast<Index>(delays.size());
+      switch (mode) {
+        case StragglerMitigation::Synchronous:
+          for (double d : delays) extra = std::max(extra, d);
+          break;
+        case StragglerMitigation::BackupWorkers:
+          if (j > backup_workers) {
+            std::sort(delays.begin(), delays.end());
+            extra = delays[static_cast<std::size_t>(j - backup_workers - 1)];
+          }
+          break;
+        case StragglerMitigation::BoundedStaleness:
+          for (double d : delays) {
+            const double sigma = std::ceil(d / step_s);
+            extra += std::max(0.0, sigma - static_cast<double>(staleness_bound)) *
+                     step_s;
+          }
+          break;
+      }
+      clock += step_s + extra;
     }
     total += clock;
   }

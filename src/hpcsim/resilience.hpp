@@ -51,4 +51,57 @@ double simulate_runtime_s(const ResilienceConfig& cfg, double work_s,
                           double interval_s, Index trials,
                           std::uint64_t seed);
 
+// ---- straggler / tail-latency model -----------------------------------------
+//
+// Node-level performance variability: each rank independently stalls with
+// probability `prob` per step, for a heavy-tailed Pareto(alpha, min_delay_s)
+// duration.  Synchronous training pays the *maximum* stall per step (the
+// MLPerf-HPC tail-latency pathology); backup workers pay an order statistic
+// (commit once n-k gradient sets arrived); bounded staleness pays only when
+// a rank falls further than `staleness_bound` steps behind.
+
+struct StragglerModel {
+  double prob = 0.01;          // per rank-step straggle probability
+  double pareto_alpha = 2.5;   // tail index (> 1 for a finite mean)
+  double min_delay_s = 1.0;    // Pareto scale (smallest stall)
+};
+
+/// Execution discipline under stragglers.
+enum class StragglerMitigation {
+  Synchronous,      // every step waits for the slowest rank
+  BackupWorkers,    // commit with the first ranks - backup_workers arrivals
+  BoundedStaleness, // stragglers may lag up to staleness_bound steps
+};
+
+const char* straggler_mitigation_name(StragglerMitigation mode);
+
+/// Expected time of one training step of nominal cost `step_s` over `ranks`
+/// ranks under `model`, for the given mitigation mode.  Exact closed forms
+/// from Pareto order statistics (binomial mixture over the straggler count):
+///   Synchronous:     step + E[max of the stragglers' delays]
+///   BackupWorkers:   step + E[(j-k)-th smallest delay | j > k stragglers]
+///   BoundedStaleness:step + ranks*prob*step*E[(ceil(D/step) - s)+]
+/// `backup_workers` (k) is used by BackupWorkers, `staleness_bound` (s) by
+/// BoundedStaleness; both ignored otherwise.
+double expected_straggler_step_s(const StragglerModel& model,
+                                 StragglerMitigation mode, double step_s,
+                                 Index ranks, Index backup_workers,
+                                 Index staleness_bound);
+
+/// Expected wall-clock of `steps` steps: steps * expected_straggler_step_s.
+double expected_straggler_runtime_s(const StragglerModel& model,
+                                    StragglerMitigation mode, double step_s,
+                                    Index ranks, Index backup_workers,
+                                    Index staleness_bound, Index steps);
+
+/// Monte-Carlo validation of the straggler closed forms: simulate `trials`
+/// runs of `steps` steps with seeded per-rank Pareto stalls and the given
+/// mitigation discipline, and return the mean wall-clock.  Tests pin
+/// expected_straggler_runtime_s against this executable simulation.
+double simulate_straggler_runtime_s(const StragglerModel& model,
+                                    StragglerMitigation mode, double step_s,
+                                    Index ranks, Index backup_workers,
+                                    Index staleness_bound, Index steps,
+                                    Index trials, std::uint64_t seed);
+
 }  // namespace candle::hpcsim

@@ -11,6 +11,7 @@ ShmCommunicator::ShmCommunicator(Index ranks) : ranks_(ranks) {
   alive_count_ = ranks;
   arrived_mask_.assign(static_cast<std::size_t>(ranks), 0);
   buffers_.resize(static_cast<std::size_t>(ranks));
+  contrib_mask_.assign(static_cast<std::size_t>(ranks), 0);
 }
 
 void ShmCommunicator::set_timeout(std::chrono::milliseconds timeout) {
@@ -210,6 +211,64 @@ void ShmCommunicator::allreduce_flat(Index rank, std::span<float> data) {
     std::copy(root.begin(), root.end(), data.begin());
   }
   arrive(rank);
+}
+
+Index ShmCommunicator::allreduce_quorum(Index rank, std::span<float> data,
+                                        bool contributing) {
+  CANDLE_CHECK(rank >= 0 && rank < ranks_, "rank out of range");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (poisoned_) throw_failed_locked();
+    buffers_[static_cast<std::size_t>(rank)] = data;
+    contrib_mask_[static_cast<std::size_t>(rank)] = contributing ? 1 : 0;
+  }
+  arrive(rank);  // buffers and quorum membership frozen for this op
+  // Validate sizes and count contributors identically on every rank from the
+  // now-frozen shared state: on misuse all ranks throw together before any
+  // reduction touches a span.
+  Index contributors = 0;
+  Index root = -1;  // lowest live rank performs the deterministic sum
+  std::vector<std::size_t> sizes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Index r = 0; r < ranks_; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (!alive_[i]) continue;
+      if (root < 0) root = r;
+      sizes.push_back(buffers_[i].size());
+      contributors += contrib_mask_[i] != 0;
+    }
+  }
+  for (std::size_t s : sizes) {
+    CANDLE_CHECK(s == data.size(),
+                 "collective buffer sizes differ across ranks");
+  }
+  CANDLE_CHECK(contributors >= 1,
+               "quorum all-reduce needs at least one contributing rank");
+  if (rank == root) {
+    // Accumulate contributing buffers in ascending rank order: a fixed
+    // summation order keeps the reduced vector bit-reproducible for a fixed
+    // participant set, independent of thread scheduling.
+    bool seeded = false;
+    for (Index r = 0; r < ranks_; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (!alive_[i] || !contrib_mask_[i]) continue;
+      const std::span<float> src = buffers_[i];
+      if (!seeded) {
+        if (r != root) std::copy(src.begin(), src.end(), data.begin());
+        seeded = true;
+      } else {
+        for (std::size_t j = 0; j < data.size(); ++j) data[j] += src[j];
+      }
+    }
+  }
+  arrive(rank);  // quorum sum complete in the root buffer
+  if (rank != root) {
+    const std::span<float> src = buffers_[static_cast<std::size_t>(root)];
+    std::copy(src.begin(), src.end(), data.begin());
+  }
+  arrive(rank);  // release buffer registrations coherently
+  return contributors;
 }
 
 void ShmCommunicator::broadcast(Index rank, std::span<float> data) {

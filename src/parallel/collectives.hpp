@@ -78,6 +78,23 @@ class ShmCommunicator {
   /// different schedule; used to cross-check the ring implementation.
   void allreduce_flat(Index rank, std::span<float> data);
 
+  /// Partial (quorum) sum-all-reduce for straggler mitigation: every live
+  /// rank enters (so nobody blocks on a mitigated straggler), but only the
+  /// ranks entering with `contributing == true` are summed.  The reduced
+  /// vector lands in every rank's buffer — non-contributors receive the
+  /// committed gradient too, which is what keeps backup-worker and
+  /// bounded-staleness replicas bit-synchronized with the quorum.
+  ///
+  /// Determinism contract: contributions are accumulated in ascending rank
+  /// order by the lowest live rank, so for a fixed participant set the
+  /// result is bit-reproducible regardless of thread scheduling.  The
+  /// participant set itself must be decided deterministically by the caller
+  /// (e.g. from a seeded fault schedule), not by arrival order.
+  ///
+  /// Returns the number of contributing ranks.  At least one rank must
+  /// contribute; an empty quorum throws on every rank together.
+  Index allreduce_quorum(Index rank, std::span<float> data, bool contributing);
+
   /// Broadcast rank 0's buffer to every rank.
   void broadcast(Index rank, std::span<float> data);
 
@@ -114,6 +131,7 @@ class ShmCommunicator {
   bool anonymous_arrival_ = false;  // this round saw a rank-less arrival
 
   std::vector<std::span<float>> buffers_;
+  std::vector<char> contrib_mask_;  // quorum membership of the current op
 };
 
 }  // namespace candle::parallel

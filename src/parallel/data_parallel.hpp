@@ -57,6 +57,14 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
                                        const DataParallelOptions& options,
                                        Model* out_model = nullptr);
 
+/// Modeled wire time of one gradient all-reduce among `participants` ranks
+/// (0 when a single rank participates).  The partial-collective case
+/// (participants < replicas) prices the quorum commit of the resilient
+/// trainer's backup-worker and bounded-staleness modes.
+double modeled_allreduce_seconds(const hpcsim::Fabric& fabric,
+                                 hpcsim::AllReduceAlgo algo,
+                                 Index participants, double grad_bytes);
+
 /// Fill `result.modeled_comm_seconds_per_step` for the given fabric/algo.
 void annotate_with_fabric(DataParallelResult& result,
                           const hpcsim::Fabric& fabric,

@@ -38,7 +38,7 @@ ParamServerResult train_param_server(const ModelFactory& factory,
                                   0);
   std::mutex stats_mu;
   std::atomic<Index> step_counter{0};
-  double staleness_sum = 0.0;
+  StalenessMeter staleness;
 
   Stopwatch clock;
   std::vector<std::thread> threads;
@@ -76,7 +76,7 @@ ParamServerResult train_param_server(const ModelFactory& factory,
           server_opt->step(ps, gs);
           const Index now = server_steps.fetch_add(1) + 1;
           std::lock_guard<std::mutex> stats(stats_mu);
-          staleness_sum += static_cast<double>(now - 1 - pulled_at);
+          staleness.record(now - 1 - pulled_at);
         }
         const auto epoch = static_cast<std::size_t>(
             std::min(options.epochs - 1, my_step / steps_per_epoch));
@@ -93,9 +93,8 @@ ParamServerResult train_param_server(const ModelFactory& factory,
   ParamServerResult result;
   result.steps = server_steps.load();
   result.measured_seconds = clock.seconds();
-  result.mean_staleness =
-      result.steps > 0 ? staleness_sum / static_cast<double>(result.steps)
-                       : 0.0;
+  result.mean_staleness = staleness.mean();
+  result.max_staleness = staleness.max_staleness();
   for (std::size_t e = 0; e < epoch_loss_acc.size(); ++e) {
     result.epoch_loss.push_back(static_cast<float>(
         epoch_loss_acc[e] / std::max<Index>(1, epoch_loss_n[e])));

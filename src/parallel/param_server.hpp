@@ -16,6 +16,34 @@
 
 namespace candle::parallel {
 
+/// Staleness bookkeeping shared by the asynchronous parameter server and the
+/// bounded-staleness mitigation mode of the resilient trainer: one record per
+/// applied update, where `staleness` is the number of global steps committed
+/// between the gradient's weight snapshot (pull / stall start) and its
+/// application (push / rejoin).  Not thread-safe; callers serialize access.
+class StalenessMeter {
+ public:
+  void record(Index staleness) {
+    sum_ += static_cast<double>(staleness);
+    if (staleness > max_) max_ = staleness;
+    ++n_;
+  }
+
+  Index updates() const { return n_; }
+  Index max_staleness() const { return max_; }
+
+  /// Mean staleness over the recorded updates; 0.0 when nothing was
+  /// recorded (the zero-step division guard, pinned by test_straggler).
+  double mean() const {
+    return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+
+ private:
+  Index n_ = 0;
+  Index max_ = 0;
+  double sum_ = 0.0;
+};
+
 struct ParamServerOptions {
   Index workers = 4;
   Index epochs = 5;       // passes over the full dataset (across workers)
@@ -28,6 +56,7 @@ struct ParamServerResult {
   std::vector<float> epoch_loss;  // mean worker-reported loss per epoch
   double measured_seconds = 0.0;
   double mean_staleness = 0.0;  // server-steps between a worker's pull & push
+  Index max_staleness = 0;      // worst pull-to-push lag observed
 };
 
 /// Run asynchronous parameter-server training.  The trained weights land in

@@ -10,6 +10,7 @@
 
 #include "nn/serialize.hpp"
 #include "parallel/collectives.hpp"
+#include "parallel/param_server.hpp"
 #include "runtime/timer.hpp"
 
 namespace candle::parallel {
@@ -23,9 +24,24 @@ struct AttemptOutcome {
   std::atomic<Index> crashed{0};           // replicas that died this attempt
   std::atomic<bool> collective_failed{false};
   std::atomic<bool> corrupt{false};
-  std::atomic<Index> stragglers{0};
-  std::atomic<std::int64_t> straggler_us{0};
 };
+
+/// What one rank does in one mitigated step attempt (decided on the main
+/// thread from the deterministic fault schedule, never from arrival order).
+enum class StepRole {
+  Fresh,         // compute a fresh gradient and contribute it at weight 1
+  StaleCapture,  // compute a fresh gradient, save it for a later stale push
+  StalePush,     // contribute the saved stale gradient, staleness-weighted
+  Stalled,       // neither compute nor contribute; receive the quorum result
+};
+
+bool computes(StepRole r) {
+  return r == StepRole::Fresh || r == StepRole::StaleCapture;
+}
+
+bool contributes(StepRole r) {
+  return r == StepRole::Fresh || r == StepRole::StalePush;
+}
 
 bool all_finite(const std::vector<float>& v) {
   for (float x : v) {
@@ -35,6 +51,15 @@ bool all_finite(const std::vector<float>& v) {
 }
 
 }  // namespace
+
+const char* mitigation_mode_name(MitigationMode mode) {
+  switch (mode) {
+    case MitigationMode::None:             return "none";
+    case MitigationMode::Backup:           return "backup";
+    case MitigationMode::BoundedStaleness: return "stale";
+  }
+  return "unknown";
+}
 
 ResilientResult train_resilient(const ModelFactory& factory,
                                 const OptimizerFactory& opt_factory,
@@ -56,6 +81,16 @@ ResilientResult train_resilient(const ModelFactory& factory,
                "checkpoints do not capture");
   CANDLE_CHECK(!t.precision.stochastic_weight_rounding,
                "stochastic-rounding RNG stream is not checkpointed");
+  const MitigationMode mode = options.mitigation;
+  if (mode == MitigationMode::Backup) {
+    CANDLE_CHECK(options.backup_workers >= 1 &&
+                     options.backup_workers < t.replicas,
+                 "backup workers must leave a non-empty quorum");
+  }
+  if (mode == MitigationMode::BoundedStaleness) {
+    CANDLE_CHECK(options.staleness_bound >= 1,
+                 "staleness bound must allow at least one step of lag");
+  }
 
   const Index p0 = t.replicas;
   const Index b = t.batch_per_replica;
@@ -79,6 +114,7 @@ ResilientResult train_resilient(const ModelFactory& factory,
   ResilientResult result;
   result.planned_steps = planned;
   result.checkpoint_interval_steps = k;
+  result.rank_stall_s.assign(static_cast<std::size_t>(p0), 0.0);
 
   // ---- live training state --------------------------------------------------
   Index live_p = p0;
@@ -114,6 +150,25 @@ ResilientResult train_resilient(const ModelFactory& factory,
     return c;
   };
   std::shared_ptr<ShmCommunicator> comm = fresh_comm();
+  const double grad_bytes =
+      static_cast<double>(grad_size) * static_cast<double>(sizeof(float));
+
+  // ---- straggler-mitigation state -------------------------------------------
+  // All of it is derived from the deterministic schedule on the main thread;
+  // replica threads only read the per-step roles.  Cleared on every recovery
+  // (the rebuilt fleet starts step-aligned, like a relaunched job).
+  std::vector<Index> stall_left;     // steps a rank remains stalled
+  std::vector<Index> stale_age;      // commits since a pending stale capture
+  std::vector<char> stale_pending;   // rank holds an unapplied stale gradient
+  std::vector<std::vector<float>> stale_grad;
+  StalenessMeter staleness;
+  auto reset_mitigation_state = [&] {
+    stall_left.assign(static_cast<std::size_t>(live_p), 0);
+    stale_age.assign(static_cast<std::size_t>(live_p), 0);
+    stale_pending.assign(static_cast<std::size_t>(live_p), 0);
+    stale_grad.assign(static_cast<std::size_t>(live_p), {});
+  };
+  reset_mitigation_state();
 
   // ---- deterministic batch stream -------------------------------------------
   // The stream is a pure function of (seed, batch size); replay after a
@@ -142,6 +197,7 @@ ResilientResult train_resilient(const ModelFactory& factory,
   reset_iterator();
 
   std::vector<float> step_loss;  // mean loss of each committed step
+  float last_step_loss = 0.0f;   // fallback when no rank computed this step
   Index last_ckpt_step = -1;
   Index next_ckpt = 0;  // write the initial checkpoint before step 0
   Index recoveries = 0;
@@ -182,6 +238,7 @@ ResilientResult train_resilient(const ModelFactory& factory,
     step_loss.resize(static_cast<std::size_t>(committed));
     if (committed < iter_base) iter_base = committed;  // re-anchor stream
     reset_iterator();
+    reset_mitigation_state();  // the relaunched fleet starts step-aligned
     next_ckpt = committed + k;
     ++result.restarts;
     injector.record(committed, -1, why, "recovered",
@@ -206,10 +263,117 @@ ResilientResult train_resilient(const ModelFactory& factory,
     std::vector<std::vector<float>> grad_bufs(
         static_cast<std::size_t>(live_p),
         std::vector<float>(static_cast<std::size_t>(grad_size)));
+
+    // ---- role assignment (main thread, from the deterministic schedule) -----
+    // Participant sets are a pure function of the seeded fault schedule,
+    // never of thread arrival order, so mitigated runs replay bit-identically.
+    std::vector<StepRole> roles(static_cast<std::size_t>(live_p),
+                                StepRole::Fresh);
+    std::vector<float> push_weight(static_cast<std::size_t>(live_p), 1.0f);
+    std::vector<double> none_delay(static_cast<std::size_t>(live_p), 0.0);
+    float divisor = static_cast<float>(live_p);
+    Index contributors = live_p;
+    if (mode != MitigationMode::None) {
+      std::vector<char> capture_now(static_cast<std::size_t>(live_p), 0);
+      for (Index r = 0; r < live_p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (auto ev = injector.poll(FaultKind::Straggler, committed, r)) {
+          const Index sigma = std::max<Index>(
+              1,
+              static_cast<Index>(std::ceil(ev->delay_s / options.step_seconds)));
+          ++result.stragglers;
+          result.straggler_delay_s += ev->delay_s;
+          result.rank_stall_s[i] += ev->delay_s;
+          injector.record(committed, r, FaultKind::Straggler, "injected",
+                          "stalled " + std::to_string(ev->delay_s) + " s (" +
+                              std::to_string(sigma) + " steps; mode " +
+                              mitigation_mode_name(mode) + ")");
+          if (mode == MitigationMode::BoundedStaleness && stall_left[i] == 0 &&
+              stale_pending[i] == 0) {
+            capture_now[i] = 1;  // compute now, push staleness-weighted later
+          }
+          stall_left[i] += sigma;
+        }
+      }
+      if (mode == MitigationMode::Backup) {
+        // The quorum commits at live_p - k arrivals.  With more than k ranks
+        // stalled the step cannot commit, so everyone waits (modeled time)
+        // until enough stalls drain — the residual cost mitigation can't hide.
+        const Index quorum =
+            std::max<Index>(1, live_p - options.backup_workers);
+        auto fresh_count = [&] {
+          Index n = 0;
+          for (const Index s : stall_left) {
+            if (s == 0) ++n;
+          }
+          return n;
+        };
+        while (fresh_count() < quorum) {
+          result.modeled_stall_s += options.step_seconds;
+          for (auto& s : stall_left) {
+            if (s > 0) --s;
+          }
+        }
+      } else {
+        // Bounded staleness: a pending rank at the bound forces the quorum
+        // to wait out its remaining stall (SSP semantics — staleness never
+        // exceeds the bound)...
+        for (Index r = 0; r < live_p; ++r) {
+          const auto i = static_cast<std::size_t>(r);
+          if (stale_pending[i] != 0 && stall_left[i] > 0 &&
+              stale_age[i] >= options.staleness_bound) {
+            result.modeled_stall_s +=
+                static_cast<double>(stall_left[i]) * options.step_seconds;
+            stall_left[i] = 0;
+            ++result.stale_clamped;
+          }
+        }
+        // ...and if literally every rank is stalled, modeled time passes
+        // until one of them can contribute again.  A rank capturing its
+        // stale gradient this step does not contribute to this commit.
+        auto any_contributor = [&] {
+          for (Index r = 0; r < live_p; ++r) {
+            const auto i = static_cast<std::size_t>(r);
+            if (stall_left[i] == 0 && capture_now[i] == 0) return true;
+          }
+          return false;
+        };
+        while (!any_contributor()) {
+          result.modeled_stall_s += options.step_seconds;
+          for (auto& s : stall_left) {
+            if (s > 0) --s;
+          }
+        }
+      }
+      double wsum = 0.0;
+      contributors = 0;
+      for (Index r = 0; r < live_p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (capture_now[i] != 0) {
+          roles[i] = StepRole::StaleCapture;
+        } else if (stall_left[i] > 0) {
+          roles[i] = StepRole::Stalled;
+        } else if (mode == MitigationMode::BoundedStaleness &&
+                   stale_pending[i] != 0) {
+          roles[i] = StepRole::StalePush;
+          push_weight[i] = 1.0f / (1.0f + static_cast<float>(stale_age[i]));
+        } else {
+          roles[i] = StepRole::Fresh;
+        }
+        if (contributes(roles[i])) {
+          ++contributors;
+          wsum += static_cast<double>(push_weight[i]);
+        }
+      }
+      CANDLE_CHECK(contributors >= 1, "mitigation left an empty quorum");
+      divisor = static_cast<float>(wsum);
+    }
+
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(live_p));
     for (Index r = 0; r < live_p; ++r) {
       threads.emplace_back([&, r] {
+        const auto i = static_cast<std::size_t>(r);
         if (auto ev = injector.poll(FaultKind::ReplicaCrash, committed, r)) {
           outcome.crashed.fetch_add(1);
           injector.record(committed, r, FaultKind::ReplicaCrash, "injected",
@@ -219,39 +383,59 @@ ResilientResult train_resilient(const ModelFactory& factory,
           if (ev->announce) comm->mark_failed(r);
           return;  // the replica dies here, mid-step
         }
-        if (auto ev = injector.poll(FaultKind::Straggler, committed, r)) {
-          outcome.stragglers.fetch_add(1);
-          outcome.straggler_us.fetch_add(
-              static_cast<std::int64_t>(ev->delay_s * 1e6));
-          injector.record(committed, r, FaultKind::Straggler, "injected",
-                          "stalled " + std::to_string(ev->delay_s) + " s");
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(ev->delay_s));
-        }
-        const Index lo = r * b;
-        const Dataset shard = slice(global, lo, lo + b);
-        Model& m = replicas[static_cast<std::size_t>(r)];
-        const Tensor pred = m.forward(shard.x, /*training=*/true);
-        const float l = loss.value(pred, shard.y);
-        Tensor dy = loss.grad(pred, shard.y);
-        if (t.precision.loss_scale != 1.0f) dy.scale(t.precision.loss_scale);
-        m.backward(dy);
-        auto& buf = grad_bufs[static_cast<std::size_t>(r)];
-        m.copy_grads_to(buf);
-        if (auto ev =
-                injector.poll(FaultKind::GradientCorruption, committed, r)) {
-          const Index n = std::min<Index>(std::max<Index>(ev->corrupt_count, 1),
-                                          grad_size);
-          for (Index i = 0; i < n; ++i) {
-            buf[static_cast<std::size_t>(i)] =
-                std::numeric_limits<float>::quiet_NaN();
+        if (mode == MitigationMode::None) {
+          // Synchronous tolerance: the straggler really sleeps and every
+          // other rank waits for it inside the collective.
+          if (auto ev = injector.poll(FaultKind::Straggler, committed, r)) {
+            none_delay[i] = ev->delay_s;
+            injector.record(committed, r, FaultKind::Straggler, "injected",
+                            "stalled " + std::to_string(ev->delay_s) + " s");
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(ev->delay_s));
           }
-          injector.record(committed, r, FaultKind::GradientCorruption,
-                          "injected",
-                          std::to_string(n) + " gradient entries corrupted");
+        }
+        Model& m = replicas[i];
+        auto& buf = grad_bufs[i];
+        const StepRole role = roles[i];
+        if (computes(role)) {
+          const Index lo = r * b;
+          const Dataset shard = slice(global, lo, lo + b);
+          const Tensor pred = m.forward(shard.x, /*training=*/true);
+          rank_loss[i] = loss.value(pred, shard.y);
+          Tensor dy = loss.grad(pred, shard.y);
+          if (t.precision.loss_scale != 1.0f) dy.scale(t.precision.loss_scale);
+          m.backward(dy);
+          m.copy_grads_to(buf);
+          if (auto ev =
+                  injector.poll(FaultKind::GradientCorruption, committed, r)) {
+            const Index n = std::min<Index>(
+                std::max<Index>(ev->corrupt_count, 1), grad_size);
+            for (Index j = 0; j < n; ++j) {
+              buf[static_cast<std::size_t>(j)] =
+                  std::numeric_limits<float>::quiet_NaN();
+            }
+            injector.record(committed, r, FaultKind::GradientCorruption,
+                            "injected",
+                            std::to_string(n) + " gradient entries corrupted");
+          }
+        }
+        if (role == StepRole::StaleCapture) {
+          // Save this step's gradient for the staleness-weighted push on
+          // rejoin; this step's quorum commits without it.  A corruption
+          // injected into the capture rides along and is detected
+          // collectively at push time by the post-reduce finiteness check.
+          stale_grad[i] = buf;
+        } else if (role == StepRole::StalePush) {
+          const float w = push_weight[i];
+          const auto& saved = stale_grad[i];
+          for (std::size_t j = 0; j < buf.size(); ++j) buf[j] = saved[j] * w;
         }
         try {
-          comm->allreduce_ring(r, buf);
+          if (mode == MitigationMode::None) {
+            comm->allreduce_ring(r, buf);
+          } else {
+            comm->allreduce_quorum(r, buf, contributes(role));
+          }
         } catch (const RankFailure&) {
           outcome.collective_failed.store(true);
           return;  // unwound cleanly; recovery happens on the main thread
@@ -262,20 +446,31 @@ ResilientResult train_resilient(const ModelFactory& factory,
           outcome.corrupt.store(true);
           return;
         }
-        const float scale = 1.0f / (static_cast<float>(live_p) *
-                                    t.precision.loss_scale);
+        const float scale = 1.0f / (divisor * t.precision.loss_scale);
         for (float& v : buf) v *= scale;
+        // Every live rank — contributing or not — applies the identical
+        // committed update, which is what keeps the fleet bit-synchronized.
         m.set_grads_from(buf);
         const auto ps = m.params();
         const auto gs = m.grads();
-        optimizers[static_cast<std::size_t>(r)]->step(ps, gs);
-        rank_loss[static_cast<std::size_t>(r)] = l;
+        optimizers[i]->step(ps, gs);
       });
     }
     for (auto& th : threads) th.join();
-    result.stragglers += outcome.stragglers.load();
-    result.straggler_delay_s +=
-        static_cast<double>(outcome.straggler_us.load()) * 1e-6;
+    if (mode == MitigationMode::None) {
+      double worst = 0.0;
+      for (Index r = 0; r < live_p; ++r) {
+        const double d = none_delay[static_cast<std::size_t>(r)];
+        if (d > 0.0) {
+          ++result.stragglers;
+          result.straggler_delay_s += d;
+          result.rank_stall_s[static_cast<std::size_t>(r)] += d;
+          worst = std::max(worst, d);
+        }
+      }
+      // Synchronous tolerance: the whole fleet waits out the slowest rank.
+      result.modeled_stall_s += worst;
+    }
 
     const bool rank_died = outcome.crashed.load() > 0 ||
                            outcome.collective_failed.load() ||
@@ -311,6 +506,7 @@ ResilientResult train_resilient(const ModelFactory& factory,
         live_p = shrunk.comm->ranks();
         comm = std::move(shrunk.comm);
         ++result.shrinks;
+        reset_mitigation_state();  // survivor ranks are renumbered
         // The batch stream re-shards at the new width from here on.
         iter_seed = t.seed ^ (0x51AB0000ULL +
                               static_cast<std::uint64_t>(result.shrinks));
@@ -338,15 +534,65 @@ ResilientResult train_resilient(const ModelFactory& factory,
       continue;
     }
 
-    // Commit: deterministic reduction of the per-rank losses in rank order.
-    double sum = 0.0;
-    for (float l : rank_loss) sum += static_cast<double>(l);
-    step_loss.push_back(static_cast<float>(sum / static_cast<double>(live_p)));
+    // Commit: deterministic reduction, in rank order, of the losses of the
+    // ranks that actually computed this step (all of them in None mode).
+    double lsum = 0.0;
+    Index lcount = 0;
+    for (Index r = 0; r < live_p; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (computes(roles[i])) {
+        lsum += static_cast<double>(rank_loss[i]);
+        ++lcount;
+      }
+    }
+    const float mean_loss =
+        lcount > 0 ? static_cast<float>(lsum / static_cast<double>(lcount))
+                   : last_step_loss;
+    last_step_loss = mean_loss;
+    step_loss.push_back(mean_loss);
+
+    // Wire time of the committed gradient collective, priced at the quorum
+    // size (partial collectives are cheaper than full-width ones).
+    result.modeled_comm_s += modeled_allreduce_seconds(
+        options.fabric, options.allreduce_algo, contributors, grad_bytes);
+    if (contributors < live_p) ++result.quorum_commits;
+
+    if (mode == MitigationMode::Backup) {
+      for (Index r = 0; r < live_p; ++r) {
+        if (roles[static_cast<std::size_t>(r)] == StepRole::Stalled) {
+          ++result.late_discards;  // its gradient for this step arrives late
+        }
+      }
+    } else if (mode == MitigationMode::BoundedStaleness) {
+      for (Index r = 0; r < live_p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (roles[i] == StepRole::StalePush) {
+          staleness.record(stale_age[i]);
+          ++result.stale_applied;
+          stale_pending[i] = 0;
+          stale_age[i] = 0;
+          stale_grad[i].clear();
+        } else if (roles[i] == StepRole::StaleCapture) {
+          stale_pending[i] = 1;
+          stale_age[i] = 1;  // this commit already passed the capture by
+        } else if (stale_pending[i] != 0) {
+          ++stale_age[i];
+        }
+      }
+    }
+    if (mode != MitigationMode::None) {
+      // One committed step of global time drains one step of every stall.
+      for (auto& s : stall_left) {
+        if (s > 0) --s;
+      }
+    }
     ++committed;
   }
   result.measured_seconds = clock.seconds();
   result.committed_steps = committed;
   result.final_replicas = live_p;
+  result.mean_staleness = staleness.mean();
+  result.max_staleness = staleness.max_staleness();
 
   // Per-epoch means over the committed step losses.
   for (Index e = 0; e < t.epochs; ++e) {

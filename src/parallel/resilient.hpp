@@ -42,6 +42,35 @@ enum class RecoveryPolicy {
   Shrink,   // continue on the survivors with rescaled averaging (elastic)
 };
 
+/// How the step loop absorbs injected stragglers (node-level performance
+/// variability, distinct from crashes).
+///
+///   None             — synchronous tolerance: every rank waits out the
+///                      slowest one (the tail-latency pathology).
+///   Backup           — k = backup_workers redundant replicas per step: the
+///                      quorum all-reduce commits as soon as replicas - k
+///                      gradient sets are in; a straggler's late gradient is
+///                      discarded, and the stalled replica stays
+///                      bit-synchronized by receiving the committed quorum
+///                      gradient and applying the same optimizer step.
+///   BoundedStaleness — a straggling rank may fall up to staleness_bound
+///                      steps behind; its gradient (captured at the stall
+///                      step's weights) is aggregated on rejoin with weight
+///                      1/(1+staleness).  If the stall would exceed the
+///                      bound, the quorum waits out the remainder (SSP
+///                      semantics), so staleness never exceeds the bound.
+///
+/// Both mitigation modes derive the per-step participant set from the
+/// deterministic fault schedule — never from thread arrival order — so runs
+/// replay bit-identically from a fixed seed.
+enum class MitigationMode {
+  None,
+  Backup,
+  BoundedStaleness,
+};
+
+const char* mitigation_mode_name(MitigationMode mode);
+
 struct ResilientOptions {
   DataParallelOptions train;
 
@@ -71,6 +100,23 @@ struct ResilientOptions {
 
   /// Abort if more than this many recoveries fire (runaway guard).
   Index max_recoveries = 64;
+
+  /// Straggler execution discipline (see MitigationMode).
+  MitigationMode mitigation = MitigationMode::None;
+
+  /// Backup mode: number of redundant replicas per step (quorum commits at
+  /// replicas - backup_workers arrivals).  Must leave a non-empty quorum.
+  Index backup_workers = 1;
+
+  /// BoundedStaleness mode: maximum steps a rank may lag before the quorum
+  /// waits for it (and the largest staleness a stale gradient can carry).
+  Index staleness_bound = 4;
+
+  /// Fabric model pricing the per-step gradient collective in the modeled
+  /// accounting; partial (quorum) collectives are priced at the participant
+  /// count, full ones at the live width.
+  hpcsim::Fabric fabric = hpcsim::fat_tree_fabric();
+  hpcsim::AllReduceAlgo allreduce_algo = hpcsim::AllReduceAlgo::Ring;
 };
 
 struct ResilientResult {
@@ -90,6 +136,20 @@ struct ResilientResult {
   double measured_seconds = 0.0;   // wall-clock of the threaded run
   double straggler_delay_s = 0.0;  // total injected stall time
 
+  /// Per-rank injected stall time, indexed by the rank id current when the
+  /// stall was injected (sized to the initial replica count; after an
+  /// elastic shrink, survivor ids are the renumbered dense ranks).  Lets the
+  /// straggler harness assert exactly which rank was mitigated.
+  std::vector<double> rank_stall_s;
+
+  // ---- straggler-mitigation accounting --------------------------------------
+  Index quorum_commits = 0;   // steps committed without full participation
+  Index late_discards = 0;    // backup mode: stale gradient sets dropped
+  Index stale_applied = 0;    // stale mode: weighted stale gradients merged
+  Index stale_clamped = 0;    // stale mode: stalls cut short by the bound
+  double mean_staleness = 0.0;  // mean steps-behind of applied stale grads
+  Index max_staleness = 0;      // worst applied staleness
+
   /// Modeled accounting at nominal costs (step_seconds, checkpoint_cost_s,
   /// restart_overhead_s): ideal = planned work only; actual adds lost work,
   /// checkpoint writes, and recovery overheads.
@@ -97,6 +157,23 @@ struct ResilientResult {
   double modeled_actual_s = 0.0;
   double overhead_factor() const {
     return modeled_ideal_s > 0.0 ? modeled_actual_s / modeled_ideal_s : 1.0;
+  }
+
+  /// Straggler stall on the modeled critical path: in None mode the per-step
+  /// maximum injected delay (everyone waits for the slowest rank); in the
+  /// mitigation modes only the waits the discipline could not hide (quorum
+  /// short of replicas - k, or a stall clamped at the staleness bound).
+  double modeled_stall_s = 0.0;
+
+  /// Modeled wire time of the committed gradient collectives on
+  /// `options.fabric` — partial collectives priced at their quorum size.
+  double modeled_comm_s = 0.0;
+
+  /// Modeled end-to-end wall-clock: modeled_actual_s (work + checkpoints +
+  /// recoveries) plus stall and wire time.  This is the number the
+  /// straggler harness compares across mitigation modes.
+  double modeled_wallclock_s() const {
+    return modeled_actual_s + modeled_stall_s + modeled_comm_s;
   }
 
   /// Closed-form prediction for the same work at the same interval from

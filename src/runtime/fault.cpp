@@ -1,6 +1,7 @@
 #include "runtime/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "runtime/rng.hpp"
@@ -40,6 +41,40 @@ FaultSchedule& FaultSchedule::corrupt(Index step, Index rank, Index entries) {
   return *this;
 }
 
+namespace {
+
+/// Draws unique (step, rank) cells in [1, steps) x [0, ranks); steps start
+/// at 1 so step 0 always completes and the run has an initial committed
+/// state to measure recovery against.
+class CellDrawer {
+ public:
+  CellDrawer(Pcg32& rng, Index steps, Index ranks)
+      : rng_(rng), steps_(steps), ranks_(ranks) {}
+
+  std::pair<Index, Index> draw() {
+    for (;;) {
+      const Index step =
+          1 + static_cast<Index>(
+                  rng_.next_below(static_cast<std::uint32_t>(steps_ - 1)));
+      const Index rank = static_cast<Index>(
+          rng_.next_below(static_cast<std::uint32_t>(ranks_)));
+      const auto cell = std::make_pair(step, rank);
+      if (std::find(used_.begin(), used_.end(), cell) == used_.end()) {
+        used_.push_back(cell);
+        return cell;
+      }
+    }
+  }
+
+ private:
+  Pcg32& rng_;
+  Index steps_;
+  Index ranks_;
+  std::vector<std::pair<Index, Index>> used_;
+};
+
+}  // namespace
+
 FaultSchedule random_fault_schedule(std::uint64_t seed, Index steps,
                                     Index ranks, Index crashes,
                                     Index stragglers, Index corruptions,
@@ -52,23 +87,8 @@ FaultSchedule random_fault_schedule(std::uint64_t seed, Index steps,
                "more faults than (step, rank) cells");
   Pcg32 rng(seed, 0xfa17);
   FaultSchedule schedule;
-  std::vector<std::pair<Index, Index>> used;  // (step, rank) cells taken
-  auto draw_cell = [&] {
-    for (;;) {
-      // Steps start at 1: step 0 always completes so the run has an initial
-      // committed state to measure recovery against.
-      const Index step =
-          1 + static_cast<Index>(
-                  rng.next_below(static_cast<std::uint32_t>(steps - 1)));
-      const Index rank = static_cast<Index>(
-          rng.next_below(static_cast<std::uint32_t>(ranks)));
-      const auto cell = std::make_pair(step, rank);
-      if (std::find(used.begin(), used.end(), cell) == used.end()) {
-        used.push_back(cell);
-        return cell;
-      }
-    }
-  };
+  CellDrawer cells(rng, steps, ranks);
+  auto draw_cell = [&] { return cells.draw(); };
   for (Index i = 0; i < crashes; ++i) {
     const auto [step, rank] = draw_cell();
     schedule.crash(step, rank, /*announce=*/true);
@@ -80,6 +100,32 @@ FaultSchedule random_fault_schedule(std::uint64_t seed, Index steps,
   for (Index i = 0; i < corruptions; ++i) {
     const auto [step, rank] = draw_cell();
     schedule.corrupt(step, rank);
+  }
+  return schedule;
+}
+
+FaultSchedule pareto_straggler_schedule(std::uint64_t seed, Index steps,
+                                        Index ranks, Index stragglers,
+                                        double alpha, double min_delay_s,
+                                        double max_delay_s) {
+  CANDLE_CHECK(steps >= 2 && ranks >= 1, "schedule needs steps and ranks");
+  CANDLE_CHECK(stragglers >= 0 && stragglers <= (steps - 1) * ranks,
+               "straggler count out of range");
+  CANDLE_CHECK(alpha > 1.0 && min_delay_s > 0.0,
+               "Pareto tail needs alpha > 1 and a positive scale");
+  CANDLE_CHECK(max_delay_s == 0.0 || max_delay_s >= min_delay_s,
+               "max_delay_s must be zero (unclamped) or >= min_delay_s");
+  Pcg32 rng(seed, 0x5712);
+  FaultSchedule schedule;
+  CellDrawer cells(rng, steps, ranks);
+  for (Index i = 0; i < stragglers; ++i) {
+    const auto [step, rank] = cells.draw();
+    // Inverse-CDF Pareto draw: d = m * u^(-1/alpha), u in (0, 1].
+    double u = rng.next_double();
+    if (u < 1e-12) u = 1e-12;
+    double delay = min_delay_s * std::pow(u, -1.0 / alpha);
+    if (max_delay_s > 0.0) delay = std::min(delay, max_delay_s);
+    schedule.straggle(step, rank, delay);
   }
   return schedule;
 }

@@ -69,6 +69,17 @@ FaultSchedule random_fault_schedule(std::uint64_t seed, Index steps,
                                     Index corruptions = 0,
                                     double straggler_delay_s = 0.0);
 
+/// Seeded heavy-tailed straggler schedule: `stragglers` stalls at uniform
+/// unique (step, rank) cells in [1, steps) x [0, ranks) with delays drawn
+/// from a Pareto(alpha, min_delay_s) tail — the MLPerf-HPC-style node
+/// performance-variability model where a few ranks stall for many multiples
+/// of the step time.  `max_delay_s` > 0 truncates the tail (keeps injected
+/// real sleeps and suspicion timeouts bounded).  Deterministic in `seed`.
+FaultSchedule pareto_straggler_schedule(std::uint64_t seed, Index steps,
+                                        Index ranks, Index stragglers,
+                                        double alpha, double min_delay_s,
+                                        double max_delay_s = 0.0);
+
 /// One line of the structured fault/recovery event log.
 struct FaultRecord {
   double t_s = 0.0;        // seconds since injector construction

@@ -6,6 +6,7 @@
 // measured overhead of the executable runtime.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -77,6 +78,56 @@ TEST(FaultInjector, RandomScheduleIsDeterministic) {
     EXPECT_GE(a.events[i].step, 1);
     EXPECT_LT(a.events[i].step, 100);
     EXPECT_LT(a.events[i].rank, 4);
+  }
+}
+
+TEST(FaultInjector, RandomSchedulePropertiesHoldAcrossSeeds) {
+  // Randomized property test: for parameters drawn from a seeded meta-RNG,
+  // the generator must (a) replay the identical event list for the same
+  // seed, (b) emit exactly the requested count of each fault kind, and
+  // (c) never place two events in the same (step, rank) cell.
+  Pcg32 meta(20260806);
+  for (int trial = 0; trial < 16; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(meta.next_u32());
+    const Index steps = 20 + static_cast<Index>(meta.next_u32() % 200);
+    const Index ranks = 2 + static_cast<Index>(meta.next_u32() % 15);
+    const Index cells = (steps - 1) * ranks;
+    const Index crashes = static_cast<Index>(meta.next_u32()) % 4;
+    const Index stragglers = static_cast<Index>(meta.next_u32()) % 4;
+    const Index corruptions = static_cast<Index>(meta.next_u32()) % 4;
+    if (crashes + stragglers + corruptions > cells) continue;
+    const auto a = runtime::random_fault_schedule(
+        seed, steps, ranks, crashes, stragglers, corruptions, 0.25);
+    const auto b = runtime::random_fault_schedule(
+        seed, steps, ranks, crashes, stragglers, corruptions, 0.25);
+    ASSERT_EQ(a.events.size(),
+              static_cast<std::size_t>(crashes + stragglers + corruptions));
+    Index n_crash = 0, n_straggle = 0, n_corrupt = 0;
+    std::vector<std::pair<Index, Index>> occupied;
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+      const auto& ev = a.events[i];
+      EXPECT_EQ(ev.kind, b.events[i].kind);
+      EXPECT_EQ(ev.step, b.events[i].step);
+      EXPECT_EQ(ev.rank, b.events[i].rank);
+      EXPECT_GE(ev.step, 1);
+      EXPECT_LT(ev.step, steps);
+      EXPECT_GE(ev.rank, 0);
+      EXPECT_LT(ev.rank, ranks);
+      n_crash += ev.kind == FaultKind::ReplicaCrash;
+      n_straggle += ev.kind == FaultKind::Straggler;
+      n_corrupt += ev.kind == FaultKind::GradientCorruption;
+      if (ev.kind == FaultKind::Straggler) {
+        EXPECT_DOUBLE_EQ(ev.delay_s, 0.25);
+      }
+      occupied.emplace_back(ev.step, ev.rank);
+    }
+    EXPECT_EQ(n_crash, crashes) << "seed=" << seed;
+    EXPECT_EQ(n_straggle, stragglers) << "seed=" << seed;
+    EXPECT_EQ(n_corrupt, corruptions) << "seed=" << seed;
+    std::sort(occupied.begin(), occupied.end());
+    EXPECT_EQ(std::adjacent_find(occupied.begin(), occupied.end()),
+              occupied.end())
+        << "two events share a (step, rank) cell; seed=" << seed;
   }
 }
 
@@ -538,6 +589,14 @@ TEST(ResilientTraining, StragglerDelaysButDoesNotPerturb) {
   EXPECT_NEAR(res.straggler_delay_s, 0.05, 1e-6);
   EXPECT_EQ(res.restarts, 0);
   EXPECT_EQ(res.crashes, 0);
+  // Per-rank attribution: the whole stall lands on rank 1, nowhere else,
+  // and in synchronous-tolerance mode it sits on the modeled critical path.
+  ASSERT_EQ(res.rank_stall_s.size(), 4u);
+  EXPECT_NEAR(res.rank_stall_s[1], 0.05, 1e-6);
+  EXPECT_DOUBLE_EQ(res.rank_stall_s[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.rank_stall_s[2], 0.0);
+  EXPECT_DOUBLE_EQ(res.rank_stall_s[3], 0.0);
+  EXPECT_NEAR(res.modeled_stall_s, 0.05, 1e-6);
   EXPECT_EQ(weights_of(out), weights_of(reference));
   cleanup(faulty);
   cleanup(clean);
