@@ -13,7 +13,9 @@
 // `--mitigation[=none,backup,stale]` bypasses the google-benchmark runner
 // and sweeps the straggler-mitigation disciplines under an identical seeded
 // heavy-tail (Pareto) straggler schedule, printing table (d) and emitting a
-// machine-readable report (default: BENCH_e10.json).
+// machine-readable report (`--json=PATH`, default BENCH_e10.json).  The
+// report is a generated artifact — CI emits and uploads it per commit; it
+// is not checked into the repository.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -278,13 +280,19 @@ BENCHMARK(BM_CheckpointRoundTrip)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool mitigation = false;
+  std::string modes;
+  std::string json_path = "BENCH_e10.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--mitigation", 12) == 0) {
+      mitigation = true;
       const char* eq = std::strchr(argv[i], '=');
-      return run_mitigation_sweep(eq != nullptr ? eq + 1 : "",
-                                  "BENCH_e10.json");
+      if (eq != nullptr) modes = eq + 1;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     }
   }
+  if (mitigation) return run_mitigation_sweep(modes, json_path);
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

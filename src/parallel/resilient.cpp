@@ -271,6 +271,7 @@ ResilientResult train_resilient(const ModelFactory& factory,
                                 StepRole::Fresh);
     std::vector<float> push_weight(static_cast<std::size_t>(live_p), 1.0f);
     std::vector<double> none_delay(static_cast<std::size_t>(live_p), 0.0);
+    std::vector<Index> push_corrupt(static_cast<std::size_t>(live_p), 0);
     float divisor = static_cast<float>(live_p);
     Index contributors = live_p;
     if (mode != MitigationMode::None) {
@@ -330,13 +331,21 @@ ResilientResult train_resilient(const ModelFactory& factory,
         }
         // ...and if literally every rank is stalled, modeled time passes
         // until one of them can contribute again.  A rank capturing its
-        // stale gradient this step does not contribute to this commit.
+        // stale gradient this step does not contribute to this commit —
+        // unless the whole fleet stalled and the wait below drained its own
+        // stall: then there is nothing left to defer, so it is demoted to a
+        // fresh contributor.  (Without the demotion, a step where every
+        // live rank straggles from a fresh state could never commit: the
+        // drain loop decrements stall_left but capture flags never change.)
         auto any_contributor = [&] {
+          bool any = false;
           for (Index r = 0; r < live_p; ++r) {
             const auto i = static_cast<std::size_t>(r);
-            if (stall_left[i] == 0 && capture_now[i] == 0) return true;
+            if (stall_left[i] != 0) continue;
+            if (capture_now[i] != 0) capture_now[i] = 0;  // stall waited out
+            any = true;
           }
-          return false;
+          return any;
         };
         while (!any_contributor()) {
           result.modeled_stall_s += options.step_seconds;
@@ -367,6 +376,33 @@ ResilientResult train_resilient(const ModelFactory& factory,
       }
       CANDLE_CHECK(contributors >= 1, "mitigation left an empty quorum");
       divisor = static_cast<float>(wsum);
+      // Corruption events targeting ranks that compute no fresh gradient
+      // this step are consumed here (the thread-side poll only runs for
+      // computing roles), so composed schedules stay truthful and the
+      // injector drains.  A stale push is a live contribution: the
+      // corruption lands on the pushed buffer and is detected collectively
+      // after the reduce like any other.  A stalled rank has no gradient at
+      // all this step, so its event is recorded as skipped.
+      for (Index r = 0; r < live_p; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (computes(roles[i])) continue;
+        if (auto ev =
+                injector.poll(FaultKind::GradientCorruption, committed, r)) {
+          if (roles[i] == StepRole::StalePush) {
+            push_corrupt[i] = std::min<Index>(
+                std::max<Index>(ev->corrupt_count, 1), grad_size);
+            injector.record(committed, r, FaultKind::GradientCorruption,
+                            "injected",
+                            std::to_string(push_corrupt[i]) +
+                                " stale-push gradient entries corrupted");
+          } else {
+            ++result.corruptions_skipped;
+            injector.record(committed, r, FaultKind::GradientCorruption,
+                            "skipped",
+                            "rank stalled this step; no gradient to corrupt");
+          }
+        }
+      }
     }
 
     std::vector<std::thread> threads;
@@ -429,6 +465,10 @@ ResilientResult train_resilient(const ModelFactory& factory,
           const float w = push_weight[i];
           const auto& saved = stale_grad[i];
           for (std::size_t j = 0; j < buf.size(); ++j) buf[j] = saved[j] * w;
+          for (Index j = 0; j < push_corrupt[i]; ++j) {
+            buf[static_cast<std::size_t>(j)] =
+                std::numeric_limits<float>::quiet_NaN();
+          }
         }
         try {
           if (mode == MitigationMode::None) {

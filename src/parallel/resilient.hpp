@@ -130,6 +130,10 @@ struct ResilientResult {
   Index crashes = 0;               // replica crashes injected
   Index stragglers = 0;            // straggler delays injected
   Index corruptions = 0;           // gradient corruptions detected
+  Index corruptions_skipped = 0;   // corruption events aimed at a stalled
+                                   // rank (no gradient existed to corrupt;
+                                   // logged as "skipped", never silently
+                                   // dropped)
   Index restarts = 0;              // checkpoint-restore recoveries
   Index shrinks = 0;               // elastic p -> p-1 recoveries
   Index final_replicas = 0;

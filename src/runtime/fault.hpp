@@ -86,7 +86,9 @@ struct FaultRecord {
   Index step = 0;
   Index rank = -1;         // -1 when not rank-specific
   FaultKind kind = FaultKind::ReplicaCrash;
-  std::string phase;       // "injected" | "detected" | "recovered"
+  std::string phase;       // "injected" | "detected" | "recovered" |
+                           // "skipped" (event consumed but inapplicable,
+                           // e.g. corrupting a rank with no gradient)
   std::string detail;
 };
 
@@ -106,7 +108,8 @@ class FaultInjector {
   /// Events not yet fired.
   Index remaining() const;
 
-  /// Append a structured record ("injected"/"detected"/"recovered").
+  /// Append a structured record ("injected"/"detected"/"recovered"/
+  /// "skipped").
   void record(Index step, Index rank, FaultKind kind, std::string phase,
               std::string detail);
 

@@ -480,6 +480,117 @@ TEST(StragglerHarness, SweepModesRanksAndDelayDistributions) {
   }
 }
 
+TEST(StragglerHarness, AllRanksStragglingAtOnceStillCommits) {
+  // Regression: in BoundedStaleness mode, a step where EVERY live rank
+  // straggles from a fresh state used to spin forever — each rank became a
+  // StaleCapture candidate, and the drain loop waiting for a contributor
+  // never cleared the capture flags it was waiting on.  The fix demotes a
+  // capture rank whose stall has been fully waited out to a fresh
+  // contributor, so the step commits after exactly the modeled wait.
+  FaultSchedule sched;
+  sched.straggle(2, 0, 0.04).straggle(2, 1, 0.04);  // 2 steps at 0.02 s each
+  const Dataset d = blob_dataset(64, 61);
+  ResilientOptions o = straggler_options("allstall", 2, 3);
+  o.faults = sched;
+  o.mitigation = MitigationMode::BoundedStaleness;
+  o.staleness_bound = 8;
+  const ResilientResult res =
+      train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, SoftmaxCrossEntropy(), o);
+  cleanup(o);
+  EXPECT_EQ(res.committed_steps, res.planned_steps);
+  EXPECT_EQ(res.stragglers, 2);
+  // Both ranks were demoted to fresh contributors after the fleet waited
+  // out their (identical) 2-step stalls, so no stale gradient was applied
+  // and the modeled stall is exactly the drained window.
+  EXPECT_EQ(res.stale_applied, 0);
+  EXPECT_NEAR(res.modeled_stall_s, 2 * 0.02, 1e-12);
+}
+
+TEST(StragglerHarness, SoleSurvivorStragglerDoesNotDeadlock) {
+  // The single-rank corner of the same regression (what a fleet looks like
+  // after an elastic shrink to one survivor): any straggler event on the
+  // only rank made the drain loop unsatisfiable.
+  FaultSchedule sched;
+  sched.straggle(1, 0, 0.05);
+  const Dataset d = blob_dataset(32, 61);
+  ResilientOptions o = straggler_options("solo", 1, 2);
+  o.faults = sched;
+  o.mitigation = MitigationMode::BoundedStaleness;
+  o.staleness_bound = 4;
+  const ResilientResult res =
+      train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, SoftmaxCrossEntropy(), o);
+  cleanup(o);
+  EXPECT_EQ(res.committed_steps, res.planned_steps);
+  EXPECT_EQ(res.stragglers, 1);
+  EXPECT_EQ(res.stale_applied, 0);
+  EXPECT_GT(res.modeled_stall_s, 0.0);
+}
+
+TEST(StragglerHarness, CorruptionAimedAtStalledRankIsConsumedNotDropped) {
+  // Regression: a GradientCorruption event scheduled for a rank that is
+  // Stalled that step used to linger unconsumed forever (only computing
+  // roles polled it), silently weakening composed schedules.  It must now
+  // be consumed and logged as skipped — the rank had no gradient to
+  // corrupt — with no corruption detected and no rollback taken.
+  FaultSchedule sched;
+  // Rank 1 straggles 3 steps (0.06 / 0.02) starting at step 2; while it is
+  // Stalled at step 3, a corruption targets it.
+  sched.straggle(2, 1, 0.06).corrupt(3, 1);
+  const Dataset d = blob_dataset(128, 61);
+  for (const MitigationMode mode :
+       {MitigationMode::Backup, MitigationMode::BoundedStaleness}) {
+    ResilientOptions o = straggler_options("skipcorrupt", 4, 3);
+    o.faults = sched;
+    o.mitigation = mode;
+    o.backup_workers = 2;
+    o.staleness_bound = 8;
+    const ResilientResult res = train_resilient(
+        blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+        SoftmaxCrossEntropy(), o);
+    cleanup(o);
+    EXPECT_EQ(res.committed_steps, res.planned_steps)
+        << mitigation_mode_name(mode);
+    EXPECT_EQ(res.corruptions, 0) << mitigation_mode_name(mode);
+    EXPECT_EQ(res.corruptions_skipped, 1) << mitigation_mode_name(mode);
+    EXPECT_EQ(res.restarts, 0) << mitigation_mode_name(mode);
+    bool skipped_logged = false;
+    for (const auto& rec : res.log) {
+      skipped_logged = skipped_logged ||
+                       (rec.kind == FaultKind::GradientCorruption &&
+                        rec.phase == "skipped" && rec.step == 3 &&
+                        rec.rank == 1);
+    }
+    EXPECT_TRUE(skipped_logged) << mitigation_mode_name(mode);
+  }
+}
+
+TEST(StragglerHarness, CorruptionOnStalePushIsDetectedCollectively) {
+  // A corruption that lands on the step where the straggler pushes its
+  // stale gradient rides the pushed buffer onto the wire and must be
+  // caught by the post-reduce finiteness check — detected, rolled back,
+  // and the run still completes every planned step.
+  FaultSchedule sched;
+  // Rank 1 straggles 2 steps starting at step 2 (capture at 2, stalled at
+  // 3, pushes at 4); the corruption fires exactly at the push.
+  sched.straggle(2, 1, 0.04).corrupt(4, 1);
+  const Dataset d = blob_dataset(128, 61);
+  ResilientOptions o = straggler_options("pushcorrupt", 4, 3);
+  o.faults = sched;
+  o.mitigation = MitigationMode::BoundedStaleness;
+  o.staleness_bound = 8;
+  const ResilientResult res =
+      train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, SoftmaxCrossEntropy(), o);
+  cleanup(o);
+  EXPECT_EQ(res.committed_steps, res.planned_steps);
+  EXPECT_EQ(res.corruptions, 1);
+  EXPECT_EQ(res.corruptions_skipped, 0);
+  EXPECT_EQ(res.restarts, 1);
+  EXPECT_GT(res.executed_steps, res.planned_steps);  // lost work replayed
+}
+
 TEST(StragglerHarness, BackupModeComposesWithCrashRecovery) {
   // A crash mid-run under backup mode: the rank failure still triggers a
   // checkpoint restore, mitigation state resets with the relaunched fleet,
