@@ -7,9 +7,17 @@
 //   (b) MODELED: strong vs weak scaling to 4096 nodes for a CANDLE-scale
 //       workload, with the global-batch sweep showing where strong scaling
 //       collapses and how weak scaling holds.
+//   (c) OVERLAP: bucketed gradient all-reduce with comm/compute overlap —
+//       measured on the virtual-node runtime (with a bit-identity check
+//       against the monolithic path) and modeled at scale through the
+//       overlap-aware perfmodel term.  `--json[=path]` emits the machine-
+//       readable report CI archives (default: BENCH_e3.json).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "biodata/workloads.hpp"
 #include "hpcsim/perfmodel.hpp"
@@ -39,6 +47,206 @@ hpcsim::TrainingWorkload candle_scale_workload() {
   w.bytes_per_sample = 6e4;
   w.activation_bytes_per_sample = 4e5;
   return w;
+}
+
+// ---- (c) bucketed all-reduce with comm/compute overlap -----------------------
+
+Model overlap_bench_model(Index features) {
+  Model m;
+  m.add(make_dense(256)).add(make_relu());
+  m.add(make_dense(256)).add(make_relu());
+  m.add(make_dense(256)).add(make_relu());
+  m.add(make_dense(1));
+  m.build({features}, 4141);
+  return m;
+}
+
+struct OverlapComparison {
+  parallel::DataParallelResult mono;     // monolithic all-reduce
+  parallel::DataParallelResult over;     // bucketed + overlapped
+  bool bit_identical = false;
+  Index grad_elements = 0;
+  double measured_step_cut = 0.0;        // 1 - over.wall / mono.wall
+  /// Overlap fraction the perfmodel drain law predicts when fed the
+  /// MEASURED backward and bucket wire times (what overlap should hide on
+  /// hardware where the comm engine runs beside compute).
+  double drain_overlap_fraction = 0.0;
+};
+
+OverlapComparison measure_overlap_comparison() {
+  // Comm-heavy on purpose: wide layers (≈1.3 MB of gradient) and a small
+  // per-replica batch, so the all-reduce is a large share of the step.
+  biodata::DrugResponseConfig cfg;
+  cfg.samples = 256;
+  cfg.seed = 401;
+  Dataset data = biodata::make_drug_response(cfg);
+  auto factory = [&] { return overlap_bench_model(cfg.features()); };
+  auto opt = [] { return make_sgd(0.05f); };
+
+  parallel::DataParallelOptions opts;
+  opts.replicas = 8;
+  opts.batch_per_replica = 4;
+  opts.epochs = 2;
+  opts.seed = 402;
+
+  OverlapComparison c;
+  Model mono_model, over_model;
+  c.mono = parallel::train_data_parallel(factory, opt, data,
+                                         MeanSquaredError(), opts, &mono_model);
+
+  opts.bucket_bytes = 64 * 1024;
+  opts.overlap_comm = true;
+  c.over = parallel::train_data_parallel(factory, opt, data,
+                                         MeanSquaredError(), opts, &over_model);
+
+  c.grad_elements = mono_model.grad_size();
+  std::vector<float> wa(static_cast<std::size_t>(mono_model.num_params()));
+  std::vector<float> wb(wa.size());
+  mono_model.copy_weights_to(wa);
+  over_model.copy_weights_to(wb);
+  c.bit_identical = wa == wb;
+  c.measured_step_cut =
+      c.mono.measured_seconds > 0.0
+          ? 1.0 - c.over.measured_seconds / c.mono.measured_seconds
+          : 0.0;
+  if (c.over.buckets_per_step > 0 && c.over.measured_comm_busy_s > 0.0) {
+    const double t_b = c.over.measured_comm_busy_s /
+                       static_cast<double>(c.over.buckets_per_step);
+    const double predicted = hpcsim::overlapped_exposed_comm_s(
+        c.over.buckets_per_step, t_b, c.over.measured_backward_s);
+    c.drain_overlap_fraction = 1.0 - predicted / c.over.measured_comm_busy_s;
+  }
+  return c;
+}
+
+/// One modeled strong-scaling row with the monolithic vs bucketed-overlap
+/// all-reduce (candle-scale workload).  The bucket size is tuned per scale
+/// the way a real deployment tunes it: at small p large buckets amortize
+/// latency and still hide behind backward; at large p per-bucket latency
+/// dominates, so the sweep falls back toward fewer, bigger buckets (up to
+/// the monolithic limit, which overlap can never lose to).
+struct ModeledOverlapRow {
+  hpcsim::Index nodes = 0;
+  hpcsim::StepEstimate base;  // monolithic
+  hpcsim::StepEstimate over;  // bucketed + overlapped, best bucket size
+  double bucket_mb = 0.0;     // 0 = monolithic won the sweep
+  double step_cut = 0.0;
+};
+
+std::vector<ModeledOverlapRow> modeled_overlap_rows() {
+  const auto node = hpcsim::summit_node();
+  const auto fabric = hpcsim::fat_tree_fabric();
+  const auto w = candle_scale_workload();
+  std::vector<ModeledOverlapRow> rows;
+  for (const hpcsim::Index n : {8, 64, 256, 1024, 4096}) {
+    hpcsim::ParallelPlan plan;
+    plan.data_replicas = n;
+    plan.batch_per_replica = std::max<hpcsim::Index>(1, 4096 / n);
+    ModeledOverlapRow row;
+    row.nodes = n;
+    row.base = hpcsim::estimate_step(node, fabric, w, plan);
+    row.over = row.base;  // monolithic is the sweep floor
+    for (const double mb : {4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+      plan.bucket_bytes = mb * 1024 * 1024;
+      const auto est = hpcsim::estimate_step(node, fabric, w, plan);
+      if (est.step_s < row.over.step_s) {
+        row.over = est;
+        row.bucket_mb = mb;
+      }
+    }
+    row.step_cut = 1.0 - row.over.step_s / row.base.step_s;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_overlap_tables() {
+  std::printf("bucketed all-reduce with comm/compute overlap\n");
+  const OverlapComparison c = measure_overlap_comparison();
+  std::printf("measured, 8 replicas, %lld grad elements, %lld buckets "
+              "(single-core host: comm arithmetic shares the CPU with "
+              "compute, so wall-clock gains appear only on multi-core "
+              "hardware; the schedule and numerics are what is verified "
+              "here)\n",
+              static_cast<long long>(c.grad_elements),
+              static_cast<long long>(c.over.buckets_per_step));
+  std::printf("%14s %12s %14s %14s %14s\n", "path", "wall (s)", "backward (s)",
+              "comm busy (s)", "exposed (s)");
+  std::printf("%14s %12.3f %14.4f %14.4f %14.4f\n", "monolithic",
+              c.mono.measured_seconds, c.mono.measured_backward_s,
+              c.mono.measured_comm_busy_s, c.mono.measured_exposed_comm_s);
+  std::printf("%14s %12.3f %14.4f %14.4f %14.4f\n", "overlapped",
+              c.over.measured_seconds, c.over.measured_backward_s,
+              c.over.measured_comm_busy_s, c.over.measured_exposed_comm_s);
+  std::printf("weights bit-identical: %s; measured overlap fraction %.3f; "
+              "drain-law prediction from measured inputs %.3f\n\n",
+              c.bit_identical ? "yes" : "NO (BUG)",
+              c.over.measured_overlap_fraction, c.drain_overlap_fraction);
+
+  std::printf("modeled strong scaling with overlapped buckets "
+              "(candle-scale, global batch 4096, bucket size tuned per "
+              "scale)\n");
+  std::printf("%8s %14s %14s %12s %14s %12s\n", "nodes", "mono step(ms)",
+              "over step(ms)", "bucket(MB)", "overlap frac", "step cut");
+  for (const auto& row : modeled_overlap_rows()) {
+    std::printf("%8lld %14.2f %14.2f %12.0f %14.3f %11.1f%%\n",
+                static_cast<long long>(row.nodes), row.base.step_s * 1e3,
+                row.over.step_s * 1e3, row.bucket_mb,
+                row.over.overlap_fraction, row.step_cut * 100.0);
+  }
+  std::printf("(the modeled cut is the overlap mechanism priced on a "
+              "multi-node fabric, where bucket wire time genuinely hides "
+              "behind the remaining backward compute)\n\n");
+}
+
+// ---- --json mode: machine-readable overlap + scaling report -------------------
+
+int run_json_report(const std::string& path) {
+  const OverlapComparison c = measure_overlap_comparison();
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"e3_overlap_scaling\",\n";
+  out << "  \"measured\": {\n";
+  out << "    \"replicas\": 8,\n";
+  out << "    \"grad_elements\": " << c.grad_elements << ",\n";
+  out << "    \"buckets\": " << c.over.buckets_per_step << ",\n";
+  out << "    \"bit_identical_weights\": "
+      << (c.bit_identical ? "true" : "false") << ",\n";
+  const auto emit_path = [&](const char* name,
+                             const parallel::DataParallelResult& r,
+                             bool trailing_comma) {
+    out << "    \"" << name << "\": {\"wall_s\": " << r.measured_seconds
+        << ", \"backward_s\": " << r.measured_backward_s
+        << ", \"comm_busy_s\": " << r.measured_comm_busy_s
+        << ", \"exposed_comm_s\": " << r.measured_exposed_comm_s
+        << ", \"overlap_fraction\": " << r.measured_overlap_fraction << "}"
+        << (trailing_comma ? ",\n" : "\n");
+  };
+  emit_path("monolithic", c.mono, true);
+  emit_path("overlapped", c.over, true);
+  out << "    \"measured_step_cut_fraction\": " << c.measured_step_cut
+      << ",\n";
+  out << "    \"drain_law_overlap_fraction\": " << c.drain_overlap_fraction
+      << ",\n";
+  out << "    \"overlap_fraction_abs_error\": "
+      << std::abs(c.drain_overlap_fraction - c.over.measured_overlap_fraction)
+      << "\n  },\n";
+  out << "  \"modeled\": [\n";
+  bool first = true;
+  for (const auto& row : modeled_overlap_rows()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"nodes\": " << row.nodes
+        << ", \"step_s_monolithic\": " << row.base.step_s
+        << ", \"step_s_overlapped\": " << row.over.step_s
+        << ", \"bucket_mb\": " << row.bucket_mb
+        << ", \"dp_comm_s\": " << row.over.dp_comm_s
+        << ", \"dp_comm_exposed_s\": " << row.over.dp_comm_exposed_s
+        << ", \"overlap_fraction\": " << row.over.overlap_fraction
+        << ", \"step_cut_fraction\": " << row.step_cut << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
 }
 
 void print_tables() {
@@ -141,6 +349,8 @@ void print_tables() {
                 accs[0], accs[1]);
   }
 
+  print_overlap_tables();
+
   std::printf("\nexpected shape: strong scaling efficiency collapses "
               "(smaller local batches starve the GEMMs while the gradient "
               "all-reduce is batch-independent); larger global batches push "
@@ -175,6 +385,12 @@ BENCHMARK(BM_DataParallelStep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillise
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_json_report(eq != nullptr ? eq + 1 : "BENCH_e3.json");
+    }
+  }
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

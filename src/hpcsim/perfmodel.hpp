@@ -43,6 +43,13 @@ struct ParallelPlan {
   AllReduceAlgo allreduce = AllReduceAlgo::Ring;
   /// Bytes per gradient element on the wire (2 = fp16-compressed comms).
   double gradient_wire_bytes = 4.0;
+  /// DDP-style bucketed all-reduce with comm/compute overlap: the gradient
+  /// ships in ceil(grad_bytes / bucket_bytes) buckets, each launched as the
+  /// backward pass produces it, so wire time hides behind the remaining
+  /// backward compute and only the unhidden remainder is exposed on the
+  /// step's critical path (StepEstimate::dp_comm_exposed_s).  0 = the
+  /// monolithic synchronous all-reduce (fully exposed), the default.
+  double bucket_bytes = 0.0;
 
   Index total_nodes() const { return data_replicas * model_shards; }
 };
@@ -51,7 +58,14 @@ struct ParallelPlan {
 struct StepEstimate {
   double compute_s = 0.0;   // GEMM time on the critical path
   double memory_s = 0.0;    // weight/activation traffic time
-  double dp_comm_s = 0.0;   // data-parallel gradient all-reduce
+  double dp_comm_s = 0.0;   // data-parallel gradient all-reduce (wire time)
+  /// The part of dp_comm_s the step actually waits for.  Equal to dp_comm_s
+  /// for the monolithic all-reduce; with bucketing (plan.bucket_bytes > 0)
+  /// it is max(0, bucket wire time - remaining overlappable backward
+  /// compute), from the drain simulation in overlapped_exposed_comm_s.
+  double dp_comm_exposed_s = 0.0;
+  /// Fraction of dp_comm_s hidden behind backward compute, in [0,1].
+  double overlap_fraction = 0.0;
   double mp_comm_s = 0.0;   // model-parallel activation exchange
   double step_s = 0.0;      // total (compute/memory overlap, comm exposed)
   double energy_j = 0.0;    // whole-machine energy for the step
@@ -62,6 +76,16 @@ struct StepEstimate {
   /// priced at the next tier's bandwidth (capacity-induced spill).
   bool spills_nearest_tier = false;
 };
+
+/// Exposed communication time of a bucketed all-reduce overlapped with the
+/// backward pass, by discrete drain simulation: bucket i of `buckets`
+/// becomes ready at backward_s * (i+1)/buckets (gradients are produced
+/// roughly uniformly through backward), a single serial comm engine
+/// processes each bucket in `bucket_comm_s`, and the exposed time is how
+/// long the engine keeps running after backward finishes.  Monotone in
+/// bucket_comm_s; 0 when the wire time fully hides behind compute.
+double overlapped_exposed_comm_s(Index buckets, double bucket_comm_s,
+                                 double backward_s);
 
 /// GEMM efficiency as a function of the per-shard batch: saturating curve
 /// eff = b / (b + b_half), calibrated so batch 256 reaches ~89% of peak.

@@ -35,11 +35,14 @@ Tensor Model::forward(const Tensor& x, bool training) {
   return h;
 }
 
-Tensor Model::backward(const Tensor& dy) {
+Tensor Model::backward(const Tensor& dy) { return backward(dy, nullptr); }
+
+Tensor Model::backward(const Tensor& dy, const GradReadyHook& on_grad_ready) {
   CANDLE_CHECK(built_, "call build() before backward()");
   Tensor d = dy;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    d = (*it)->backward(d);
+  for (Index i = num_layers() - 1; i >= 0; --i) {
+    d = layers_[static_cast<std::size_t>(i)]->backward(d);
+    if (on_grad_ready) on_grad_ready(i);
   }
   return d;
 }
@@ -126,6 +129,34 @@ Index Model::num_params() const {
     for (Tensor* p : const_cast<Layer&>(*layer).params()) n += p->numel();
   }
   return n;
+}
+
+std::vector<Model::GradExtent> Model::grad_extents() const {
+  std::vector<GradExtent> out;
+  out.reserve(layers_.size());
+  Index off = 0;
+  for (const auto& layer : layers_) {
+    GradExtent e;
+    e.offset = off;
+    for (Tensor* g : const_cast<Layer&>(*layer).grads()) e.numel += g->numel();
+    off += e.numel;
+    out.push_back(e);
+  }
+  return out;
+}
+
+void Model::copy_layer_grads_to(Index layer, std::span<float> out) const {
+  CANDLE_CHECK(layer >= 0 && layer < num_layers(), "layer index out of range");
+  Index off = 0;
+  for (Tensor* g :
+       const_cast<Layer&>(*layers_[static_cast<std::size_t>(layer)]).grads()) {
+    CANDLE_CHECK(off + g->numel() <= static_cast<Index>(out.size()),
+                 "layer grad buffer too small");
+    std::copy(g->data(), g->data() + g->numel(), out.data() + off);
+    off += g->numel();
+  }
+  CANDLE_CHECK(off == static_cast<Index>(out.size()),
+               "layer grad buffer size mismatch");
 }
 
 void Model::copy_grads_to(std::span<float> out) const {

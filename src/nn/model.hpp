@@ -8,6 +8,7 @@
 // as an MPI_Allreduce over a fused gradient buffer would.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -44,6 +45,17 @@ class Model {
   /// Backward pass: dLoss/dOutput in, dLoss/dInput out; fills layer grads.
   Tensor backward(const Tensor& dy);
 
+  /// Invoked during the hooked backward as each layer's parameter gradients
+  /// become final.  Layers are reported in reverse order (deepest first),
+  /// including parameter-less ones — this is the stream a DDP-style bucketed
+  /// all-reduce consumes to overlap communication with the remaining
+  /// backward compute.
+  using GradReadyHook = std::function<void(Index layer)>;
+
+  /// Backward pass that reports per-layer gradient readiness.  Numerically
+  /// identical to the monolithic backward(); the hook only observes.
+  Tensor backward(const Tensor& dy, const GradReadyHook& on_grad_ready);
+
   /// One optimizer step on a batch; returns the batch loss.  `loss_scale`
   /// multiplies the loss gradient before backprop and divides the parameter
   /// gradients before the update (mixed-precision loss scaling).
@@ -65,6 +77,23 @@ class Model {
 
   /// Total elements across all gradient tensors.
   Index grad_size() const { return num_params(); }
+
+  /// Extent of one layer's gradients inside the flat gradient vector
+  /// (forward-layer order, matching copy_grads_to): layer i's grads occupy
+  /// [offset, offset + numel).  Parameter-less layers have numel == 0.
+  struct GradExtent {
+    Index offset = 0;
+    Index numel = 0;
+  };
+
+  /// Per-layer flat-gradient extents, one entry per layer.
+  std::vector<GradExtent> grad_extents() const;
+
+  /// Serialize one layer's gradients into `out` (size must equal the
+  /// layer's extent numel).  Used by the bucketed all-reduce to stream
+  /// gradients out as backward produces them.
+  void copy_layer_grads_to(Index layer, std::span<float> out) const;
+
   /// Serialize gradients into `out` (size must equal grad_size()).
   void copy_grads_to(std::span<float> out) const;
   /// Overwrite gradients from a flat buffer.

@@ -1,0 +1,88 @@
+#include "parallel/bucketing.hpp"
+
+#include <algorithm>
+
+namespace candle::parallel {
+
+BucketPlan plan_buckets(const std::vector<Index>& layer_grad_numel,
+                        Index bucket_bytes) {
+  CANDLE_CHECK(bucket_bytes >= 1, "bucket size must be positive");
+  const Index layers = static_cast<Index>(layer_grad_numel.size());
+  CANDLE_CHECK(layers >= 1, "bucket plan needs at least one layer");
+
+  BucketPlan plan;
+  plan.layer_numel = layer_grad_numel;
+  plan.layer_offset.resize(layer_grad_numel.size());
+  plan.bucket_of_layer.assign(layer_grad_numel.size(), -1);
+  for (Index l = 0; l < layers; ++l) {
+    const auto i = static_cast<std::size_t>(l);
+    CANDLE_CHECK(layer_grad_numel[i] >= 0, "negative layer gradient size");
+    plan.layer_offset[i] = plan.total_numel;
+    plan.total_numel += layer_grad_numel[i];
+  }
+  CANDLE_CHECK(plan.total_numel >= 1, "model has no parameters to bucket");
+
+  // Walk layers in reverse (gradient-production) order, closing a bucket as
+  // soon as it holds the byte target.  The element target rounds up so a
+  // bucket never closes below bucket_bytes.
+  const Index target_numel =
+      (bucket_bytes + static_cast<Index>(sizeof(float)) - 1) /
+      static_cast<Index>(sizeof(float));
+  GradBucket current;
+  bool open = false;
+  for (Index l = layers - 1; l >= 0; --l) {
+    const auto i = static_cast<std::size_t>(l);
+    if (layer_grad_numel[i] == 0) continue;  // joins the enclosing bucket
+    if (!open) {
+      current = GradBucket{};
+      current.last_layer = l;
+      open = true;
+    }
+    current.first_layer = l;
+    current.numel += layer_grad_numel[i];
+    plan.bucket_of_layer[i] = static_cast<Index>(plan.buckets.size());
+    if (current.numel >= target_numel) {
+      current.offset = plan.layer_offset[static_cast<std::size_t>(l)];
+      plan.buckets.push_back(current);
+      open = false;
+    }
+  }
+  if (open) {
+    current.offset =
+        plan.layer_offset[static_cast<std::size_t>(current.first_layer)];
+    plan.buckets.push_back(current);
+  }
+  return plan;
+}
+
+BucketAssembler::BucketAssembler(const BucketPlan& plan) : plan_(&plan) {
+  waiting_.resize(static_cast<std::size_t>(plan.num_buckets()));
+  reset();
+}
+
+void BucketAssembler::reset() {
+  std::fill(waiting_.begin(), waiting_.end(), 0);
+  for (std::size_t l = 0; l < plan_->bucket_of_layer.size(); ++l) {
+    const Index b = plan_->bucket_of_layer[l];
+    if (b >= 0) ++waiting_[static_cast<std::size_t>(b)];
+  }
+  complete_ = 0;
+}
+
+Index BucketAssembler::mark_ready(Index layer) {
+  CANDLE_CHECK(
+      layer >= 0 &&
+          layer < static_cast<Index>(plan_->bucket_of_layer.size()),
+      "layer index out of range");
+  const Index b = plan_->bucket_of_layer[static_cast<std::size_t>(layer)];
+  if (b < 0) return -1;
+  auto& waiting = waiting_[static_cast<std::size_t>(b)];
+  CANDLE_CHECK(waiting > 0, "layer gradient marked ready twice");
+  if (--waiting == 0) {
+    ++complete_;
+    return b;
+  }
+  return -1;
+}
+
+}  // namespace candle::parallel

@@ -1,0 +1,81 @@
+// DDP-style gradient bucketing for comm/compute overlap.
+//
+// The bucket assignment is STATIC and DETERMINISTIC: it is computed once at
+// startup from the layer gradient shapes, never from the order in which
+// gradients happen to arrive at run time.  Every replica therefore launches
+// the same buckets in the same order, which is what keeps overlapped runs
+// bit-reproducible (the determinism contract documented in DESIGN.md
+// "Overlapped collectives").
+//
+// Buckets are packed walking the layers in REVERSE order — the order in
+// which backward produces gradients — so bucket 0 covers the deepest layers
+// and is ready first.  Each bucket is a contiguous run of layers, hence a
+// contiguous span of the flat gradient vector (which stays in forward-layer
+// order, matching Model::copy_grads_to), so a bucket's all-reduce operates
+// directly on a window of the fused gradient buffer with no gather/scatter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace candle::parallel {
+
+using Index = std::int64_t;
+
+/// One bucket: a contiguous run of layers covering a contiguous window of
+/// the flat gradient vector.
+struct GradBucket {
+  Index first_layer = 0;  // lowest layer index in the bucket
+  Index last_layer = 0;   // highest layer index in the bucket (inclusive)
+  Index offset = 0;       // window start in the flat gradient (elements)
+  Index numel = 0;        // window length (elements, > 0)
+};
+
+/// Static bucket assignment for one model.  `buckets` is in LAUNCH order:
+/// bucket 0 covers the deepest layers, whose gradients backward produces
+/// first.
+struct BucketPlan {
+  std::vector<GradBucket> buckets;
+  std::vector<Index> layer_offset;     // flat offset of each layer's grads
+  std::vector<Index> layer_numel;      // gradient elements per layer
+  std::vector<Index> bucket_of_layer;  // -1 for parameter-less layers
+  Index total_numel = 0;
+
+  Index num_buckets() const { return static_cast<Index>(buckets.size()); }
+};
+
+/// Pack layers (given their flat gradient element counts, forward order)
+/// into size-targeted buckets: walking from the last layer backwards, a
+/// bucket closes once it holds at least `bucket_bytes` of fp32 gradient, so
+/// every bucket except possibly the shallowest meets the size target.
+/// Deterministic in its inputs; requires at least one parameter.
+BucketPlan plan_buckets(const std::vector<Index>& layer_grad_numel,
+                        Index bucket_bytes);
+
+/// Tracks which buckets are complete as backward reports layer gradients.
+/// Completion is defined purely by the static plan: a bucket is complete
+/// when every parameter-carrying layer assigned to it has reported, no
+/// matter the report order.
+class BucketAssembler {
+ public:
+  explicit BucketAssembler(const BucketPlan& plan);
+
+  /// Mark `layer`'s gradient as produced.  Returns the index of the bucket
+  /// this completes, or -1 (layer parameter-less, or bucket still waiting
+  /// on other layers).  A layer must not be marked twice per round.
+  Index mark_ready(Index layer);
+
+  bool all_complete() const { return complete_ == plan_->num_buckets(); }
+
+  /// Start the next round (all buckets pending again).
+  void reset();
+
+ private:
+  const BucketPlan* plan_;
+  std::vector<Index> waiting_;  // per bucket: param layers not yet reported
+  Index complete_ = 0;
+};
+
+}  // namespace candle::parallel

@@ -3,7 +3,57 @@
 #include <algorithm>
 #include <sstream>
 
+#include "runtime/timer.hpp"
+
 namespace candle::parallel {
+
+// ---- nonblocking handles ------------------------------------------------------
+
+struct PendingCollective::State {
+  // Completion latch, written once by the comm engine worker.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+  double busy_s = 0.0;
+
+  // Operation description (immutable after enqueue).
+  Index rank = 0;
+  std::span<float> data;
+  Index global_offset = 0;
+  Index global_numel = 0;
+};
+
+void PendingCollective::wait() {
+  CANDLE_CHECK(state_ != nullptr, "wait() on an invalid collective handle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+bool PendingCollective::done() const {
+  CANDLE_CHECK(state_ != nullptr, "done() on an invalid collective handle");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+double PendingCollective::busy_seconds() const {
+  CANDLE_CHECK(state_ != nullptr,
+               "busy_seconds() on an invalid collective handle");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done ? state_->busy_s : 0.0;
+}
+
+/// One rank's comm engine: a worker thread draining a FIFO of operations.
+/// Spawned lazily on the first allreduce_ring_start from that rank, so
+/// purely blocking users pay nothing.
+struct ShmCommunicator::Channel {
+  std::thread worker;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<PendingCollective::State>> queue;
+  bool quit = false;
+};
 
 ShmCommunicator::ShmCommunicator(Index ranks) : ranks_(ranks) {
   CANDLE_CHECK(ranks >= 1, "communicator needs at least one rank");
@@ -158,16 +208,33 @@ void ShmCommunicator::register_buffer(Index rank, std::span<float> data) {
 }
 
 void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data) {
+  allreduce_ring(rank, data, 0, static_cast<Index>(data.size()));
+}
+
+void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data,
+                                     Index global_offset, Index global_numel) {
+  const Index n = static_cast<Index>(data.size());
+  CANDLE_CHECK(global_offset >= 0 && global_offset + n <= global_numel,
+               "collective window out of range of the global vector");
   register_buffer(rank, data);
   if (ranks_ == 1) {
     arrive(rank);
     return;
   }
   const Index p = ranks_;
-  const Index n = static_cast<Index>(data.size());
-  // Chunk c covers [c*n/p, (c+1)*n/p).
-  auto chunk_begin = [&](Index c) { return c * n / p; };
-  auto chunk_end = [&](Index c) { return (c + 1) * n / p; };
+  const Index N = global_numel;
+  // Chunk c covers GLOBAL positions [c*N/p, (c+1)*N/p); within this window
+  // that intersection is the clamped range below (possibly empty — the step
+  // still runs its barrier so every rank performs the same arrive count).
+  // Anchoring chunk boundaries to the global extents rather than the window
+  // length makes each element's summation order a function of its global
+  // position alone, so any partition of a vector into windows reduces
+  // bit-identically to one monolithic call (see header).
+  auto local = [&](Index g) {
+    return std::clamp(g - global_offset, Index{0}, n);
+  };
+  auto chunk_begin = [&](Index c) { return local(c * N / p); };
+  auto chunk_end = [&](Index c) { return local((c + 1) * N / p); };
   const Index left = (rank - 1 + p) % p;
 
   // Reduce-scatter: at step s, rank r accumulates its neighbour's partial
@@ -191,6 +258,93 @@ void ShmCommunicator::allreduce_ring(Index rank, std::span<float> data) {
     arrive(rank);
   }
   arrive(rank);  // release buffer registrations coherently
+}
+
+ShmCommunicator::Channel& ShmCommunicator::channel(Index rank) {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  if (channels_.empty()) channels_.resize(static_cast<std::size_t>(ranks_));
+  auto& slot = channels_[static_cast<std::size_t>(rank)];
+  if (!slot) {
+    slot = std::make_unique<Channel>();
+    Channel* ch = slot.get();
+    ch->worker = std::thread([this, ch] {
+      for (;;) {
+        std::shared_ptr<PendingCollective::State> op;
+        {
+          std::unique_lock<std::mutex> lk(ch->mu);
+          ch->cv.wait(lk, [&] { return ch->quit || !ch->queue.empty(); });
+          if (ch->queue.empty()) return;  // quit requested, queue drained
+          op = ch->queue.front();
+          ch->queue.pop_front();
+        }
+        // Execute the blocking windowed ring on behalf of the caller.  A
+        // failure (RankFailure from a dead peer, contract violations) is
+        // captured and rethrown from wait() — the engine itself never dies,
+        // so later queued ops still complete (each observing the poisoned
+        // communicator and failing promptly rather than hanging).
+        Stopwatch sw;
+        std::exception_ptr err;
+        try {
+          allreduce_ring(op->rank, op->data, op->global_offset,
+                         op->global_numel);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lk(op->mu);
+          op->busy_s = sw.seconds();
+          op->error = err;
+          op->done = true;
+        }
+        op->cv.notify_all();
+      }
+    });
+  }
+  return *slot;
+}
+
+PendingCollective ShmCommunicator::allreduce_ring_start(Index rank,
+                                                        std::span<float> data,
+                                                        Index global_offset,
+                                                        Index global_numel) {
+  CANDLE_CHECK(rank >= 0 && rank < ranks_, "rank out of range");
+  const Index n = static_cast<Index>(data.size());
+  CANDLE_CHECK(global_offset >= 0 && global_offset + n <= global_numel,
+               "collective window out of range of the global vector");
+  auto st = std::make_shared<PendingCollective::State>();
+  st->rank = rank;
+  st->data = data;
+  st->global_offset = global_offset;
+  st->global_numel = global_numel;
+  Channel& ch = channel(rank);
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    ch.queue.push_back(st);
+  }
+  ch.cv.notify_one();
+  PendingCollective handle;
+  handle.state_ = std::move(st);
+  return handle;
+}
+
+PendingCollective ShmCommunicator::allreduce_ring_start(Index rank,
+                                                        std::span<float> data) {
+  return allreduce_ring_start(rank, data, 0,
+                              static_cast<Index>(data.size()));
+}
+
+ShmCommunicator::~ShmCommunicator() {
+  for (auto& ch : channels_) {
+    if (!ch) continue;
+    {
+      std::lock_guard<std::mutex> lock(ch->mu);
+      ch->quit = true;
+    }
+    ch->cv.notify_all();
+  }
+  for (auto& ch : channels_) {
+    if (ch && ch->worker.joinable()) ch->worker.join();
+  }
 }
 
 void ShmCommunicator::allreduce_flat(Index rank, std::span<float> data) {

@@ -15,9 +15,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "runtime/error.hpp"
@@ -27,6 +29,36 @@ namespace candle::parallel {
 
 using Index = std::int64_t;
 using runtime::RankFailure;
+
+/// Handle to one in-flight nonblocking collective started with
+/// ShmCommunicator::allreduce_ring_start.  Copyable (shared state); the
+/// default-constructed handle is invalid.
+class PendingCollective {
+ public:
+  PendingCollective() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Block until the operation completes, then rethrow its failure if it
+  /// had one (RankFailure when a rank died while the op was in flight).
+  /// Idempotent: waiting again on a completed op returns (or rethrows)
+  /// immediately.  Never hangs: dead ranks surface via the communicator's
+  /// timeout suspicion exactly as in the blocking collectives.
+  void wait();
+
+  /// Completed (successfully or not) without blocking?
+  bool done() const;
+
+  /// Seconds the comm engine spent executing this op, including time spent
+  /// waiting for peer ranks inside the collective (0 until done).  This is
+  /// the measured "wire time" of the bucket in the virtual-node runtime.
+  double busy_seconds() const;
+
+ private:
+  friend class ShmCommunicator;
+  struct State;
+  std::shared_ptr<State> state_;
+};
 
 /// Communicator for `ranks` participants.  Every collective must be entered
 /// by all live ranks (from distinct threads, or sequentially rank-by-rank
@@ -41,6 +73,15 @@ using runtime::RankFailure;
 class ShmCommunicator {
  public:
   explicit ShmCommunicator(Index ranks);
+
+  /// Drains and joins the per-rank comm engine threads (if any nonblocking
+  /// operation was ever started).  Operations still queued at destruction
+  /// are completed or failed first — callers should wait() their handles
+  /// before dropping the communicator.
+  ~ShmCommunicator();
+
+  ShmCommunicator(const ShmCommunicator&) = delete;
+  ShmCommunicator& operator=(const ShmCommunicator&) = delete;
 
   Index ranks() const { return ranks_; }
 
@@ -73,6 +114,41 @@ class ShmCommunicator {
   /// `data` spans must all have the same length across ranks (validated
   /// before any reduction runs; every rank throws together on a mismatch).
   void allreduce_ring(Index rank, std::span<float> data);
+
+  /// Ring all-reduce of a WINDOW of a larger conceptual vector: `data`
+  /// holds elements [global_offset, global_offset + data.size()) of a
+  /// vector of `global_numel` elements, and the ring chunk boundaries are
+  /// derived from the GLOBAL extents (chunk c spans global positions
+  /// [c*N/p, (c+1)*N/p), intersected with the window).
+  ///
+  /// Consequence — the bucket bit-identity guarantee: every element's
+  /// summation order depends only on its global position, so reducing a
+  /// gradient in one monolithic call or as any partition into windows
+  /// produces bit-identical results.  This is what lets the bucketed
+  /// overlapped all-reduce reproduce the monolithic path exactly.
+  ///
+  /// All ranks must pass the same (global_offset, global_numel) — the
+  /// bucket plan is static, so this holds by construction.
+  void allreduce_ring(Index rank, std::span<float> data, Index global_offset,
+                      Index global_numel);
+
+  /// Nonblocking ring all-reduce: enqueue the window on this rank's comm
+  /// engine thread and return a handle immediately; the reduction runs
+  /// concurrently with the caller (comm/compute overlap).  Multiple
+  /// operations may be in flight at once; every rank must start the same
+  /// operations in the same order (FIFO matching, like MPI nonblocking
+  /// collectives).  While any operation is in flight, no blocking
+  /// collective may be entered on this communicator.
+  ///
+  /// Failure contract (same as the blocking collectives): a dead rank
+  /// poisons every in-flight and subsequently started operation, and
+  /// wait() throws RankFailure on all survivors — no hangs.
+  PendingCollective allreduce_ring_start(Index rank, std::span<float> data,
+                                         Index global_offset,
+                                         Index global_numel);
+
+  /// Convenience overload: the window is the whole vector.
+  PendingCollective allreduce_ring_start(Index rank, std::span<float> data);
 
   /// Sum-all-reduce via a flat gather at rank 0 + broadcast.  Same result,
   /// different schedule; used to cross-check the ring implementation.
@@ -132,6 +208,17 @@ class ShmCommunicator {
 
   std::vector<std::span<float>> buffers_;
   std::vector<char> contrib_mask_;  // quorum membership of the current op
+
+  // ---- nonblocking engine ----------------------------------------------------
+  // One lazily spawned worker thread per rank executes that rank's queued
+  // operations in FIFO order.  Matching across ranks is by queue position:
+  // every rank enqueues the same ops in the same order (the caller's
+  // contract), so the k-th barrier arrival of each worker belongs to the
+  // same operation and the blocking ring code runs unchanged underneath.
+  struct Channel;
+  Channel& channel(Index rank);
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::mutex channels_mu_;  // guards lazy channel creation only
 };
 
 }  // namespace candle::parallel

@@ -19,6 +19,8 @@ SparseGradient top_k_sparsify(std::span<const float> grad, double fraction) {
                "sparsification fraction must be in (0,1]");
   CANDLE_CHECK(!grad.empty(), "empty gradient");
   const auto n = static_cast<Index>(grad.size());
+  CANDLE_CHECK(n < kMaxSparseDenseSize,
+               "gradient too large for the uint32 sparse index wire format");
   const auto k = std::max<Index>(
       1, static_cast<Index>(std::llround(fraction * static_cast<double>(n))));
 
@@ -45,6 +47,8 @@ SparseGradient top_k_sparsify(std::span<const float> grad, double fraction) {
 ErrorFeedbackCompressor::ErrorFeedbackCompressor(Index size, double fraction)
     : fraction_(fraction) {
   CANDLE_CHECK(size >= 1, "compressor needs a positive size");
+  CANDLE_CHECK(size < kMaxSparseDenseSize,
+               "gradient too large for the uint32 sparse index wire format");
   CANDLE_CHECK(fraction > 0.0 && fraction <= 1.0,
                "sparsification fraction must be in (0,1]");
   residual_.assign(static_cast<std::size_t>(size), 0.0f);

@@ -21,15 +21,34 @@ namespace candle::parallel {
 
 using Index = std::int64_t;
 
+/// Largest dense vector a SparseGradient may index.  The wire format (see
+/// SparseGradient::wire_bytes) encodes indices as unsigned 32-bit, so dense
+/// gradients must stay below 2^31 elements — comfortably above any model
+/// this runtime trains (2^31 fp32 gradients alone would be 8 GiB), checked
+/// explicitly so a silent index truncation can never happen.
+inline constexpr Index kMaxSparseDenseSize = Index{1} << 31;
+
 /// A sparsified gradient: indices + values of the entries that survived.
+///
+/// Wire format (what wire_bytes() accounts for, and what a network
+/// implementation would serialize): per surviving entry, a 4-byte uint32
+/// element index followed by a 4-byte IEEE-754 fp32 value — 8 bytes per
+/// entry, kWireBytesPerEntry.  Indices are carried as Index (int64) in
+/// memory for arithmetic convenience, but every producer guarantees
+/// dense_size < kMaxSparseDenseSize so each index round-trips through
+/// uint32 exactly.
 struct SparseGradient {
+  static constexpr double kWireBytesPerEntry = 8.0;  // 4B uint32 + 4B fp32
+
   std::vector<Index> indices;
   std::vector<float> values;
   Index dense_size = 0;
 
   Index nnz() const { return static_cast<Index>(indices.size()); }
-  /// Bytes on the wire: 4B value + 4B index per entry.
-  double wire_bytes() const { return 8.0 * static_cast<double>(nnz()); }
+  /// Bytes on the wire under the uint32-index + fp32-value encoding above.
+  double wire_bytes() const {
+    return kWireBytesPerEntry * static_cast<double>(nnz());
+  }
 
   /// Scatter into a dense buffer (which must be zeroed by the caller if
   /// accumulation is not wanted).

@@ -1,8 +1,11 @@
 #include "parallel/data_parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 
+#include "parallel/bucketing.hpp"
 #include "parallel/collectives.hpp"
 #include "parallel/compression.hpp"
 #include "runtime/timer.hpp"
@@ -42,10 +45,39 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
   CANDLE_CHECK(options.gradient_topk_fraction > 0.0 &&
                    options.gradient_topk_fraction <= 1.0,
                "top-k fraction must be in (0,1]");
+
+  const bool bucketed = options.bucket_bytes > 0;
+  CANDLE_CHECK(!options.overlap_comm || bucketed,
+               "overlap_comm requires bucket_bytes > 0");
+  BucketPlan plan;
+  std::vector<Model::GradExtent> extents;
+  if (bucketed) {
+    extents = replicas[0].grad_extents();
+    std::vector<Index> layer_numel;
+    layer_numel.reserve(extents.size());
+    for (const auto& e : extents) layer_numel.push_back(e.numel);
+    plan = plan_buckets(layer_numel, options.bucket_bytes);
+    CANDLE_CHECK(plan.total_numel == grad_size, "bucket plan size mismatch");
+  }
+
+  // One compressor per (replica, reduction unit): the unit is the whole
+  // gradient monolithically, or each bucket when bucketing — the residual
+  // must live at the granularity that gets sparsified.
   std::vector<ErrorFeedbackCompressor> compressors;
+  std::vector<std::vector<ErrorFeedbackCompressor>> bucket_compressors;
   if (compress) {
-    for (Index r = 0; r < p; ++r) {
-      compressors.emplace_back(grad_size, options.gradient_topk_fraction);
+    if (bucketed) {
+      bucket_compressors.resize(static_cast<std::size_t>(p));
+      for (auto& per_replica : bucket_compressors) {
+        per_replica.reserve(plan.buckets.size());
+        for (const auto& b : plan.buckets) {
+          per_replica.emplace_back(b.numel, options.gradient_topk_fraction);
+        }
+      }
+    } else {
+      for (Index r = 0; r < p; ++r) {
+        compressors.emplace_back(grad_size, options.gradient_topk_fraction);
+      }
     }
   }
 
@@ -55,10 +87,31 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
   CANDLE_CHECK(steps_per_epoch >= 1, "no full global batch available");
 
   DataParallelResult result;
-  result.grad_bytes_per_step =
-      compress ? 8.0 * options.gradient_topk_fraction *
-                     static_cast<double>(grad_size)  // 4B index + 4B value
-               : 4.0 * static_cast<double>(grad_size);
+  // Exact per-step wire bytes: top-k keeps max(1, round(f*numel)) entries
+  // per reduction unit (whole gradient, or each bucket), 8B each on the
+  // wire; dense sends 4B per element regardless of bucketing.
+  auto topk_entries = [&](Index numel) {
+    return std::max<Index>(
+        1, static_cast<Index>(std::llround(options.gradient_topk_fraction *
+                                           static_cast<double>(numel))));
+  };
+  if (compress) {
+    Index entries = 0;
+    if (bucketed) {
+      for (const auto& b : plan.buckets) entries += topk_entries(b.numel);
+    } else {
+      entries = topk_entries(grad_size);
+    }
+    result.grad_bytes_per_step =
+        SparseGradient::kWireBytesPerEntry * static_cast<double>(entries);
+  } else {
+    result.grad_bytes_per_step = 4.0 * static_cast<double>(grad_size);
+  }
+  result.buckets_per_step = bucketed ? plan.num_buckets() : 1;
+
+  // Rank-0 instrumentation accumulators: written only by rank 0's thread,
+  // read after the join, divided into per-step means at the end.
+  double backward_acc = 0.0, busy_acc = 0.0, exposed_acc = 0.0;
 
   ShmCommunicator comm(p);
   Stopwatch clock;
@@ -85,19 +138,80 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
           if (options.precision.loss_scale != 1.0f) {
             dy.scale(options.precision.loss_scale);
           }
-          m.backward(dy);
-          auto& buf = grad_bufs[static_cast<std::size_t>(r)];
-          m.copy_grads_to(buf);
-          if (compress) {
-            // Each replica contributes only its top-k entries; the dropped
-            // mass rides the error-feedback residual into the next step.
-            const SparseGradient sparse =
-                compressors[static_cast<std::size_t>(r)].compress(buf);
-            std::fill(buf.begin(), buf.end(), 0.0f);
-            sparse.add_to(buf);
+          const auto ri = static_cast<std::size_t>(r);
+          auto& buf = grad_bufs[ri];
+          double bwd_s = 0.0, busy_s = 0.0, exposed_s = 0.0;
+          if (!bucketed) {
+            Stopwatch bwd_clock;
+            m.backward(dy);
+            m.copy_grads_to(buf);
+            if (compress) {
+              // Each replica contributes only its top-k entries; the dropped
+              // mass rides the error-feedback residual into the next step.
+              const SparseGradient sparse = compressors[ri].compress(buf);
+              std::fill(buf.begin(), buf.end(), 0.0f);
+              sparse.add_to(buf);
+            }
+            bwd_s = bwd_clock.seconds();
+            // Average gradients across replicas: real ring all-reduce.
+            Stopwatch comm_clock;
+            comm.allreduce_ring(r, buf);
+            busy_s = exposed_s = comm_clock.seconds();
+          } else {
+            // Stream buckets out as backward produces them.  Each completed
+            // bucket is (optionally compressed and) all-reduced over its
+            // window of the flat gradient; with overlap_comm the reduction
+            // runs on the comm engine while backward keeps computing.
+            BucketAssembler assembler(plan);
+            std::vector<PendingCollective> handles(
+                static_cast<std::size_t>(plan.num_buckets()));
+            double hook_comm_s = 0.0;
+            auto launch = [&](Index b) {
+              const GradBucket& bk = plan.buckets[static_cast<std::size_t>(b)];
+              const std::span<float> window(
+                  buf.data() + bk.offset, static_cast<std::size_t>(bk.numel));
+              if (compress) {
+                const SparseGradient sparse =
+                    bucket_compressors[ri][static_cast<std::size_t>(b)]
+                        .compress(window);
+                std::fill(window.begin(), window.end(), 0.0f);
+                sparse.add_to(window);
+              }
+              if (options.overlap_comm) {
+                handles[static_cast<std::size_t>(b)] =
+                    comm.allreduce_ring_start(r, window, bk.offset, grad_size);
+              } else {
+                Stopwatch comm_clock;
+                comm.allreduce_ring(r, window, bk.offset, grad_size);
+                hook_comm_s += comm_clock.seconds();
+              }
+            };
+            Stopwatch bwd_clock;
+            m.backward(dy, [&](Index layer) {
+              const auto& e = extents[static_cast<std::size_t>(layer)];
+              if (e.numel > 0) {
+                m.copy_layer_grads_to(
+                    layer, std::span<float>(buf.data() + e.offset,
+                                            static_cast<std::size_t>(e.numel)));
+              }
+              const Index b = assembler.mark_ready(layer);
+              if (b >= 0) launch(b);
+            });
+            bwd_s = bwd_clock.seconds() - hook_comm_s;
+            if (options.overlap_comm) {
+              Stopwatch wait_clock;
+              for (auto& h : handles) h.wait();
+              exposed_s = wait_clock.seconds();
+              for (auto& h : handles) busy_s += h.busy_seconds();
+            } else {
+              busy_s = exposed_s = hook_comm_s;
+            }
           }
-          // Average gradients across replicas: real ring all-reduce.
-          comm.allreduce_ring(r, buf);
+          if (r == 0) {
+            backward_acc += bwd_s;
+            busy_acc += busy_s;
+            exposed_acc += exposed_s;
+          }
           const float scale =
               1.0f / (static_cast<float>(p) * options.precision.loss_scale);
           for (float& v : buf) v *= scale;
@@ -119,6 +233,16 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
         epoch_loss.load() / static_cast<double>(steps_per_epoch * p)));
   }
   result.measured_seconds = clock.seconds();
+  if (result.steps > 0) {
+    const double steps = static_cast<double>(result.steps);
+    result.measured_backward_s = backward_acc / steps;
+    result.measured_comm_busy_s = busy_acc / steps;
+    result.measured_exposed_comm_s = exposed_acc / steps;
+    result.measured_overlap_fraction =
+        busy_acc > 0.0
+            ? std::clamp(1.0 - exposed_acc / busy_acc, 0.0, 1.0)
+            : 0.0;
+  }
 
   if (out_model != nullptr) {
     *out_model = factory();

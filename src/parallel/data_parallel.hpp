@@ -35,7 +35,20 @@ struct DataParallelOptions {
   bool shuffle = true;
   /// Top-k gradient sparsification with error feedback: each replica sends
   /// only this fraction of its gradient entries per step (1.0 = dense).
+  /// With bucketing, compression runs per bucket (each bucket keeps its top
+  /// fraction and carries its own residual).
   double gradient_topk_fraction = 1.0;
+  /// DDP-style gradient bucketing: pack layers (in reverse, gradient-
+  /// production order) into buckets of at least this many bytes and
+  /// all-reduce each bucket separately over the matching window of the flat
+  /// gradient.  0 = monolithic (one all-reduce of the whole gradient after
+  /// backward).  Dense results are bit-identical either way — ring chunks
+  /// are anchored to global gradient positions (see collectives.hpp).
+  Index bucket_bytes = 0;
+  /// Launch each bucket's all-reduce the moment backward finishes producing
+  /// it (nonblocking ring), overlapping communication with the remaining
+  /// backward compute.  Requires bucket_bytes > 0.
+  bool overlap_comm = false;
 };
 
 struct DataParallelResult {
@@ -46,6 +59,16 @@ struct DataParallelResult {
   /// Modeled per-step wire time of the gradient all-reduce at this replica
   /// count on `fabric` (filled by annotate_with_fabric, 0 otherwise).
   double modeled_comm_seconds_per_step = 0.0;
+
+  // Measured overlap instrumentation (rank-0 per-step means).  busy is the
+  // comm engine's execution time; exposed is the part not hidden behind
+  // backward compute (what the step actually waits for).  For monolithic
+  // and non-overlapped runs busy == exposed and the overlap fraction is 0.
+  Index buckets_per_step = 1;
+  double measured_backward_s = 0.0;      // backward compute, comm excluded
+  double measured_comm_busy_s = 0.0;     // total all-reduce execution
+  double measured_exposed_comm_s = 0.0;  // comm the critical path waited on
+  double measured_overlap_fraction = 0.0;  // 1 - exposed/busy, in [0,1]
 };
 
 /// Run synchronous data-parallel training.  Returns per-epoch global loss.

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "nn/serialize.hpp"
+#include "parallel/bucketing.hpp"
 #include "parallel/collectives.hpp"
 #include "parallel/param_server.hpp"
 #include "runtime/timer.hpp"
@@ -143,6 +144,30 @@ ResilientResult train_resilient(const ModelFactory& factory,
   };
   rebuild_fleet();
   const Index grad_size = replicas[0].grad_size();
+
+  // Bucketed / overlapped gradient all-reduce composes with the crash and
+  // corruption recovery paths (a failed in-flight bucket never updated any
+  // weight, so restart and shrink semantics are unchanged) but not with the
+  // quorum-based mitigation modes, whose partial collective has no windowed
+  // form.  The plan depends only on layer shapes, so it survives fleet
+  // rebuilds and elastic shrinks untouched.
+  const bool bucketed = t.bucket_bytes > 0;
+  CANDLE_CHECK(!t.overlap_comm || bucketed,
+               "overlap_comm requires bucket_bytes > 0");
+  CANDLE_CHECK(!bucketed || mode == MitigationMode::None,
+               "bucketed gradient all-reduce requires MitigationMode::None: "
+               "the quorum collective of the mitigation modes has no "
+               "windowed (bucketed) form");
+  BucketPlan plan;
+  std::vector<Model::GradExtent> extents;
+  if (bucketed) {
+    extents = replicas[0].grad_extents();
+    std::vector<Index> layer_numel;
+    layer_numel.reserve(extents.size());
+    for (const auto& e : extents) layer_numel.push_back(e.numel);
+    plan = plan_buckets(layer_numel, t.bucket_bytes);
+    CANDLE_CHECK(plan.total_numel == grad_size, "bucket plan size mismatch");
+  }
 
   auto fresh_comm = [&] {
     auto c = std::make_shared<ShmCommunicator>(live_p);
@@ -440,19 +465,78 @@ ResilientResult train_resilient(const ModelFactory& factory,
           rank_loss[i] = loss.value(pred, shard.y);
           Tensor dy = loss.grad(pred, shard.y);
           if (t.precision.loss_scale != 1.0f) dy.scale(t.precision.loss_scale);
-          m.backward(dy);
-          m.copy_grads_to(buf);
-          if (auto ev =
-                  injector.poll(FaultKind::GradientCorruption, committed, r)) {
-            const Index n = std::min<Index>(
-                std::max<Index>(ev->corrupt_count, 1), grad_size);
-            for (Index j = 0; j < n; ++j) {
-              buf[static_cast<std::size_t>(j)] =
-                  std::numeric_limits<float>::quiet_NaN();
+          if (!bucketed) {
+            m.backward(dy);
+            m.copy_grads_to(buf);
+            if (auto ev = injector.poll(FaultKind::GradientCorruption,
+                                        committed, r)) {
+              const Index n = std::min<Index>(
+                  std::max<Index>(ev->corrupt_count, 1), grad_size);
+              for (Index j = 0; j < n; ++j) {
+                buf[static_cast<std::size_t>(j)] =
+                    std::numeric_limits<float>::quiet_NaN();
+              }
+              injector.record(committed, r, FaultKind::GradientCorruption,
+                              "injected",
+                              std::to_string(n) +
+                                  " gradient entries corrupted");
             }
-            injector.record(committed, r, FaultKind::GradientCorruption,
-                            "injected",
-                            std::to_string(n) + " gradient entries corrupted");
+          } else {
+            // Bucketed path (mode None only, so every live rank is here).
+            // A corruption event must land BEFORE its bucket ships, so it is
+            // polled up front and poisoned into each layer segment as the
+            // hook copies it out — the same flat prefix [0, n) the
+            // monolithic path poisons, just injected stream-side.
+            Index corrupt_n = 0;
+            if (auto ev = injector.poll(FaultKind::GradientCorruption,
+                                        committed, r)) {
+              corrupt_n = std::min<Index>(
+                  std::max<Index>(ev->corrupt_count, 1), grad_size);
+              injector.record(committed, r, FaultKind::GradientCorruption,
+                              "injected",
+                              std::to_string(corrupt_n) +
+                                  " gradient entries corrupted");
+            }
+            BucketAssembler assembler(plan);
+            std::vector<PendingCollective> handles(
+                static_cast<std::size_t>(plan.num_buckets()));
+            try {
+              m.backward(dy, [&](Index layer) {
+                const auto& e = extents[static_cast<std::size_t>(layer)];
+                if (e.numel > 0) {
+                  m.copy_layer_grads_to(
+                      layer,
+                      std::span<float>(buf.data() + e.offset,
+                                       static_cast<std::size_t>(e.numel)));
+                  for (Index j = e.offset;
+                       j < std::min(e.offset + e.numel, corrupt_n); ++j) {
+                    buf[static_cast<std::size_t>(j)] =
+                        std::numeric_limits<float>::quiet_NaN();
+                  }
+                }
+                const Index bk = assembler.mark_ready(layer);
+                if (bk >= 0) {
+                  const GradBucket& gb =
+                      plan.buckets[static_cast<std::size_t>(bk)];
+                  const std::span<float> window(
+                      buf.data() + gb.offset,
+                      static_cast<std::size_t>(gb.numel));
+                  if (t.overlap_comm) {
+                    handles[static_cast<std::size_t>(bk)] =
+                        comm->allreduce_ring_start(r, window, gb.offset,
+                                                   grad_size);
+                  } else {
+                    comm->allreduce_ring(r, window, gb.offset, grad_size);
+                  }
+                }
+              });
+              if (t.overlap_comm) {
+                for (auto& h : handles) h.wait();
+              }
+            } catch (const RankFailure&) {
+              outcome.collective_failed.store(true);
+              return;  // recovery happens on the main thread, as monolithic
+            }
           }
         }
         if (role == StepRole::StaleCapture) {
@@ -472,7 +556,8 @@ ResilientResult train_resilient(const ModelFactory& factory,
         }
         try {
           if (mode == MitigationMode::None) {
-            comm->allreduce_ring(r, buf);
+            // The bucketed path already reduced every window above.
+            if (!bucketed) comm->allreduce_ring(r, buf);
           } else {
             comm->allreduce_quorum(r, buf, contributes(role));
           }

@@ -197,6 +197,13 @@ struct ResilientResult {
 /// dense gradients (no top-k compression: the error-feedback residual is
 /// per-replica state a checkpoint does not capture) and deterministic
 /// weight rounding (the stochastic-rounding stream is not checkpointed).
+///
+/// Bucketed / overlapped gradient all-reduce (train.bucket_bytes > 0,
+/// optionally train.overlap_comm) composes with crash, corruption, and
+/// shrink recovery — a failed in-flight bucket never updated any weight —
+/// and preserves bit-identity with the monolithic path because ring chunks
+/// are anchored to global gradient positions.  It requires
+/// MitigationMode::None (the quorum collective has no windowed form).
 ResilientResult train_resilient(const ModelFactory& factory,
                                 const OptimizerFactory& opt_factory,
                                 const Dataset& train, const Loss& loss,

@@ -1,0 +1,554 @@
+// Bucketed gradient all-reduce with comm/compute overlap: static bucket
+// plans, the gradient-ready hook, the global-window ring (bit-identical to
+// the monolithic reduction under any partition), nonblocking collectives
+// with several buckets in flight, the failure contract on in-flight ops,
+// end-to-end bit-identity of overlapped data-parallel and resilient
+// training, the overlap-aware perfmodel term, and the sparse wire-format
+// byte accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <functional>
+#include <thread>
+
+#include "hpcsim/perfmodel.hpp"
+#include "nn/metrics.hpp"
+#include "parallel/bucketing.hpp"
+#include "parallel/collectives.hpp"
+#include "parallel/compression.hpp"
+#include "parallel/data_parallel.hpp"
+#include "parallel/resilient.hpp"
+#include "runtime/rng.hpp"
+
+namespace candle::parallel {
+namespace {
+
+void run_ranks(Index p, const std::function<void(Index)>& body) {
+  std::vector<std::thread> threads;
+  for (Index r = 0; r < p; ++r) threads.emplace_back([&, r] { body(r); });
+  for (auto& t : threads) t.join();
+}
+
+std::vector<std::vector<float>> random_rank_data(Index p, Index n,
+                                                 std::uint64_t seed) {
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(p));
+  Pcg32 rng(seed);
+  for (auto& v : data) {
+    v.resize(static_cast<std::size_t>(n));
+    for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return data;
+}
+
+// ---- bucket plans -----------------------------------------------------------
+
+TEST(BucketPlan, CoversEveryParameterOnceInReverseLaunchOrder) {
+  // Layer grads: 40, 0 (relu), 24, 0, 8, 100 elements.
+  const std::vector<Index> sizes{40, 0, 24, 0, 8, 100};
+  const BucketPlan plan = plan_buckets(sizes, /*bucket_bytes=*/4 * 64);
+
+  EXPECT_EQ(plan.total_numel, 172);
+  ASSERT_GE(plan.num_buckets(), 2);
+  // Bucket 0 covers the deepest layers; walking the launch order backwards
+  // through the flat vector must tile it exactly.
+  Index expected_end = plan.total_numel;
+  for (const GradBucket& b : plan.buckets) {
+    EXPECT_EQ(b.offset + b.numel, expected_end);
+    EXPECT_GT(b.numel, 0);
+    expected_end = b.offset;
+  }
+  EXPECT_EQ(expected_end, 0);
+  // Every bucket except the last (shallowest) meets the 64-element target.
+  for (Index i = 0; i + 1 < plan.num_buckets(); ++i) {
+    EXPECT_GE(plan.buckets[static_cast<std::size_t>(i)].numel, 64);
+  }
+  // Parameter-less layers belong to no bucket; others to exactly one, and
+  // deeper layers never land in a later bucket than shallower ones.
+  EXPECT_EQ(plan.bucket_of_layer[1], -1);
+  EXPECT_EQ(plan.bucket_of_layer[3], -1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    if (plan.bucket_of_layer[l] < 0 || plan.bucket_of_layer[l + 1] < 0) {
+      continue;
+    }
+    EXPECT_GE(plan.bucket_of_layer[l], plan.bucket_of_layer[l + 1]);
+  }
+  // Deterministic: same inputs, same plan.
+  const BucketPlan again = plan_buckets(sizes, 4 * 64);
+  ASSERT_EQ(again.num_buckets(), plan.num_buckets());
+  for (Index i = 0; i < plan.num_buckets(); ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    EXPECT_EQ(again.buckets[s].offset, plan.buckets[s].offset);
+    EXPECT_EQ(again.buckets[s].numel, plan.buckets[s].numel);
+  }
+}
+
+TEST(BucketPlan, OneGiantBucketWhenTargetExceedsModel) {
+  const BucketPlan plan = plan_buckets({10, 20, 30}, /*bucket_bytes=*/1 << 20);
+  ASSERT_EQ(plan.num_buckets(), 1);
+  EXPECT_EQ(plan.buckets[0].offset, 0);
+  EXPECT_EQ(plan.buckets[0].numel, 60);
+}
+
+TEST(BucketAssembler, CompletesBucketsByPlanNotArrivalOrder) {
+  const std::vector<Index> sizes{40, 0, 24, 8};
+  const BucketPlan plan = plan_buckets(sizes, 4 * 32);  // {3,2} then {0}
+  ASSERT_EQ(plan.num_buckets(), 2);
+
+  BucketAssembler a(plan);
+  EXPECT_EQ(a.mark_ready(1), -1);  // parameter-less: no bucket
+  EXPECT_EQ(a.mark_ready(3), -1);  // bucket 0 still waits on layer 2
+  EXPECT_EQ(a.mark_ready(0), 1);   // bucket 1 complete (single layer)
+  EXPECT_FALSE(a.all_complete());
+  EXPECT_EQ(a.mark_ready(2), 0);   // bucket 0 complete
+  EXPECT_TRUE(a.all_complete());
+  EXPECT_THROW(a.mark_ready(2), std::runtime_error);  // double report
+
+  a.reset();
+  EXPECT_FALSE(a.all_complete());
+  EXPECT_EQ(a.mark_ready(2), -1);
+  EXPECT_EQ(a.mark_ready(3), 0);
+}
+
+// ---- global-window ring bit-identity ----------------------------------------
+
+TEST(WindowedRing, AnyPartitionMatchesMonolithicBitwise) {
+  for (const Index p : {2, 3, 4, 8}) {
+    const Index n = 257;  // prime-ish: chunk boundaries land mid-window
+    auto mono = random_rank_data(p, n, 1234 + static_cast<std::uint64_t>(p));
+    auto part = mono;  // identical inputs
+
+    ShmCommunicator comm_a(p);
+    run_ranks(p, [&](Index r) {
+      comm_a.allreduce_ring(r, mono[static_cast<std::size_t>(r)]);
+    });
+
+    // Partition including windows smaller than the rank count.
+    const std::vector<Index> cuts{0, 1, 3, 64, 65, 200, n};
+    ShmCommunicator comm_b(p);
+    run_ranks(p, [&](Index r) {
+      auto& buf = part[static_cast<std::size_t>(r)];
+      for (std::size_t w = 0; w + 1 < cuts.size(); ++w) {
+        const Index lo = cuts[w], hi = cuts[w + 1];
+        comm_b.allreduce_ring(
+            r,
+            std::span<float>(buf.data() + lo, static_cast<std::size_t>(hi - lo)),
+            lo, n);
+      }
+    });
+
+    for (Index r = 0; r < p; ++r) {
+      EXPECT_EQ(part[static_cast<std::size_t>(r)],
+                mono[static_cast<std::size_t>(r)])
+          << "partitioned reduction diverged at p=" << p << " rank " << r;
+    }
+  }
+}
+
+// ---- nonblocking collectives ------------------------------------------------
+
+TEST(NonblockingRing, SingleOpMatchesBlockingBitwise) {
+  const Index p = 4, n = 100;
+  auto blocking = random_rank_data(p, n, 77);
+  auto nonblocking = blocking;
+
+  ShmCommunicator comm_a(p);
+  run_ranks(p, [&](Index r) {
+    comm_a.allreduce_ring(r, blocking[static_cast<std::size_t>(r)]);
+  });
+
+  ShmCommunicator comm_b(p);
+  run_ranks(p, [&](Index r) {
+    PendingCollective h =
+        comm_b.allreduce_ring_start(r, nonblocking[static_cast<std::size_t>(r)]);
+    EXPECT_TRUE(h.valid());
+    h.wait();
+    h.wait();  // idempotent
+    EXPECT_TRUE(h.done());
+    EXPECT_GE(h.busy_seconds(), 0.0);
+  });
+
+  for (Index r = 0; r < p; ++r) {
+    EXPECT_EQ(nonblocking[static_cast<std::size_t>(r)],
+              blocking[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(NonblockingRing, ManyMixedSizeOpsInFlightMatchMonolithic) {
+  // Several buckets in flight at once, mixed sizes including windows with
+  // fewer elements than ranks — the concurrent-collectives stress shape.
+  for (const Index p : {2, 3, 4, 8}) {
+    const Index n = 403;
+    auto mono = random_rank_data(p, n, 555 + static_cast<std::uint64_t>(p));
+    auto bucketed = mono;
+
+    ShmCommunicator comm_a(p);
+    run_ranks(p, [&](Index r) {
+      comm_a.allreduce_ring(r, mono[static_cast<std::size_t>(r)]);
+    });
+
+    const std::vector<Index> cuts{0, 2, 3, 130, 131, 140, 390, n};
+    ShmCommunicator comm_b(p);
+    run_ranks(p, [&](Index r) {
+      auto& buf = bucketed[static_cast<std::size_t>(r)];
+      std::vector<PendingCollective> handles;
+      for (std::size_t w = 0; w + 1 < cuts.size(); ++w) {
+        const Index lo = cuts[w], hi = cuts[w + 1];
+        handles.push_back(comm_b.allreduce_ring_start(
+            r,
+            std::span<float>(buf.data() + lo, static_cast<std::size_t>(hi - lo)),
+            lo, n));
+      }
+      for (auto& h : handles) h.wait();
+    });
+
+    for (Index r = 0; r < p; ++r) {
+      EXPECT_EQ(bucketed[static_cast<std::size_t>(r)],
+                mono[static_cast<std::size_t>(r)])
+          << "overlapped buckets diverged at p=" << p << " rank " << r;
+    }
+  }
+}
+
+TEST(NonblockingRing, DeadRankPoisonsInFlightOpsOnAllSurvivors) {
+  const Index p = 4, n = 64;
+  ShmCommunicator comm(p);
+  comm.set_timeout(std::chrono::milliseconds(200));
+  auto data = random_rank_data(p, n, 99);
+  std::atomic<int> failures{0};
+
+  run_ranks(p, [&](Index r) {
+    if (r == 3) {
+      // Dies before starting any of its ops: in-flight peers must not hang.
+      comm.mark_failed(r);
+      return;
+    }
+    auto& buf = data[static_cast<std::size_t>(r)];
+    std::vector<PendingCollective> handles;
+    for (Index lo : {Index{0}, Index{32}}) {
+      handles.push_back(comm.allreduce_ring_start(
+          r, std::span<float>(buf.data() + lo, 32), lo, n));
+    }
+    for (auto& h : handles) {
+      try {
+        h.wait();
+        ADD_FAILURE() << "in-flight op survived a dead rank";
+      } catch (const RankFailure& f) {
+        failures.fetch_add(1);
+        EXPECT_EQ(f.failed_ranks(), std::vector<Index>{3});
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 6);  // 3 survivors x 2 in-flight ops
+}
+
+TEST(NonblockingRing, StartAfterPoisonFailsFast) {
+  const Index p = 2;
+  ShmCommunicator comm(p);
+  comm.set_timeout(std::chrono::milliseconds(200));
+  comm.mark_failed(1);
+  std::vector<float> buf(16, 1.0f);
+  PendingCollective h = comm.allreduce_ring_start(0, buf);
+  EXPECT_THROW(h.wait(), RankFailure);
+}
+
+// ---- end-to-end data-parallel bit-identity ----------------------------------
+
+Model overlap_model(std::uint64_t seed) {
+  Model m;
+  m.add(make_dense(24))
+      .add(make_relu())
+      .add(make_dense(24))
+      .add(make_relu())
+      .add(make_dense(12))
+      .add(make_relu())
+      .add(make_dense(2));
+  m.build({6}, seed);
+  return m;
+}
+
+ModelFactory overlap_model_factory(std::uint64_t seed) {
+  return [seed] { return overlap_model(seed); };
+}
+
+Dataset blob_dataset(Index n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  Dataset d{Tensor({n, 6}), Tensor({n})};
+  for (Index i = 0; i < n; ++i) {
+    const float cls = static_cast<float>(i % 2);
+    d.y[i] = cls;
+    for (Index j = 0; j < 6; ++j) {
+      d.x.at(i, j) = static_cast<float>(rng.normal(cls * 2.0 - 1.0, 0.8));
+    }
+  }
+  return d;
+}
+
+std::vector<float> weights_of(const Model& m) {
+  std::vector<float> w(static_cast<std::size_t>(m.num_params()));
+  m.copy_weights_to(w);
+  return w;
+}
+
+DataParallelOptions dp_options() {
+  DataParallelOptions o;
+  o.replicas = 4;
+  o.epochs = 2;
+  o.batch_per_replica = 16;
+  o.seed = 31;
+  return o;
+}
+
+TEST(OverlappedDataParallel, DenseBucketedOverlapBitIdenticalToMonolithic) {
+  const Dataset d = blob_dataset(256, 7);
+  SoftmaxCrossEntropy xent;
+
+  Model mono_model;
+  const DataParallelResult mono =
+      train_data_parallel(overlap_model_factory(8), [] { return make_adam(5e-3f); },
+                          d, xent, dp_options(), &mono_model);
+  EXPECT_EQ(mono.buckets_per_step, 1);
+  EXPECT_EQ(mono.measured_overlap_fraction, 0.0);
+
+  DataParallelOptions bucketed = dp_options();
+  bucketed.bucket_bytes = 1024;  // several buckets for this model
+  Model bucketed_model;
+  const DataParallelResult blocking =
+      train_data_parallel(overlap_model_factory(8), [] { return make_adam(5e-3f); },
+                          d, xent, bucketed, &bucketed_model);
+  EXPECT_GT(blocking.buckets_per_step, 1);
+
+  bucketed.overlap_comm = true;
+  Model overlap_model_out;
+  const DataParallelResult overlapped =
+      train_data_parallel(overlap_model_factory(8), [] { return make_adam(5e-3f); },
+                          d, xent, bucketed, &overlap_model_out);
+  EXPECT_EQ(overlapped.buckets_per_step, blocking.buckets_per_step);
+  EXPECT_GE(overlapped.measured_overlap_fraction, 0.0);
+  EXPECT_LE(overlapped.measured_overlap_fraction, 1.0);
+  EXPECT_GT(overlapped.measured_comm_busy_s, 0.0);
+
+  // The tentpole guarantee: bucketing and overlap change the schedule, not
+  // one bit of the numerics.
+  EXPECT_EQ(weights_of(bucketed_model), weights_of(mono_model));
+  EXPECT_EQ(weights_of(overlap_model_out), weights_of(mono_model));
+}
+
+TEST(OverlappedDataParallel, PerBucketTopKOverlapMatchesNonOverlapBitwise) {
+  // Per-bucket top-k selects different entries than global top-k, so the
+  // compressed comparison is overlap-on vs overlap-off at the same bucket
+  // plan (both run the identical per-bucket compressors).
+  const Dataset d = blob_dataset(256, 7);
+  SoftmaxCrossEntropy xent;
+
+  DataParallelOptions off = dp_options();
+  off.gradient_topk_fraction = 0.25;
+  off.bucket_bytes = 1024;
+  Model off_model;
+  const DataParallelResult res_off = train_data_parallel(
+      overlap_model_factory(8), [] { return make_adam(5e-3f); }, d, xent, off,
+      &off_model);
+
+  DataParallelOptions on = off;
+  on.overlap_comm = true;
+  Model on_model;
+  const DataParallelResult res_on = train_data_parallel(
+      overlap_model_factory(8), [] { return make_adam(5e-3f); }, d, xent, on,
+      &on_model);
+
+  EXPECT_EQ(weights_of(on_model), weights_of(off_model));
+  EXPECT_EQ(res_on.grad_bytes_per_step, res_off.grad_bytes_per_step);
+  // Sparse buckets ship ~fraction of the dense bytes.
+  EXPECT_LT(res_on.grad_bytes_per_step,
+            0.6 * 4.0 * static_cast<double>(overlap_model(8).grad_size()));
+}
+
+// ---- composition with the resilient trainer ---------------------------------
+
+TEST(OverlappedResilient, CrashRestartRecoveryBitIdenticalToMonolithic) {
+  const Dataset d = blob_dataset(256, 61);
+  SoftmaxCrossEntropy xent;
+  auto opts = [&](const std::string& tag, bool overlap) {
+    ResilientOptions o;
+    o.train = dp_options();
+    o.train.seed = 71;
+    o.train.epochs = 4;
+    o.checkpoint_every_steps = 4;
+    o.checkpoint_path = "/tmp/candle_overlap_" + tag + ".bin";
+    o.collective_timeout = std::chrono::milliseconds(500);
+    if (overlap) {
+      o.train.bucket_bytes = 1024;
+      o.train.overlap_comm = true;
+    }
+    o.faults.crash(3, 1).crash(9, 2, /*announce=*/false).corrupt(6, 0, 32);
+    return o;
+  };
+
+  Model mono;
+  const ResilientResult res_mono =
+      train_resilient(overlap_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, xent, opts("mono", false), &mono);
+  Model over;
+  const ResilientResult res_over =
+      train_resilient(overlap_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, xent, opts("over", true), &over);
+
+  EXPECT_EQ(res_over.crashes, res_mono.crashes);
+  EXPECT_EQ(res_over.corruptions, res_mono.corruptions);
+  EXPECT_EQ(res_over.committed_steps, res_mono.committed_steps);
+  EXPECT_EQ(weights_of(over), weights_of(mono))
+      << "overlapped buckets must not perturb crash/corruption recovery";
+  for (const std::string tag : {"mono", "over"}) {
+    std::filesystem::remove("/tmp/candle_overlap_" + tag + ".bin");
+    std::filesystem::remove("/tmp/candle_overlap_" + tag + ".bin.tmp");
+  }
+}
+
+TEST(OverlappedResilient, ElasticShrinkRecoveryBitIdenticalToMonolithic) {
+  const Dataset d = blob_dataset(256, 61);
+  SoftmaxCrossEntropy xent;
+  auto opts = [&](const std::string& tag, bool overlap) {
+    ResilientOptions o;
+    o.train = dp_options();
+    o.train.seed = 71;
+    o.train.epochs = 4;
+    o.checkpoint_every_steps = 4;
+    o.checkpoint_path = "/tmp/candle_overlap_shrink_" + tag + ".bin";
+    o.collective_timeout = std::chrono::milliseconds(500);
+    o.policy = RecoveryPolicy::Shrink;
+    if (overlap) {
+      o.train.bucket_bytes = 1024;
+      o.train.overlap_comm = true;
+    }
+    o.faults.crash(5, 2);
+    return o;
+  };
+
+  Model mono;
+  const ResilientResult res_mono =
+      train_resilient(overlap_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, xent, opts("mono", false), &mono);
+  Model over;
+  const ResilientResult res_over =
+      train_resilient(overlap_model_factory(62), [] { return make_adam(5e-3f); },
+                      d, xent, opts("over", true), &over);
+
+  EXPECT_EQ(res_mono.shrinks, 1);
+  EXPECT_EQ(res_over.shrinks, 1);
+  EXPECT_EQ(res_over.final_replicas, res_mono.final_replicas);
+  EXPECT_EQ(weights_of(over), weights_of(mono))
+      << "the 3-rank bucketed reduction must match the 3-rank monolithic one";
+  for (const std::string tag : {"mono", "over"}) {
+    std::filesystem::remove("/tmp/candle_overlap_shrink_" + tag + ".bin");
+    std::filesystem::remove("/tmp/candle_overlap_shrink_" + tag + ".bin.tmp");
+  }
+}
+
+TEST(OverlappedResilient, RejectsQuorumMitigationModes) {
+  ResilientOptions o;
+  o.train = dp_options();
+  o.train.bucket_bytes = 1024;
+  o.checkpoint_path = "/tmp/candle_overlap_reject.bin";
+  o.mitigation = MitigationMode::Backup;
+  const Dataset d = blob_dataset(256, 61);
+  EXPECT_THROW(train_resilient(overlap_model_factory(62),
+                               [] { return make_adam(5e-3f); }, d,
+                               SoftmaxCrossEntropy(), o),
+               std::runtime_error);
+}
+
+// ---- perfmodel overlap law --------------------------------------------------
+
+TEST(OverlapModel, ExposedCommDrainSimulationPinned) {
+  namespace hs = hpcsim;
+  // One bucket ready at end of backward: everything is exposed.
+  EXPECT_DOUBLE_EQ(hs::overlapped_exposed_comm_s(1, 0.3, 1.0), 0.3);
+  // No backward to hide behind: fully exposed serial drain.
+  EXPECT_DOUBLE_EQ(hs::overlapped_exposed_comm_s(4, 0.25, 0.0), 1.0);
+  // Wire far cheaper than compute: only the last bucket's tail shows.
+  EXPECT_NEAR(hs::overlapped_exposed_comm_s(10, 0.01, 10.0), 0.01, 1e-12);
+  // Engine saturated: B buckets of t_b behind backward's first 1/B chunk.
+  // exposed = (1/B)*bwd + B*t_b - bwd for t_b >= bwd/B.
+  EXPECT_NEAR(hs::overlapped_exposed_comm_s(4, 0.5, 1.0), 0.25 + 2.0 - 1.0,
+              1e-12);
+  // Monotone in bucket wire time.
+  double prev = 0.0;
+  for (double t = 0.0; t < 0.5; t += 0.05) {
+    const double e = hs::overlapped_exposed_comm_s(8, t, 1.0);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(OverlapModel, EstimateStepOverlapNeverSlowerAndDefaultUnchanged) {
+  namespace hs = hpcsim;
+  const hs::NodeSpec node = hs::summit_node();
+  const hs::Fabric fabric = hs::fat_tree_fabric();
+  hs::TrainingWorkload w;
+  w.name = "comm-heavy";
+  w.flops_per_sample = 4e8;
+  w.parameters = 5e7;  // 200 MB of fp32 gradient: comm dominated
+  w.bytes_per_sample = 1e4;
+  w.activation_bytes_per_sample = 1e5;
+
+  hs::ParallelPlan mono;
+  mono.data_replicas = 8;
+  mono.batch_per_replica = 8;
+  const hs::StepEstimate base = hs::estimate_step(node, fabric, w, mono);
+  EXPECT_DOUBLE_EQ(base.dp_comm_exposed_s, base.dp_comm_s);
+  EXPECT_EQ(base.overlap_fraction, 0.0);
+
+  hs::ParallelPlan bucketed = mono;
+  bucketed.bucket_bytes = 4.0 * 1024 * 1024;
+  const hs::StepEstimate over = hs::estimate_step(node, fabric, w, bucketed);
+  EXPECT_LE(over.dp_comm_exposed_s, over.dp_comm_s);
+  EXPECT_LE(over.step_s, base.step_s * 1.0 + 1e-12);
+  EXPECT_GT(over.overlap_fraction, 0.0);
+  EXPECT_LE(over.overlap_fraction, 1.0);
+
+  // The modeled exposed time must agree with the drain law applied to the
+  // estimate's own components (internal consistency).
+  const double math_s = std::max(over.compute_s, over.memory_s);
+  const double nb = std::ceil(w.parameters * 4.0 / bucketed.bucket_bytes);
+  const double t_b = over.dp_comm_s / nb;
+  EXPECT_NEAR(over.dp_comm_exposed_s,
+              hs::overlapped_exposed_comm_s(static_cast<Index>(nb), t_b,
+                                            math_s * (2.0 / 3.0)),
+              1e-12);
+}
+
+// ---- sparse wire-format byte accounting -------------------------------------
+
+TEST(SparseWireFormat, ByteAccountingMatchesDocumentedEncoding) {
+  std::vector<float> grad(1000);
+  Pcg32 rng(5);
+  for (auto& g : grad) g = static_cast<float>(rng.normal(0.0, 1.0));
+
+  const SparseGradient s = top_k_sparsify(grad, 0.1);
+  EXPECT_EQ(s.nnz(), 100);
+  // 4B uint32 index + 4B fp32 value per entry, nothing else.
+  EXPECT_DOUBLE_EQ(SparseGradient::kWireBytesPerEntry, 8.0);
+  EXPECT_DOUBLE_EQ(s.wire_bytes(), 8.0 * 100.0);
+  // Every index fits the 32-bit wire encoding exactly.
+  for (const Index i : s.indices) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, kMaxSparseDenseSize);
+    EXPECT_EQ(static_cast<Index>(static_cast<std::uint32_t>(i)), i);
+  }
+  // At least one entry always ships, even for tiny fractions.
+  const SparseGradient tiny = top_k_sparsify(grad, 1e-9);
+  EXPECT_EQ(tiny.nnz(), 1);
+  EXPECT_DOUBLE_EQ(tiny.wire_bytes(), 8.0);
+}
+
+TEST(SparseWireFormat, RejectsGradientsBeyondUint32IndexRange) {
+  // The guard fires before any allocation, so the oversized request is safe
+  // to make.
+  EXPECT_THROW(ErrorFeedbackCompressor(kMaxSparseDenseSize, 0.5),
+               std::runtime_error);
+  EXPECT_NO_THROW(ErrorFeedbackCompressor(1024, 0.5));
+}
+
+}  // namespace
+}  // namespace candle::parallel
