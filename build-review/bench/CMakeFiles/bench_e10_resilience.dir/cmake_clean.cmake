@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_resilience.dir/bench_e10_resilience.cpp.o"
+  "CMakeFiles/bench_e10_resilience.dir/bench_e10_resilience.cpp.o.d"
+  "bench_e10_resilience"
+  "bench_e10_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

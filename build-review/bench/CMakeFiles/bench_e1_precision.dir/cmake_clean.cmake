@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_precision.dir/bench_e1_precision.cpp.o"
+  "CMakeFiles/bench_e1_precision.dir/bench_e1_precision.cpp.o.d"
+  "bench_e1_precision"
+  "bench_e1_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

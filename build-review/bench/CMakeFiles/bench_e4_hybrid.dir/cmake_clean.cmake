@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_hybrid.dir/bench_e4_hybrid.cpp.o"
+  "CMakeFiles/bench_e4_hybrid.dir/bench_e4_hybrid.cpp.o.d"
+  "bench_e4_hybrid"
+  "bench_e4_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_datamotion.dir/bench_e5_datamotion.cpp.o"
+  "CMakeFiles/bench_e5_datamotion.dir/bench_e5_datamotion.cpp.o.d"
+  "bench_e5_datamotion"
+  "bench_e5_datamotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_datamotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_nvram.dir/bench_e6_nvram.cpp.o"
+  "CMakeFiles/bench_e6_nvram.dir/bench_e6_nvram.cpp.o.d"
+  "bench_e6_nvram"
+  "bench_e6_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_hpo.dir/bench_e7_hpo.cpp.o"
+  "CMakeFiles/bench_e7_hpo.dir/bench_e7_hpo.cpp.o.d"
+  "bench_e7_hpo"
+  "bench_e7_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_fabric.dir/bench_e8_fabric.cpp.o"
+  "CMakeFiles/bench_e8_fabric.dir/bench_e8_fabric.cpp.o.d"
+  "bench_e8_fabric"
+  "bench_e8_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

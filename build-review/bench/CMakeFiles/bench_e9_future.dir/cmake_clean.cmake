@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_future.dir/bench_e9_future.cpp.o"
+  "CMakeFiles/bench_e9_future.dir/bench_e9_future.cpp.o.d"
+  "bench_e9_future"
+  "bench_e9_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_screen.dir/amr_screen.cpp.o"
+  "CMakeFiles/amr_screen.dir/amr_screen.cpp.o.d"
+  "amr_screen"
+  "amr_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

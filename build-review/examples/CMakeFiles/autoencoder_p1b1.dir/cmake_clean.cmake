@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoencoder_p1b1.dir/autoencoder_p1b1.cpp.o"
+  "CMakeFiles/autoencoder_p1b1.dir/autoencoder_p1b1.cpp.o.d"
+  "autoencoder_p1b1"
+  "autoencoder_p1b1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoencoder_p1b1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for autoencoder_p1b1.
+# This may be replaced when dependencies are built.

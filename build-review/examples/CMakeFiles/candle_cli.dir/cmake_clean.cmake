@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_cli.dir/candle_cli.cpp.o"
+  "CMakeFiles/candle_cli.dir/candle_cli.cpp.o.d"
+  "candle_cli"
+  "candle_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

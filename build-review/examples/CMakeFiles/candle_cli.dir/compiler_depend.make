@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for candle_cli.
+# This may be replaced when dependencies are built.

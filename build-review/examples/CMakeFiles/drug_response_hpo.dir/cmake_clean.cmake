@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_response_hpo.dir/drug_response_hpo.cpp.o"
+  "CMakeFiles/drug_response_hpo.dir/drug_response_hpo.cpp.o.d"
+  "drug_response_hpo"
+  "drug_response_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_response_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drug_response_hpo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_surrogate.dir/md_surrogate.cpp.o"
+  "CMakeFiles/md_surrogate.dir/md_surrogate.cpp.o.d"
+  "md_surrogate"
+  "md_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treatment_policy.dir/treatment_policy.cpp.o"
+  "CMakeFiles/treatment_policy.dir/treatment_policy.cpp.o.d"
+  "treatment_policy"
+  "treatment_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treatment_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

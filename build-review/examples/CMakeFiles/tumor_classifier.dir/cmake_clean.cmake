@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tumor_classifier.dir/tumor_classifier.cpp.o"
+  "CMakeFiles/tumor_classifier.dir/tumor_classifier.cpp.o.d"
+  "tumor_classifier"
+  "tumor_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tumor_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

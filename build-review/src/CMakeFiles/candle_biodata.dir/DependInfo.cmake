@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/biodata/pilots.cpp" "src/CMakeFiles/candle_biodata.dir/biodata/pilots.cpp.o" "gcc" "src/CMakeFiles/candle_biodata.dir/biodata/pilots.cpp.o.d"
+  "/root/repo/src/biodata/staging_io.cpp" "src/CMakeFiles/candle_biodata.dir/biodata/staging_io.cpp.o" "gcc" "src/CMakeFiles/candle_biodata.dir/biodata/staging_io.cpp.o.d"
+  "/root/repo/src/biodata/workloads.cpp" "src/CMakeFiles/candle_biodata.dir/biodata/workloads.cpp.o" "gcc" "src/CMakeFiles/candle_biodata.dir/biodata/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

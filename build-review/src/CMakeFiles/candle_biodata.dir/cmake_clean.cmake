@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_biodata.dir/biodata/pilots.cpp.o"
+  "CMakeFiles/candle_biodata.dir/biodata/pilots.cpp.o.d"
+  "CMakeFiles/candle_biodata.dir/biodata/staging_io.cpp.o"
+  "CMakeFiles/candle_biodata.dir/biodata/staging_io.cpp.o.d"
+  "CMakeFiles/candle_biodata.dir/biodata/workloads.cpp.o"
+  "CMakeFiles/candle_biodata.dir/biodata/workloads.cpp.o.d"
+  "libcandle_biodata.a"
+  "libcandle_biodata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_biodata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

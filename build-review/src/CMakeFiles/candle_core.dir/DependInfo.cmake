@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/formats.cpp" "src/CMakeFiles/candle_core.dir/core/formats.cpp.o" "gcc" "src/CMakeFiles/candle_core.dir/core/formats.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/CMakeFiles/candle_core.dir/core/kernels.cpp.o" "gcc" "src/CMakeFiles/candle_core.dir/core/kernels.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/CMakeFiles/candle_core.dir/core/tensor.cpp.o" "gcc" "src/CMakeFiles/candle_core.dir/core/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

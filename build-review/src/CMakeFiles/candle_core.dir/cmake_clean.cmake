@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_core.dir/core/formats.cpp.o"
+  "CMakeFiles/candle_core.dir/core/formats.cpp.o.d"
+  "CMakeFiles/candle_core.dir/core/kernels.cpp.o"
+  "CMakeFiles/candle_core.dir/core/kernels.cpp.o.d"
+  "CMakeFiles/candle_core.dir/core/tensor.cpp.o"
+  "CMakeFiles/candle_core.dir/core/tensor.cpp.o.d"
+  "libcandle_core.a"
+  "libcandle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

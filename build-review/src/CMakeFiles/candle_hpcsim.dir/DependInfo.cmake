@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpcsim/calibrate.cpp" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/calibrate.cpp.o" "gcc" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/calibrate.cpp.o.d"
+  "/root/repo/src/hpcsim/fabric.cpp" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/fabric.cpp.o" "gcc" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/fabric.cpp.o.d"
+  "/root/repo/src/hpcsim/machine.cpp" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/machine.cpp.o" "gcc" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/machine.cpp.o.d"
+  "/root/repo/src/hpcsim/perfmodel.cpp" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/perfmodel.cpp.o" "gcc" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/perfmodel.cpp.o.d"
+  "/root/repo/src/hpcsim/resilience.cpp" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/resilience.cpp.o" "gcc" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/resilience.cpp.o.d"
+  "/root/repo/src/hpcsim/staging.cpp" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/staging.cpp.o" "gcc" "src/CMakeFiles/candle_hpcsim.dir/hpcsim/staging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

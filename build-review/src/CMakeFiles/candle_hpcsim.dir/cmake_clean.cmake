@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/calibrate.cpp.o"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/calibrate.cpp.o.d"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/fabric.cpp.o"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/fabric.cpp.o.d"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/machine.cpp.o"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/machine.cpp.o.d"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/perfmodel.cpp.o"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/perfmodel.cpp.o.d"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/resilience.cpp.o"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/resilience.cpp.o.d"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/staging.cpp.o"
+  "CMakeFiles/candle_hpcsim.dir/hpcsim/staging.cpp.o.d"
+  "libcandle_hpcsim.a"
+  "libcandle_hpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_hpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/analysis.cpp" "src/CMakeFiles/candle_hpo.dir/hpo/analysis.cpp.o" "gcc" "src/CMakeFiles/candle_hpo.dir/hpo/analysis.cpp.o.d"
+  "/root/repo/src/hpo/objectives.cpp" "src/CMakeFiles/candle_hpo.dir/hpo/objectives.cpp.o" "gcc" "src/CMakeFiles/candle_hpo.dir/hpo/objectives.cpp.o.d"
+  "/root/repo/src/hpo/pbt.cpp" "src/CMakeFiles/candle_hpo.dir/hpo/pbt.cpp.o" "gcc" "src/CMakeFiles/candle_hpo.dir/hpo/pbt.cpp.o.d"
+  "/root/repo/src/hpo/searchers.cpp" "src/CMakeFiles/candle_hpo.dir/hpo/searchers.cpp.o" "gcc" "src/CMakeFiles/candle_hpo.dir/hpo/searchers.cpp.o.d"
+  "/root/repo/src/hpo/space.cpp" "src/CMakeFiles/candle_hpo.dir/hpo/space.cpp.o" "gcc" "src/CMakeFiles/candle_hpo.dir/hpo/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_hpo.dir/hpo/analysis.cpp.o"
+  "CMakeFiles/candle_hpo.dir/hpo/analysis.cpp.o.d"
+  "CMakeFiles/candle_hpo.dir/hpo/objectives.cpp.o"
+  "CMakeFiles/candle_hpo.dir/hpo/objectives.cpp.o.d"
+  "CMakeFiles/candle_hpo.dir/hpo/pbt.cpp.o"
+  "CMakeFiles/candle_hpo.dir/hpo/pbt.cpp.o.d"
+  "CMakeFiles/candle_hpo.dir/hpo/searchers.cpp.o"
+  "CMakeFiles/candle_hpo.dir/hpo/searchers.cpp.o.d"
+  "CMakeFiles/candle_hpo.dir/hpo/space.cpp.o"
+  "CMakeFiles/candle_hpo.dir/hpo/space.cpp.o.d"
+  "libcandle_hpo.a"
+  "libcandle_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

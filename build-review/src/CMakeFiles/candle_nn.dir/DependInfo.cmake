@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cpp" "src/CMakeFiles/candle_nn.dir/nn/dataset.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/dataset.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/candle_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/candle_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/CMakeFiles/candle_nn.dir/nn/metrics.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/metrics.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/candle_nn.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/CMakeFiles/candle_nn.dir/nn/norm.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/candle_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pruning.cpp" "src/CMakeFiles/candle_nn.dir/nn/pruning.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/pruning.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/CMakeFiles/candle_nn.dir/nn/residual.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/CMakeFiles/candle_nn.dir/nn/schedule.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/schedule.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/candle_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/candle_nn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/candle_nn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

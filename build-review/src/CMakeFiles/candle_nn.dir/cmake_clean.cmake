@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_nn.dir/nn/dataset.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/dataset.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/metrics.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/metrics.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/model.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/model.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/norm.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/norm.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/pruning.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/pruning.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/residual.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/residual.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/schedule.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/schedule.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/candle_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/candle_nn.dir/nn/trainer.cpp.o.d"
+  "libcandle_nn.a"
+  "libcandle_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

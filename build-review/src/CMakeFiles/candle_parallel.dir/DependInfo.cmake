@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/bucketing.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/bucketing.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/bucketing.cpp.o.d"
+  "/root/repo/src/parallel/collectives.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/collectives.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/collectives.cpp.o.d"
+  "/root/repo/src/parallel/compression.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/compression.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/compression.cpp.o.d"
+  "/root/repo/src/parallel/data_parallel.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/data_parallel.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/data_parallel.cpp.o.d"
+  "/root/repo/src/parallel/model_parallel.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/model_parallel.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/model_parallel.cpp.o.d"
+  "/root/repo/src/parallel/param_server.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/param_server.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/param_server.cpp.o.d"
+  "/root/repo/src/parallel/pipeline_exec.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/pipeline_exec.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/pipeline_exec.cpp.o.d"
+  "/root/repo/src/parallel/resilient.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/resilient.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/resilient.cpp.o.d"
+  "/root/repo/src/parallel/tensor_parallel.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/tensor_parallel.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/tensor_parallel.cpp.o.d"
+  "/root/repo/src/parallel/workload.cpp" "src/CMakeFiles/candle_parallel.dir/parallel/workload.cpp.o" "gcc" "src/CMakeFiles/candle_parallel.dir/parallel/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_biodata.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

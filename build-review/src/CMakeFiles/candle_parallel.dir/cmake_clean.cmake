@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_parallel.dir/parallel/bucketing.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/bucketing.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/collectives.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/collectives.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/compression.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/compression.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/data_parallel.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/data_parallel.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/model_parallel.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/model_parallel.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/param_server.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/param_server.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/pipeline_exec.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/pipeline_exec.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/resilient.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/resilient.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/tensor_parallel.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/tensor_parallel.cpp.o.d"
+  "CMakeFiles/candle_parallel.dir/parallel/workload.cpp.o"
+  "CMakeFiles/candle_parallel.dir/parallel/workload.cpp.o.d"
+  "libcandle_parallel.a"
+  "libcandle_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_runtime.dir/runtime/fault.cpp.o"
+  "CMakeFiles/candle_runtime.dir/runtime/fault.cpp.o.d"
+  "CMakeFiles/candle_runtime.dir/runtime/thread_pool.cpp.o"
+  "CMakeFiles/candle_runtime.dir/runtime/thread_pool.cpp.o.d"
+  "CMakeFiles/candle_runtime.dir/runtime/workspace.cpp.o"
+  "CMakeFiles/candle_runtime.dir/runtime/workspace.cpp.o.d"
+  "libcandle_runtime.a"
+  "libcandle_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcandle_runtime.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_sched.dir/sched/campaign.cpp.o"
+  "CMakeFiles/candle_sched.dir/sched/campaign.cpp.o.d"
+  "CMakeFiles/candle_sched.dir/sched/cluster.cpp.o"
+  "CMakeFiles/candle_sched.dir/sched/cluster.cpp.o.d"
+  "CMakeFiles/candle_sched.dir/sched/traces.cpp.o"
+  "CMakeFiles/candle_sched.dir/sched/traces.cpp.o.d"
+  "libcandle_sched.a"
+  "libcandle_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

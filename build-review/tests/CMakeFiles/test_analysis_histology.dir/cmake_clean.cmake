@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_histology.dir/test_analysis_histology.cpp.o"
+  "CMakeFiles/test_analysis_histology.dir/test_analysis_histology.cpp.o.d"
+  "test_analysis_histology"
+  "test_analysis_histology.pdb"
+  "test_analysis_histology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_histology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biodata.dir/test_biodata.cpp.o"
+  "CMakeFiles/test_biodata.dir/test_biodata.cpp.o.d"
+  "test_biodata"
+  "test_biodata.pdb"
+  "test_biodata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biodata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcsim.dir/test_hpcsim.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/test_hpcsim.cpp.o.d"
+  "test_hpcsim"
+  "test_hpcsim.pdb"
+  "test_hpcsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

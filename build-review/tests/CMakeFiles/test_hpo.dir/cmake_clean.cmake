@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo.dir/test_hpo.cpp.o"
+  "CMakeFiles/test_hpo.dir/test_hpo.cpp.o.d"
+  "test_hpo"
+  "test_hpo.pdb"
+  "test_hpo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

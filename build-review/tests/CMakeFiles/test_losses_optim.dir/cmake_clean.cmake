@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_losses_optim.dir/test_losses_optim.cpp.o"
+  "CMakeFiles/test_losses_optim.dir/test_losses_optim.cpp.o.d"
+  "test_losses_optim"
+  "test_losses_optim.pdb"
+  "test_losses_optim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_losses_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

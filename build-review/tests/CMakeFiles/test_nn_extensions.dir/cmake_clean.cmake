@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_extensions.dir/test_nn_extensions.cpp.o"
+  "CMakeFiles/test_nn_extensions.dir/test_nn_extensions.cpp.o.d"
+  "test_nn_extensions"
+  "test_nn_extensions.pdb"
+  "test_nn_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/candle_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_biodata.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_hpo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/candle_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbt_staging.dir/test_pbt_staging.cpp.o"
+  "CMakeFiles/test_pbt_staging.dir/test_pbt_staging.cpp.o.d"
+  "test_pbt_staging"
+  "test_pbt_staging.pdb"
+  "test_pbt_staging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbt_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pilots.dir/test_pilots.cpp.o"
+  "CMakeFiles/test_pilots.dir/test_pilots.cpp.o.d"
+  "test_pilots"
+  "test_pilots.pdb"
+  "test_pilots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pilots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_pilots.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_straggler.dir/test_straggler.cpp.o"
+  "CMakeFiles/test_straggler.dir/test_straggler.cpp.o.d"
+  "test_straggler"
+  "test_straggler.pdb"
+  "test_straggler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

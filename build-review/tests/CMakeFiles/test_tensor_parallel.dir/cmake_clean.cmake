@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_parallel.dir/test_tensor_parallel.cpp.o"
+  "CMakeFiles/test_tensor_parallel.dir/test_tensor_parallel.cpp.o.d"
+  "test_tensor_parallel"
+  "test_tensor_parallel.pdb"
+  "test_tensor_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

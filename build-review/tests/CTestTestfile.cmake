@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-review/tests/test_workspace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_formats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build-review/tests/test_layers[1]_include.cmake")
+include("/root/repo/build-review/tests/test_losses_optim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_model[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build-review/tests/test_biodata[1]_include.cmake")
+include("/root/repo/build-review/tests/test_hpcsim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_hpo[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sched[1]_include.cmake")
+include("/root/repo/build-review/tests/test_nn_extensions[1]_include.cmake")
+include("/root/repo/build-review/tests/test_pilots[1]_include.cmake")
+include("/root/repo/build-review/tests/test_extensions2[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis_histology[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tensor_parallel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-review/tests/test_pbt_staging[1]_include.cmake")
+include("/root/repo/build-review/tests/test_residual_pipeline[1]_include.cmake")
+include("/root/repo/build-review/tests/test_resilience[1]_include.cmake")
+include("/root/repo/build-review/tests/test_straggler[1]_include.cmake")
+include("/root/repo/build-review/tests/test_overlap[1]_include.cmake")
