@@ -83,6 +83,16 @@ Tensor Tensor::reshaped(Shape shape) const {
   return t;
 }
 
+Tensor& Tensor::resize_dim0(Index rows) {
+  CANDLE_CHECK(ndim() >= 1, "resize_dim0 requires at least one dimension");
+  CANDLE_CHECK(rows >= 0, "resize_dim0 row count must be non-negative");
+  Index stride = 1;
+  for (std::size_t d = 1; d < shape_.size(); ++d) stride *= shape_[d];
+  shape_[0] = rows;
+  data_.resize(static_cast<std::size_t>(rows * stride), 0.0f);
+  return *this;
+}
+
 std::span<float> Tensor::row(Index r) {
   CANDLE_CHECK(ndim() == 2, "row() requires a rank-2 tensor");
   CANDLE_CHECK(r >= 0 && r < dim(0), "row index out of range");

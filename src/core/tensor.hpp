@@ -87,6 +87,14 @@ class Tensor {
   /// Reshaped copy.
   Tensor reshaped(Shape shape) const;
 
+  /// Resize the leading (batch) dimension to `rows`, keeping the trailing
+  /// dimensions and reusing the existing storage capacity: shrinking never
+  /// releases memory and growing back up to a previously reached size never
+  /// reallocates.  New rows (if any) are zero-initialized.  This is what
+  /// lets the batch-assembly path (nn/batching) cycle full and tail batches
+  /// through one buffer with zero steady-state heap traffic.
+  Tensor& resize_dim0(Index rows);
+
   // ---- element access ------------------------------------------------------
 
   float* data() { return data_.data(); }

@@ -246,4 +246,72 @@ double estimate_step_with_stragglers(const NodeSpec& node, const Fabric& fabric,
                                    staleness_bound);
 }
 
+ServingEstimate estimate_serving(const NodeSpec& node,
+                                 const TrainingWorkload& workload,
+                                 const ServingPlan& plan, double offered_rps) {
+  CANDLE_CHECK(plan.workers >= 1 && plan.max_batch >= 1,
+               "invalid serving plan");
+  CANDLE_CHECK(plan.batch_timeout_s >= 0.0 && plan.queue_capacity >= 1,
+               "invalid serving plan");
+  CANDLE_CHECK(offered_rps >= 0.0, "negative offered load");
+
+  ServingEstimate e;
+  const double b = static_cast<double>(plan.max_batch);
+
+  // --- full-batch service time: forward-only roofline (1x the forward
+  // flops, weights read once, activations written+read once), or the
+  // measured engine calibration when provided.
+  if (plan.measured_batch_service_s > 0.0) {
+    e.batch_service_s = plan.measured_batch_service_s;
+  } else {
+    CANDLE_CHECK(workload.flops_per_sample > 0.0, "workload not populated");
+    const double flops = workload.flops_per_sample * b;
+    const double eff = gemm_efficiency(plan.max_batch);
+    const double peak = node.peak_gflops(plan.precision) * 1e9;
+    const double compute_s = flops / (peak * std::max(1e-6, eff));
+    const double mem_bytes = workload.parameters * 4.0 +
+                             workload.activation_bytes_per_sample * b * 2.0 +
+                             workload.bytes_per_sample * b;
+    const double memory_s = mem_bytes / (node.nearest().bandwidth_gbs * 1e9);
+    e.batch_service_s = std::max(compute_s, memory_s);
+  }
+
+  e.capacity_rps = static_cast<double>(plan.workers) * b / e.batch_service_s;
+  e.utilization = offered_rps > 0.0 ? offered_rps / e.capacity_rps : 0.0;
+
+  // --- batch coalescing wait: an average admitted request sits out half
+  // the time the window takes to fill, capped by the batcher's timeout (low
+  // load closes batches on the clock, not the count).  Batches fill at the
+  // *admitted* rate — above capacity the surplus is shed on arrival and
+  // never joins a batch.
+  const double fill_rps = std::min(offered_rps, e.capacity_rps);
+  e.batch_fill_wait_s =
+      fill_rps > 0.0
+          ? std::min(plan.batch_timeout_s, (b - 1.0) / (2.0 * fill_rps))
+          : 0.0;
+
+  // --- congestion: M/D/c-style mean wait rho/(1-rho) * service/(2*workers),
+  // saturating at a full bounded queue's worth of sojourn once rho -> 1
+  // (beyond that the admission controller sheds instead of queueing).
+  const double full_queue_wait_s =
+      std::ceil(static_cast<double>(plan.queue_capacity) / b) *
+      e.batch_service_s / static_cast<double>(plan.workers);
+  if (e.utilization < 1.0) {
+    const double rho = e.utilization;
+    const double mdc_wait = rho / (1.0 - rho) * e.batch_service_s /
+                            (2.0 * static_cast<double>(plan.workers));
+    e.queue_wait_s = std::min(mdc_wait, full_queue_wait_s);
+  } else {
+    e.queue_wait_s = full_queue_wait_s;
+  }
+  e.mean_latency_s = e.batch_fill_wait_s + e.queue_wait_s + e.batch_service_s;
+
+  e.throughput_rps = std::min(offered_rps, e.capacity_rps);
+  e.shed_fraction =
+      offered_rps > 0.0
+          ? std::max(0.0, 1.0 - e.capacity_rps / offered_rps)
+          : 0.0;
+  return e;
+}
+
 }  // namespace candle::hpcsim

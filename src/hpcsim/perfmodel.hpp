@@ -145,4 +145,44 @@ ParallelPlan best_hybrid_plan(const NodeSpec& node, const Fabric& fabric,
                               Index global_batch,
                               Precision prec = Precision::FP32);
 
+// ---- inference serving ------------------------------------------------------
+
+/// Deployment description for the serving estimator — mirrors
+/// serve::EngineOptions + serve::BatchPolicy so a modeled configuration maps
+/// one-to-one onto a runnable engine.
+struct ServingPlan {
+  Index workers = 2;
+  Index max_batch = 32;
+  double batch_timeout_s = 2e-3;
+  Index queue_capacity = 1024;
+  Precision precision = Precision::FP32;
+  /// Measured seconds to serve one full `max_batch` batch.  When > 0 it
+  /// replaces the roofline estimate — this is how the bench pins the model
+  /// against the real engine (the same calibrate-then-project idiom as
+  /// calibrate_host for training).  0 = derive from the node roofline.
+  double measured_batch_service_s = 0.0;
+};
+
+/// Modeled behaviour of a serving deployment at one offered load.
+struct ServingEstimate {
+  double batch_service_s = 0.0;  ///< one full-batch forward pass
+  double capacity_rps = 0.0;     ///< workers * max_batch / batch_service_s
+  double utilization = 0.0;      ///< offered / capacity (rho, may exceed 1)
+  double batch_fill_wait_s = 0.0;  ///< mean coalescing wait at this load
+  double queue_wait_s = 0.0;     ///< mean queueing delay (saturates at cap)
+  double mean_latency_s = 0.0;   ///< fill wait + queue wait + service
+  double shed_fraction = 0.0;    ///< arrivals rejected once rho > 1
+  double throughput_rps = 0.0;   ///< goodput: min(offered, capacity)
+};
+
+/// Estimate a serving deployment (forward-only inference, dynamic batching
+/// as in serve::DynamicBatcher) at `offered_rps` open-loop load.  Capacity
+/// comes from the full-batch service time — roofline-derived, or the
+/// measured override; waiting time combines the batch-coalescing window
+/// with an M/D/c-style congestion term that saturates at the bounded
+/// queue's worth of delay once rho >= 1.
+ServingEstimate estimate_serving(const NodeSpec& node,
+                                 const TrainingWorkload& workload,
+                                 const ServingPlan& plan, double offered_rps);
+
 }  // namespace candle::hpcsim

@@ -36,9 +36,14 @@ Shape Dense::build(const Shape& input, Pcg32& rng) {
 }
 
 Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = infer(x);
+  x_cache_ = x;
+  return y;
+}
+
+Tensor Dense::infer(const Tensor& x) const {
   CANDLE_CHECK(x.ndim() == 2 && x.dim(1) == in_,
                "Dense forward shape mismatch: " + shape_to_string(x.shape()));
-  x_cache_ = x;
   const Index batch = x.dim(0);
   Tensor y({batch, units_});
   // Per-unit bias rides the GEMM's C-write as a fused Column epilogue.
@@ -90,6 +95,12 @@ Shape ActivationLayer::build(const Shape& input, Pcg32& /*rng*/) {
 }
 
 Tensor ActivationLayer::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = infer(x);
+  y_cache_ = y;
+  return y;
+}
+
+Tensor ActivationLayer::infer(const Tensor& x) const {
   Tensor y = x;
   switch (fn_) {
     case Activation::ReLU:
@@ -118,7 +129,6 @@ Tensor ActivationLayer::forward(const Tensor& x, bool /*training*/) {
       }
       break;
   }
-  y_cache_ = y;
   return y;
 }
 
@@ -183,6 +193,8 @@ Tensor Dropout::forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor Dropout::infer(const Tensor& x) const { return x; }
+
 Tensor Dropout::backward(const Tensor& dy) {
   if (mask_.numel() <= 1) return dy;  // inference pass
   CANDLE_CHECK(dy.same_shape(mask_), "dropout backward shape mismatch");
@@ -201,6 +213,10 @@ Shape Flatten::build(const Shape& input, Pcg32& /*rng*/) {
 }
 
 Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  return infer(x);
+}
+
+Tensor Flatten::infer(const Tensor& x) const {
   Tensor y = x;
   y.reshape({x.dim(0), -1});
   return y;
@@ -238,9 +254,14 @@ double Conv1D::flops_per_sample() const {
 }
 
 Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = infer(x);
+  x_cache_ = x;
+  return y;
+}
+
+Tensor Conv1D::infer(const Tensor& x) const {
   CANDLE_CHECK(x.ndim() == 3 && x.dim(1) == channels_ && x.dim(2) == length_,
                "Conv1D forward shape mismatch: " + shape_to_string(x.shape()));
-  x_cache_ = x;
   const Index batch = x.dim(0);
   Tensor y({batch, filters_, lout_});
   // The unfold streams straight into the GEMM's packed-B panels and the
@@ -314,10 +335,15 @@ double Conv2D::flops_per_sample() const {
 }
 
 Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = infer(x);
+  x_cache_ = x;
+  return y;
+}
+
+Tensor Conv2D::infer(const Tensor& x) const {
   CANDLE_CHECK(x.ndim() == 4 && x.dim(1) == channels_ &&
                    x.dim(2) == height_ && x.dim(3) == width_,
                "Conv2D forward shape mismatch: " + shape_to_string(x.shape()));
-  x_cache_ = x;
   const Index batch = x.dim(0);
   const Index ncols = hout_ * wout_;
   Tensor y({batch, filters_, hout_, wout_});
@@ -400,6 +426,26 @@ Tensor MaxPool1D::forward(const Tensor& x, bool /*training*/) {
         }
         yc[j] = bv;
         am[j] = best;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool1D::infer(const Tensor& x) const {
+  CANDLE_CHECK(x.ndim() == 3 && x.dim(1) == channels_ && x.dim(2) == length_,
+               "MaxPool1D forward shape mismatch");
+  const Index batch = x.dim(0);
+  Tensor y({batch, channels_, lout_});
+  for (Index s = 0; s < batch; ++s) {
+    for (Index c = 0; c < channels_; ++c) {
+      const float* xc = x.data() + (s * channels_ + c) * length_;
+      float* yc = y.data() + (s * channels_ + c) * lout_;
+      for (Index j = 0; j < lout_; ++j) {
+        const Index base = j * window_;
+        float bv = xc[base];
+        for (Index t = 1; t < window_; ++t) bv = std::max(bv, xc[base + t]);
+        yc[j] = bv;
       }
     }
   }

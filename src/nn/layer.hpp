@@ -37,6 +37,14 @@ class Layer {
   /// Compute the batch output.  `training` enables dropout etc.
   virtual Tensor forward(const Tensor& x, bool training) = 0;
 
+  /// Const inference pass: bit-identical to `forward(x, /*training=*/false)`
+  /// but touches no mutable state — no activation caches, no RNG draws — so
+  /// any number of threads may run infer() on the *same* layer concurrently.
+  /// This is the path the serving engine (src/serve) drives: worker threads
+  /// share one immutable model instead of copying weights per replica.
+  /// backward() still requires a prior forward(), never an infer().
+  virtual Tensor infer(const Tensor& x) const = 0;
+
   /// Back-propagate: given dLoss/dOutput, fill parameter grads and return
   /// dLoss/dInput.  Must be called after a forward on the same batch.
   virtual Tensor backward(const Tensor& dy) = 0;
@@ -72,6 +80,7 @@ class Dense : public Layer {
   }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
@@ -103,6 +112,7 @@ class ActivationLayer : public Layer {
   std::string name() const override { return activation_name(fn_); }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
 
  private:
@@ -121,6 +131,7 @@ class Dropout : public Layer {
   std::string name() const override { return "dropout"; }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
 
  private:
@@ -135,6 +146,7 @@ class Flatten : public Layer {
   std::string name() const override { return "flatten"; }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
 
  private:
@@ -156,6 +168,7 @@ class Conv1D : public Layer {
   }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
@@ -184,6 +197,7 @@ class Conv2D : public Layer {
   }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
@@ -208,6 +222,7 @@ class MaxPool1D : public Layer {
   }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
 
  private:

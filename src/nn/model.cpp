@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nn/batching.hpp"
+
 namespace candle {
 
 Model& Model::add(std::unique_ptr<Layer> layer) {
@@ -32,6 +34,13 @@ Tensor Model::forward(const Tensor& x, bool training) {
   CANDLE_CHECK(built_, "call build() before forward()");
   Tensor h = x;
   for (auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+Tensor Model::infer(const Tensor& x) const {
+  CANDLE_CHECK(built_, "call build() before infer()");
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->infer(h);
   return h;
 }
 
@@ -87,21 +96,19 @@ float Model::evaluate(const Tensor& x, const Tensor& y, const Loss& loss,
   return static_cast<float>(acc / static_cast<double>(n));
 }
 
-Tensor Model::predict(const Tensor& x, Index batch_size) {
+Tensor Model::predict(const Tensor& x, Index batch_size) const {
+  CANDLE_CHECK(built_, "call build() before predict()");
   CANDLE_CHECK(batch_size >= 1, "batch size must be positive");
   const Index n = x.dim(0);
   Shape out_shape = output_shape_;
   out_shape.insert(out_shape.begin(), n);
   Tensor out(out_shape);
-  const Index xstride = x.numel() / n;
+  if (n == 0) return out;
   const Index ostride = out.numel() / n;
+  BatchAssembler assembler(input_shape_, std::min(batch_size, n));
   for (Index lo = 0; lo < n; lo += batch_size) {
     const Index hi = std::min(n, lo + batch_size);
-    Shape xs = x.shape();
-    xs[0] = hi - lo;
-    Tensor xb(xs, std::vector<float>(x.data() + lo * xstride,
-                                     x.data() + hi * xstride));
-    const Tensor yb = forward(xb, false);
+    const Tensor yb = infer(assembler.batch_from(x, lo, hi));
     std::copy(yb.data(), yb.data() + yb.numel(), out.data() + lo * ostride);
   }
   return out;

@@ -42,6 +42,13 @@ class Model {
   /// Forward pass over a batch (first dim = batch size).
   Tensor forward(const Tensor& x, bool training = false);
 
+  /// Const inference-mode forward pass: bit-identical to
+  /// forward(x, /*training=*/false) but mutates no layer state, so any
+  /// number of threads may call infer() on the *same* model concurrently.
+  /// The serving engine (src/serve) runs its worker replicas through this
+  /// path — they share one immutable weight set instead of copying it.
+  Tensor infer(const Tensor& x) const;
+
   /// Backward pass: dLoss/dOutput in, dLoss/dInput out; fills layer grads.
   Tensor backward(const Tensor& dy);
 
@@ -66,8 +73,11 @@ class Model {
   float evaluate(const Tensor& x, const Tensor& y, const Loss& loss,
                  Index batch_size = 256);
 
-  /// Inference-mode predictions for a batch tensor.
-  Tensor predict(const Tensor& x, Index batch_size = 256);
+  /// Inference-mode predictions for a batch tensor.  Slices the dataset
+  /// through a reusable BatchAssembler (full batches and the ragged tail
+  /// cycle through one buffer — no per-slice heap allocation) and runs the
+  /// const infer() path; results are bit-identical for every batch_size.
+  Tensor predict(const Tensor& x, Index batch_size = 256) const;
 
   // ---- parameters ------------------------------------------------------------
 

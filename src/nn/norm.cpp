@@ -19,26 +19,34 @@ Shape BatchNorm::build(const Shape& input, Pcg32& /*rng*/) {
   return input;
 }
 
-Tensor BatchNorm::forward(const Tensor& x, bool training) {
+Tensor BatchNorm::infer(const Tensor& x) const {
   CANDLE_CHECK(x.ndim() == 2 && x.dim(1) == features_,
                "BatchNorm forward shape mismatch");
   const Index b = x.dim(0);
   Tensor y(x.shape());
-
-  if (!training) {
-    for (Index i = 0; i < b; ++i) {
-      const float* xr = x.data() + i * features_;
-      float* yr = y.data() + i * features_;
-      for (Index f = 0; f < features_; ++f) {
-        const float inv =
-            1.0f / std::sqrt(running_var_[f] + eps_);
-        yr[f] = gamma_[f] * (xr[f] - running_mean_[f]) * inv + beta_[f];
-      }
+  for (Index i = 0; i < b; ++i) {
+    const float* xr = x.data() + i * features_;
+    float* yr = y.data() + i * features_;
+    for (Index f = 0; f < features_; ++f) {
+      const float inv =
+          1.0f / std::sqrt(running_var_[f] + eps_);
+      yr[f] = gamma_[f] * (xr[f] - running_mean_[f]) * inv + beta_[f];
     }
+  }
+  return y;
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool training) {
+  if (!training) {
+    Tensor y = infer(x);
     xhat_cache_ = Tensor();  // invalidate training cache
     return y;
   }
 
+  CANDLE_CHECK(x.ndim() == 2 && x.dim(1) == features_,
+               "BatchNorm forward shape mismatch");
+  const Index b = x.dim(0);
+  Tensor y(x.shape());
   CANDLE_CHECK(b >= 2, "BatchNorm training needs batch >= 2");
   xhat_cache_ = Tensor(x.shape());
   inv_std_cache_.assign(static_cast<std::size_t>(features_), 0.0f);
@@ -132,6 +140,32 @@ Tensor LayerNorm::forward(const Tensor& x, bool /*training*/) {
     for (Index f = 0; f < features_; ++f) {
       const float xh = (xr[f] - static_cast<float>(mean)) * inv;
       xhat_cache_.at(i, f) = xh;
+      y.at(i, f) = gamma_[f] * xh + beta_[f];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::infer(const Tensor& x) const {
+  CANDLE_CHECK(x.ndim() == 2 && x.dim(1) == features_,
+               "LayerNorm forward shape mismatch");
+  const Index b = x.dim(0);
+  Tensor y(x.shape());
+  const float inv_f = 1.0f / static_cast<float>(features_);
+  for (Index i = 0; i < b; ++i) {
+    const float* xr = x.data() + i * features_;
+    double mean = 0.0;
+    for (Index f = 0; f < features_; ++f) mean += xr[f];
+    mean *= inv_f;
+    double var = 0.0;
+    for (Index f = 0; f < features_; ++f) {
+      const double d = xr[f] - mean;
+      var += d * d;
+    }
+    var *= inv_f;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    for (Index f = 0; f < features_; ++f) {
+      const float xh = (xr[f] - static_cast<float>(mean)) * inv;
       y.at(i, f) = gamma_[f] * xh + beta_[f];
     }
   }

@@ -24,6 +24,7 @@ class BatchNorm : public Layer {
   std::string name() const override { return "batchnorm"; }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
@@ -52,6 +53,7 @@ class LayerNorm : public Layer {
   std::string name() const override { return "layernorm"; }
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }

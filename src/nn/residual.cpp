@@ -42,6 +42,14 @@ Tensor Residual::forward(const Tensor& x, bool training) {
   return h;
 }
 
+Tensor Residual::infer(const Tensor& x) const {
+  CANDLE_CHECK(built_, "build() the Residual block first");
+  Tensor h = x;
+  for (const auto& layer : inner_) h = layer->infer(h);
+  h.axpy(1.0f, x);  // y = F(x) + x
+  return h;
+}
+
 Tensor Residual::backward(const Tensor& dy) {
   CANDLE_CHECK(built_, "build() the Residual block first");
   Tensor d = dy;

@@ -19,6 +19,7 @@ class Residual : public Layer {
   std::string name() const override;
   Shape build(const Shape& input, Pcg32& rng) override;
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Tensor*> params() override;
   std::vector<Tensor*> grads() override;

@@ -1,0 +1,130 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace candle::serve {
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy, Index workers)
+    : policy_(policy), workers_(workers) {
+  CANDLE_CHECK(policy_.max_batch >= 1, "max_batch must be positive");
+  CANDLE_CHECK(policy_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+  CANDLE_CHECK(policy_.queue_capacity >= 1,
+               "queue_capacity must be positive");
+  CANDLE_CHECK(policy_.service_ewma_alpha > 0.0 &&
+                   policy_.service_ewma_alpha <= 1.0,
+               "service_ewma_alpha must be in (0, 1]");
+  CANDLE_CHECK(workers_ >= 1, "batcher needs at least one worker");
+}
+
+Response DynamicBatcher::shed_response(const Request& req, Outcome outcome) {
+  Response r;
+  r.id = req.id;
+  r.outcome = outcome;
+  return r;
+}
+
+double DynamicBatcher::predicted_wait_locked(Index depth) const {
+  if (counters_.ewma_row_service_s <= 0.0) return 0.0;  // not yet calibrated
+  const double batch_service_s =
+      counters_.ewma_row_service_s * static_cast<double>(policy_.max_batch);
+  const double batches_ahead = std::ceil(
+      static_cast<double>(depth + 1) / static_cast<double>(policy_.max_batch));
+  return batches_ahead * batch_service_s / static_cast<double>(workers_);
+}
+
+double DynamicBatcher::predicted_wait_s() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return predicted_wait_locked(static_cast<Index>(queue_.size()));
+}
+
+std::future<Response> DynamicBatcher::submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.submitted;
+  if (draining_) {
+    promise.set_value(shed_response(req, Outcome::ShedShutdown));
+    ++counters_.shed_shutdown;
+    return future;
+  }
+  const Index depth = static_cast<Index>(queue_.size());
+  if (depth >= policy_.queue_capacity) {
+    promise.set_value(shed_response(req, Outcome::ShedQueueFull));
+    ++counters_.shed_queue_full;
+    return future;
+  }
+  if (policy_.deadline_admission &&
+      predicted_wait_locked(depth) > req.deadline_s) {
+    promise.set_value(shed_response(req, Outcome::ShedDeadline));
+    ++counters_.shed_deadline;
+    return future;
+  }
+  ++counters_.admitted;
+  counters_.peak_queue_depth =
+      std::max(counters_.peak_queue_depth, static_cast<std::int64_t>(depth + 1));
+  queue_.push_back(Pending{std::move(req), std::move(promise), Clock::now()});
+  cv_consumer_.notify_one();
+  return future;
+}
+
+std::vector<DynamicBatcher::Pending> DynamicBatcher::next_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (draining_) return {};
+      cv_consumer_.wait(lk, [&] { return !queue_.empty() || draining_; });
+      continue;
+    }
+    const auto close_at =
+        queue_.front().enqueued +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(policy_.max_wait_s));
+    if (static_cast<Index>(queue_.size()) >= policy_.max_batch ||
+        Clock::now() >= close_at || draining_) {
+      const Index rows = std::min(static_cast<Index>(queue_.size()),
+                                  policy_.max_batch);
+      std::vector<Pending> batch;
+      batch.reserve(static_cast<std::size_t>(rows));
+      for (Index i = 0; i < rows; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // More rows may remain (burst beyond max_batch): hand them to a
+      // sibling worker instead of letting them wait out a fresh window.
+      if (!queue_.empty()) cv_consumer_.notify_one();
+      return batch;
+    }
+    cv_consumer_.wait_until(lk, close_at);
+  }
+}
+
+void DynamicBatcher::record_service(Index rows, double seconds) {
+  if (rows <= 0 || !(seconds >= 0.0)) return;
+  const double per_row = seconds / static_cast<double>(rows);
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.ewma_row_service_s =
+      counters_.ewma_row_service_s <= 0.0
+          ? per_row
+          : (1.0 - policy_.service_ewma_alpha) * counters_.ewma_row_service_s +
+                policy_.service_ewma_alpha * per_row;
+}
+
+void DynamicBatcher::start_drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  draining_ = true;
+  cv_consumer_.notify_all();
+}
+
+Index DynamicBatcher::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<Index>(queue_.size());
+}
+
+DynamicBatcher::Counters DynamicBatcher::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace candle::serve

@@ -1,0 +1,114 @@
+// Dynamic batching with admission control: the queueing heart of the
+// serving engine.
+//
+// Policy (DESIGN.md "Serving"):
+//  * Coalescing — a batch closes when `max_batch` requests are queued or
+//    the oldest queued request has waited `max_wait_s`, whichever comes
+//    first.  Low load pays at most the wait window; high load fills whole
+//    batches and the window never expires.
+//  * Bounded queue — at most `queue_capacity` requests wait.  Arrivals
+//    beyond that are shed immediately (ShedQueueFull): overload degrades to
+//    explicit rejections, never to unbounded latency.
+//  * Deadline-aware shedding — on arrival, the predicted sojourn is
+//      ceil((depth + 1) / max_batch) * (ewma_row_service_s * max_batch)
+//        / workers
+//    i.e. how many batch services stand between this request and its
+//    response, priced at the EWMA-estimated batch service time spread over
+//    the worker pool.  If that already exceeds the request's deadline the
+//    request is shed on arrival (ShedDeadline) — serving it would waste a
+//    batch slot on an answer the client has given up on.  The EWMA is fed
+//    by the engine's measured per-batch service times.
+//
+// Shed requests resolve their future immediately; admitted requests resolve
+// when their batch completes.  All accounting is exact: submitted ==
+// completed + shed (asserted by tests/test_serve.cpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace candle::serve {
+
+struct BatchPolicy {
+  Index max_batch = 32;          ///< batch closes at this many rows
+  double max_wait_s = 2e-3;      ///< ... or when the oldest row waited this
+  Index queue_capacity = 1024;   ///< bounded queue; beyond = ShedQueueFull
+  bool deadline_admission = true;  ///< enable predicted-wait shedding
+  double service_ewma_alpha = 0.2;  ///< smoothing of the service estimate
+};
+
+class DynamicBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted, queued request.
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+  };
+
+  /// `workers` is the number of engine threads consuming batches; it prices
+  /// the predicted wait (the queue drains `workers` batches concurrently).
+  DynamicBatcher(BatchPolicy policy, Index workers);
+
+  /// Producer side: admission-controlled enqueue.  The returned future
+  /// resolves with the model output (Completed) or immediately with a shed
+  /// outcome.  Thread-safe.
+  std::future<Response> submit(Request req);
+
+  /// Consumer side: block until a batch is ready per the coalescing policy
+  /// (or until drain).  Returns the coalesced requests in arrival order;
+  /// empty means the batcher is drained and shut down.  Thread-safe —
+  /// multiple engine workers pull concurrently.
+  std::vector<Pending> next_batch();
+
+  /// Feed back one measured batch execution (rows, seconds) into the EWMA
+  /// per-row service estimate the admission controller prices waits with.
+  void record_service(Index rows, double seconds);
+
+  /// Stop admitting (subsequent submits shed with ShedShutdown) and wake
+  /// consumers so queued work finishes; next_batch returns empty once the
+  /// queue is empty.  Idempotent.
+  void start_drain();
+
+  /// Predicted sojourn (seconds) a request admitted right now would see.
+  double predicted_wait_s() const;
+
+  Index depth() const;
+
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t shed_shutdown = 0;
+    std::int64_t peak_queue_depth = 0;
+    double ewma_row_service_s = 0.0;
+  };
+  Counters counters() const;
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  double predicted_wait_locked(Index depth) const;
+  static Response shed_response(const Request& req, Outcome outcome);
+
+  const BatchPolicy policy_;
+  const Index workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_consumer_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  Counters counters_;
+};
+
+}  // namespace candle::serve

@@ -1,0 +1,102 @@
+#include "serve/engine.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "nn/batching.hpp"
+
+namespace candle::serve {
+
+namespace {
+
+double seconds_between(DynamicBatcher::Clock::time_point a,
+                       DynamicBatcher::Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Engine::Engine(const Model& model, EngineOptions options)
+    : model_(model),
+      options_(options),
+      sample_numel_(shape_numel(model.input_shape())),
+      output_numel_(shape_numel(model.output_shape())),
+      batcher_(options.batch, options.workers) {
+  CANDLE_CHECK(model_.built(), "serve::Engine needs a built model");
+  CANDLE_CHECK(options_.workers >= 1, "engine needs at least one worker");
+  threads_.reserve(static_cast<std::size_t>(options_.workers));
+  for (Index w = 0; w < options_.workers; ++w) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Engine::~Engine() { drain(); }
+
+std::future<Response> Engine::submit(Request req) {
+  CANDLE_CHECK(static_cast<Index>(req.input.size()) == sample_numel_,
+               "request input must hold exactly one flattened sample");
+  return batcher_.submit(std::move(req));
+}
+
+void Engine::drain() {
+  std::lock_guard<std::mutex> lk(drain_mu_);
+  if (drained_) return;
+  batcher_.start_drain();
+  for (auto& t : threads_) t.join();
+  drained_ = true;
+}
+
+void Engine::worker_main() {
+  // One assembly buffer per worker, sized once for the largest batch; the
+  // worker's thread-local workspace arena warms on the first batch and the
+  // steady-state loop allocates nothing.
+  BatchAssembler assembler(model_.input_shape(), options_.batch.max_batch);
+  for (;;) {
+    std::vector<DynamicBatcher::Pending> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // drained
+    const auto closed_at = DynamicBatcher::Clock::now();
+    const Index rows = static_cast<Index>(batch.size());
+    assembler.begin(rows);
+    for (Index i = 0; i < rows; ++i) {
+      assembler.set_row(i, batch[static_cast<std::size_t>(i)].request.input);
+    }
+    const Tensor y = model_.infer(assembler.batch());
+    const auto finished_at = DynamicBatcher::Clock::now();
+    batcher_.record_service(rows, seconds_between(closed_at, finished_at));
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    for (Index i = 0; i < rows; ++i) {
+      DynamicBatcher::Pending& p = batch[static_cast<std::size_t>(i)];
+      Response r;
+      r.id = p.request.id;
+      r.outcome = Outcome::Completed;
+      r.output.assign(y.data() + i * output_numel_,
+                      y.data() + (i + 1) * output_numel_);
+      r.queue_wait_s = seconds_between(p.enqueued, closed_at);
+      r.latency_s = seconds_between(p.enqueued, finished_at);
+      r.batch_rows = rows;
+      queue_wait_.record(r.queue_wait_s);
+      latency_.record(r.latency_s);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(std::move(r));
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  const DynamicBatcher::Counters c = batcher_.counters();
+  EngineStats s;
+  s.submitted = c.submitted;
+  s.admitted = c.admitted;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed_queue_full = c.shed_queue_full;
+  s.shed_deadline = c.shed_deadline;
+  s.shed_shutdown = c.shed_shutdown;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = c.peak_queue_depth;
+  s.ewma_row_service_s = c.ewma_row_service_s;
+  s.latency = latency_.snapshot();
+  s.queue_wait = queue_wait_.snapshot();
+  return s;
+}
+
+}  // namespace candle::serve

@@ -1,0 +1,87 @@
+// Multi-worker inference serving engine.
+//
+// Turns a trained nn::Model into a request server: N worker threads pull
+// coalesced batches from one DynamicBatcher, assemble them through a
+// per-worker BatchAssembler, and run the model's const infer() path.  The
+// design points (DESIGN.md "Serving"):
+//
+//  * Shared immutable weights — workers do not copy the model.  infer() is
+//    const and touches no layer state, so every worker replica is the same
+//    Model object; the weight working set stays resident once instead of
+//    once per worker.
+//  * Per-worker scratch reuse — batch assembly cycles through one buffer
+//    per worker (BatchAssembler + Tensor::resize_dim0) and the GEMMs inside
+//    infer() pack into the worker's thread-local workspace arena
+//    (runtime/workspace), so the steady-state request path performs no
+//    heap allocation in assembly or compute scratch.
+//  * Graceful drain — drain() stops admission (late submits resolve as
+//    ShedShutdown), lets workers finish every queued request, and joins
+//    them.  The destructor drains, so an Engine can never leak threads.
+//
+// The caller owns the Model and must keep it alive and *unmodified* while
+// the engine runs — training concurrently with serving is a data race by
+// construction, not a supported mode.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "serve/batcher.hpp"
+#include "serve/stats.hpp"
+
+namespace candle::serve {
+
+struct EngineOptions {
+  Index workers = 2;  ///< serving threads (each a shared-weight replica)
+  BatchPolicy batch;
+};
+
+class Engine {
+ public:
+  /// The model must be built; it is borrowed, not copied.
+  explicit Engine(const Model& model, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submit one request.  Resolves with the prediction, or immediately with
+  /// a shed outcome (queue full / deadline hopeless / draining).  The input
+  /// must hold exactly one flattened sample.  Thread-safe.
+  std::future<Response> submit(Request req);
+
+  /// Stop admitting, serve everything already queued, join the workers.
+  /// Idempotent; also run by the destructor.
+  void drain();
+
+  /// Point-in-time statistics.  After drain(), the accounting is exact:
+  /// submitted == completed + shed_total().
+  EngineStats stats() const;
+
+  const EngineOptions& options() const { return options_; }
+  Index sample_numel() const { return sample_numel_; }
+
+ private:
+  void worker_main();
+
+  const Model& model_;
+  const EngineOptions options_;
+  const Index sample_numel_;
+  const Index output_numel_;
+  DynamicBatcher batcher_;
+
+  LatencyHistogram latency_;
+  LatencyHistogram queue_wait_;
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::mutex drain_mu_;
+  bool drained_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace candle::serve

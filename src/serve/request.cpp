@@ -1,0 +1,78 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+
+#include "runtime/rng.hpp"
+
+namespace candle::serve {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Completed: return "completed";
+    case Outcome::ShedQueueFull: return "shed_queue_full";
+    case Outcome::ShedDeadline: return "shed_deadline";
+    case Outcome::ShedShutdown: return "shed_shutdown";
+  }
+  CANDLE_FAIL("unknown Outcome");
+}
+
+namespace {
+
+/// Exponential draw with the given mean; guards u == 0 so log stays finite.
+double exponential(Pcg32& rng, double mean) {
+  double u = rng.next_double();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+ArrivalTrace poisson_trace(double rate_rps, double duration_s,
+                           std::uint64_t seed) {
+  CANDLE_CHECK(rate_rps > 0.0, "arrival rate must be positive");
+  CANDLE_CHECK(duration_s > 0.0, "trace duration must be positive");
+  Pcg32 rng(seed, 0x5e12e);
+  ArrivalTrace trace;
+  trace.duration_s = duration_s;
+  double t = exponential(rng, 1.0 / rate_rps);
+  while (t < duration_s) {
+    trace.at_s.push_back(t);
+    t += exponential(rng, 1.0 / rate_rps);
+  }
+  return trace;
+}
+
+ArrivalTrace mmpp_trace(const BurstyTraffic& traffic, double duration_s,
+                        std::uint64_t seed) {
+  CANDLE_CHECK(traffic.base_rps > 0.0 && traffic.burst_rps > 0.0,
+               "MMPP rates must be positive");
+  CANDLE_CHECK(traffic.mean_base_dwell_s > 0.0 &&
+                   traffic.mean_burst_dwell_s > 0.0,
+               "MMPP dwell times must be positive");
+  CANDLE_CHECK(duration_s > 0.0, "trace duration must be positive");
+  // Independent streams for state dwells and within-state arrivals so the
+  // burst phase boundaries do not shift when a rate changes.
+  Pcg32 dwell_rng = Pcg32(seed, 0x3322).split(1);
+  Pcg32 gap_rng = Pcg32(seed, 0x3322).split(2);
+  ArrivalTrace trace;
+  trace.duration_s = duration_s;
+  bool burst = false;
+  double t = 0.0;
+  while (t < duration_s) {
+    const double dwell = exponential(
+        dwell_rng,
+        burst ? traffic.mean_burst_dwell_s : traffic.mean_base_dwell_s);
+    const double state_end = std::min(t + dwell, duration_s);
+    const double rate = burst ? traffic.burst_rps : traffic.base_rps;
+    double a = t + exponential(gap_rng, 1.0 / rate);
+    while (a < state_end) {
+      trace.at_s.push_back(a);
+      a += exponential(gap_rng, 1.0 / rate);
+    }
+    t = state_end;
+    burst = !burst;
+  }
+  return trace;
+}
+
+}  // namespace candle::serve

@@ -1,0 +1,54 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::serve {
+
+int LatencyHistogram::bucket_of(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;
+  const int b = static_cast<int>(std::floor(
+      std::log10(seconds / kMinSeconds) * kBucketsPerDecade));
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_upper_edge(int bucket) {
+  CANDLE_CHECK(bucket >= 0 && bucket < kBuckets, "bucket out of range");
+  return kMinSeconds *
+         std::pow(10.0, static_cast<double>(bucket + 1) /
+                            static_cast<double>(kBucketsPerDecade));
+}
+
+void LatencyHistogram::record(double seconds) {
+  counts_[static_cast<std::size_t>(bucket_of(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_s_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  for (int b = 0; b < kBuckets; ++b) {
+    s.counts[static_cast<std::size_t>(b)] =
+        counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    s.total += s.counts[static_cast<std::size_t>(b)];
+  }
+  s.sum_s = sum_s_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double LatencyHistogram::Snapshot::quantile(double q) const {
+  CANDLE_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (total == 0) return 0.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[static_cast<std::size_t>(b)];
+    if (seen >= rank) return bucket_upper_edge(b);
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
+}  // namespace candle::serve

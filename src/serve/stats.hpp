@@ -1,0 +1,91 @@
+// Streaming serving statistics: an HDR-style log-bucketed latency histogram
+// plus the shed/queue counters that make overload auditable.
+//
+// The histogram is the serving counterpart of the training-side modeled
+// accounting: fixed memory (one counter per log-spaced bucket), wait-free
+// concurrent recording (relaxed atomic increments from every engine
+// worker), and quantiles read from a consistent snapshot.  Buckets are
+// geometric with 24 per decade spanning 1 µs .. 10⁴ s, so any reported
+// quantile is within ~10% (10^(1/24) ≈ 1.10) of the true value — the same
+// resolution HDR histograms are typically run at, at a fraction of the
+// code.  p50/p95/p99/p99.9 of a million-request run cost 240 * 8 bytes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/error.hpp"
+
+namespace candle::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr double kMinSeconds = 1e-6;   // bucket 0 lower edge
+  static constexpr int kBucketsPerDecade = 24;  // ~10% relative resolution
+  static constexpr int kDecades = 10;           // 1 µs .. 10^4 s
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+
+  /// Record one latency (seconds).  Wait-free; callable from any thread.
+  /// Values below 1 µs land in bucket 0, values beyond 10^4 s in the last.
+  void record(double seconds);
+
+  /// Bucket index a value falls into (exposed for tests).
+  static int bucket_of(double seconds);
+  /// Upper edge of a bucket — the value quantile() reports for it.
+  static double bucket_upper_edge(int bucket);
+
+  /// Consistent point-in-time copy for quantile reads.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    double sum_s = 0.0;
+
+    /// Latency at quantile q in [0, 1]: upper edge of the bucket holding
+    /// the ceil(q * total)-th ordered sample (0 when empty).
+    double quantile(double q) const;
+    double mean_s() const {
+      return total > 0 ? sum_s / static_cast<double>(total) : 0.0;
+    }
+  };
+
+  Snapshot snapshot() const;
+  std::uint64_t total() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_s_{0.0};
+};
+
+/// Aggregate engine counters + latency distribution, as returned by
+/// serve::Engine::stats().  Invariant (checked by tests): submitted ==
+/// completed + shed_queue_full + shed_deadline + shed_shutdown once the
+/// engine has drained — every request is accounted for exactly once.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t batches = 0;      ///< coalesced batches executed
+  std::int64_t peak_queue_depth = 0;
+  double ewma_row_service_s = 0.0;  ///< admission controller's estimate
+  LatencyHistogram::Snapshot latency;      ///< submit -> response
+  LatencyHistogram::Snapshot queue_wait;   ///< submit -> batch close
+
+  std::uint64_t shed_total() const {
+    return shed_queue_full + shed_deadline + shed_shutdown;
+  }
+  double mean_batch_rows() const {
+    return batches > 0
+               ? static_cast<double>(completed) / static_cast<double>(batches)
+               : 0.0;
+  }
+};
+
+}  // namespace candle::serve
