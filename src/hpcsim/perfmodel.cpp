@@ -314,4 +314,37 @@ ServingEstimate estimate_serving(const NodeSpec& node,
   return e;
 }
 
+DegradedServingEstimate estimate_degraded_serving(
+    const NodeSpec& node, const TrainingWorkload& workload,
+    const ServingPlan& plan, double offered_rps, ServingFaultModel faults,
+    Index failed_workers) {
+  CANDLE_CHECK(failed_workers >= 0 && failed_workers < plan.workers,
+               "failed workers must leave a non-empty pool");
+  // Healthy service time first (measured or roofline), so the fault model
+  // prices hangs/hedges relative to the same batch the queue model uses.
+  const ServingEstimate healthy =
+      estimate_serving(node, workload, plan, offered_rps);
+  faults.workers = plan.workers;
+  faults.batch_service_s = healthy.batch_service_s;
+
+  DegradedServingEstimate d;
+  d.availability = serving_availability(faults);
+  d.efficiency = serving_efficiency(faults);
+  const double live =
+      static_cast<double>(plan.workers - failed_workers) /
+      static_cast<double>(plan.workers);
+  d.capacity_ratio = live * d.availability * d.efficiency;
+
+  // Re-run the queueing estimate with the degradation folded into an
+  // effective (slower) batch service over the shrunken pool: capacity and
+  // congestion then degrade together, the way the real engine's admission
+  // controller sees it.
+  ServingPlan degraded = plan;
+  degraded.workers = plan.workers - failed_workers;
+  degraded.measured_batch_service_s =
+      healthy.batch_service_s / (d.availability * d.efficiency);
+  d.base = estimate_serving(node, workload, degraded, offered_rps);
+  return d;
+}
+
 }  // namespace candle::hpcsim

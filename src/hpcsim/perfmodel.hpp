@@ -185,4 +185,26 @@ ServingEstimate estimate_serving(const NodeSpec& node,
                                  const TrainingWorkload& workload,
                                  const ServingPlan& plan, double offered_rps);
 
+/// estimate_serving under failures: the pool's delivered capacity is priced
+/// by the serving fault model (crash/MTTR availability, hang drag, hedging
+/// duplicate work — see hpcsim/resilience.hpp) with `failed_workers` dead
+/// and not yet replaced.
+struct DegradedServingEstimate {
+  ServingEstimate base;         ///< queueing estimate at degraded capacity
+  double availability = 1.0;    ///< per-slot live fraction mtbf/(mtbf+mttr)
+  double efficiency = 1.0;      ///< per-slot useful fraction (hang/hedge)
+  double capacity_ratio = 1.0;  ///< delivered / nominal capacity
+};
+
+/// Model a serving deployment with `failed_workers` of `plan.workers` dead
+/// and the survivors degraded per `faults`.  The healthy batch service time
+/// comes from `plan` (measured or roofline, as estimate_serving); the fault
+/// model's own batch_service_s is overwritten with it so the two stay
+/// consistent.  bench_e12 pins the capacity_ratio of this estimate against
+/// the measured chaos engine.
+DegradedServingEstimate estimate_degraded_serving(
+    const NodeSpec& node, const TrainingWorkload& workload,
+    const ServingPlan& plan, double offered_rps, ServingFaultModel faults,
+    Index failed_workers = 0);
+
 }  // namespace candle::hpcsim

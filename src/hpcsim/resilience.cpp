@@ -260,4 +260,111 @@ double simulate_straggler_runtime_s(const StragglerModel& model,
   return total / static_cast<double>(trials);
 }
 
+// ---- serving availability / degraded-capacity model -------------------------
+
+namespace {
+
+void validate(const ServingFaultModel& m, Index failed_workers) {
+  CANDLE_CHECK(m.workers >= 1, "serving pool needs at least one worker");
+  CANDLE_CHECK(m.worker_mtbf_s > 0.0 && m.worker_mttr_s >= 0.0,
+               "worker MTBF must be positive, MTTR non-negative");
+  CANDLE_CHECK(m.batch_service_s > 0.0, "batch service time must be positive");
+  CANDLE_CHECK(m.hang_prob >= 0.0 && m.hang_prob <= 1.0,
+               "hang probability must be in [0, 1]");
+  CANDLE_CHECK(m.hang_prob == 0.0 || m.hang_mean_s > 0.0,
+               "hang mean must be positive when hangs are possible");
+  CANDLE_CHECK(m.hedge_latency_mult > 0.0 &&
+                   m.hang_latency_mult >= m.hedge_latency_mult,
+               "hang timeout must dominate the hedge timeout");
+  CANDLE_CHECK(failed_workers >= 0 && failed_workers <= m.workers,
+               "failed workers must be within the pool");
+}
+
+}  // namespace
+
+double serving_availability(const ServingFaultModel& m) {
+  validate(m, 0);
+  return m.worker_mtbf_s / (m.worker_mtbf_s + m.worker_mttr_s);
+}
+
+double expected_batch_cost_s(const ServingFaultModel& m) {
+  validate(m, 0);
+  const double s = m.batch_service_s;
+  if (m.hang_prob <= 0.0) return s;
+  if (!m.hedging) return s + m.hang_prob * m.hang_mean_s;
+  // Hedged: the stuck slot is reclaimed at the hang-declaration timeout H
+  // (E[min(d, H)] = mean * (1 - exp(-H/mean)) for exponential d), and a
+  // duplicate batch of work is spent whenever the stall outlives the hedge
+  // timeout h (P(d > h) = exp(-h/mean)).
+  const double h = m.hedge_latency_mult * s;
+  const double H = m.hang_latency_mult * s;
+  const double blocked = m.hang_mean_s * (1.0 - std::exp(-H / m.hang_mean_s));
+  const double duplicate = std::exp(-h / m.hang_mean_s) * s;
+  return s + m.hang_prob * (blocked + duplicate);
+}
+
+double serving_efficiency(const ServingFaultModel& m) {
+  return m.batch_service_s / expected_batch_cost_s(m);
+}
+
+double degraded_serving_capacity_bps(const ServingFaultModel& m,
+                                     Index failed_workers) {
+  validate(m, failed_workers);
+  const double live = static_cast<double>(m.workers - failed_workers);
+  return live * serving_availability(m) * serving_efficiency(m) /
+         m.batch_service_s;
+}
+
+double simulate_serving_capacity_bps(const ServingFaultModel& m,
+                                     Index failed_workers, double duration_s,
+                                     Index trials, std::uint64_t seed) {
+  validate(m, failed_workers);
+  CANDLE_CHECK(duration_s > 0.0 && trials >= 1, "invalid simulation query");
+  Pcg32 rng(seed, 0x5e8fa);
+  auto exp_draw = [&](double mean) {
+    double u = rng.next_double();
+    if (u < 1e-15) u = 1e-15;
+    return -mean * std::log(u);
+  };
+  const double s = m.batch_service_s;
+  const double h = m.hedge_latency_mult * s;
+  const double H = m.hang_latency_mult * s;
+  double total_batches = 0.0;
+  for (Index t = 0; t < trials; ++t) {
+    // Saturated pool: each live slot serves back-to-back batches; slots are
+    // independent renewal processes, so simulate them one at a time.
+    for (Index w = 0; w < m.workers - failed_workers; ++w) {
+      double clock = 0.0;
+      double until_crash = exp_draw(m.worker_mtbf_s);
+      while (clock < duration_s) {
+        if (until_crash <= 0.0) {
+          clock += m.worker_mttr_s;  // down: detect + backoff + respawn
+          until_crash = exp_draw(m.worker_mtbf_s);
+          continue;
+        }
+        // One batch: base service, plus a stall with probability hang_prob.
+        double cost = s;
+        if (m.hang_prob > 0.0 && rng.next_double() < m.hang_prob) {
+          const double d = exp_draw(m.hang_mean_s);
+          if (m.hedging) {
+            // Slot blocked until the stall ends or the watchdog reclaims
+            // it; a duplicate batch is spent if the hedge timer fired.
+            cost = s + std::min(d, H) + (d > h ? s : 0.0);
+          } else {
+            cost = s + d;
+          }
+        }
+        if (clock + cost > duration_s) break;  // partial batch doesn't count
+        clock += cost;
+        until_crash -= cost;
+        if (until_crash > 0.0) total_batches += 1.0;
+        // else: the crash landed inside this batch — it is lost (the real
+        // engine re-dispatches it on another worker, whose slot time the
+        // duplicate consumes; dropping it here keeps the ledger equivalent).
+      }
+    }
+  }
+  return total_batches / (duration_s * static_cast<double>(trials));
+}
+
 }  // namespace candle::hpcsim

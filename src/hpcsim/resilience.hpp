@@ -104,4 +104,62 @@ double simulate_straggler_runtime_s(const StragglerModel& model,
                                     Index staleness_bound, Index steps,
                                     Index trials, std::uint64_t seed);
 
+// ---- serving availability / degraded-capacity model -------------------------
+//
+// The serving counterpart of Young/Daly: what a supervised inference pool
+// (serve::SupervisedEngine) actually delivers when workers crash, hang and
+// get replaced.  Three effects are priced:
+//   * availability  — each worker slot alternates exponential(mtbf) uptime
+//     with `mttr` of detection + backoff + respawn, so the long-run live
+//     fraction is the renewal-reward ratio A = mtbf / (mtbf + mttr);
+//   * hang drag     — with probability `hang_prob` a batch stalls for an
+//     exponential(hang_mean_s) duration.  Without hedging the slot eats the
+//     whole stall; with hedging a duplicate dispatch (one extra batch of
+//     work) races it and the stuck slot is reclaimed at the hang-declaration
+//     timeout, trading stall time for bounded duplicate work;
+//   * dead workers  — capacity scales with the (workers - k) slots actually
+//     live when k are administratively failed and not yet replaced.
+// The closed forms are pinned against simulate_serving_capacity_bps (seeded
+// renewal simulation) in tests, and against the real engine in bench_e12.
+
+struct ServingFaultModel {
+  Index workers = 4;
+  double worker_mtbf_s = 3600.0;   // per-worker mean time between crashes
+  double worker_mttr_s = 1.0;      // detect + backoff + respawn one worker
+  double batch_service_s = 1e-3;   // healthy full-batch service time
+  double hang_prob = 0.0;          // per-batch stall probability
+  double hang_mean_s = 0.05;       // mean stall duration (exponential)
+  bool hedging = true;             // duplicate dispatch races stalls
+  double hedge_latency_mult = 3.0;  // hedge fires at mult * batch service
+  double hang_latency_mult = 12.0;  // stuck slot reclaimed at mult * service
+};
+
+/// Long-run live fraction of one worker slot: mtbf / (mtbf + mttr).
+double serving_availability(const ServingFaultModel& m);
+
+/// Expected slot-seconds consumed per successfully served batch, including
+/// hang stalls and (when hedging) duplicate work:
+///   no hedging: s + p * hang_mean
+///   hedging:    s + p * (E[min(d, H)] + P(d > h) * s)
+/// with h/H the hedge and hang-declaration timeouts and d ~ Exp(hang_mean).
+double expected_batch_cost_s(const ServingFaultModel& m);
+
+/// Fraction of nominal capacity actually delivered per live slot:
+/// batch_service_s / expected_batch_cost_s.  1.0 when nothing hangs.
+double serving_efficiency(const ServingFaultModel& m);
+
+/// Delivered pool capacity in batches/s with `failed_workers` of the pool
+/// dead (not yet replaced):
+///   (workers - k) * availability * efficiency / batch_service_s.
+double degraded_serving_capacity_bps(const ServingFaultModel& m,
+                                     Index failed_workers = 0);
+
+/// Monte-Carlo validation of the closed form: simulate `trials` runs of
+/// `duration_s` of a saturated pool with seeded exponential crash and hang
+/// processes and return the mean delivered batches/s.  Tests pin
+/// degraded_serving_capacity_bps against this executable simulation.
+double simulate_serving_capacity_bps(const ServingFaultModel& m,
+                                     Index failed_workers, double duration_s,
+                                     Index trials, std::uint64_t seed);
+
 }  // namespace candle::hpcsim

@@ -74,6 +74,10 @@ ResilientResult train_resilient(const ModelFactory& factory,
   CANDLE_CHECK(!options.checkpoint_path.empty(),
                "resilient training needs a checkpoint path");
   CANDLE_CHECK(options.step_seconds > 0.0, "step_seconds must be positive");
+  CANDLE_CHECK(options.checkpoint_write_retries >= 0,
+               "checkpoint_write_retries must be non-negative");
+  CANDLE_CHECK(options.checkpoint_retry_backoff_s >= 0.0,
+               "checkpoint_retry_backoff_s must be non-negative");
   // Bit-exact restore requires every piece of training state to live in the
   // checkpoint; two features keep state elsewhere and are rejected here.
   CANDLE_CHECK(t.gradient_topk_fraction == 1.0,
@@ -228,23 +232,49 @@ ResilientResult train_resilient(const ModelFactory& factory,
   Index recoveries = 0;
 
   auto write_checkpoint = [&] {
-    if (injector.checkpoint_should_fail(committed)) {
-      // Simulate a writer killed mid-checkpoint: leave a truncated temp
-      // file behind and never rename — the previous good checkpoint stays
-      // in place (this is exactly what the atomic writer guarantees).
-      std::ofstream junk(options.checkpoint_path + ".tmp",
-                         std::ios::binary | std::ios::trunc);
-      junk << "truncated by injected fault";
-      ++result.checkpoint_failures;
-      injector.record(committed, -1, FaultKind::CheckpointWriteFail,
-                      "injected",
-                      "checkpoint write failed; previous checkpoint kept");
+    // A failed write is retried (bounded, exponential backoff) before the
+    // interval is declared lost: a transient writer fault costs one retry
+    // instead of a whole checkpoint interval of replay.  Each attempt polls
+    // the injector independently, so one scheduled CheckpointWriteFail
+    // models a transient fault (the retry succeeds) and retries+1 scheduled
+    // at the same step model a persistent one (the interval is lost).
+    const Index attempts = 1 + options.checkpoint_write_retries;
+    for (Index attempt = 0; attempt < attempts; ++attempt) {
+      if (injector.checkpoint_should_fail(committed)) {
+        // Simulate a writer killed mid-checkpoint: leave a truncated temp
+        // file behind and never rename — the previous good checkpoint stays
+        // in place (this is exactly what the atomic writer guarantees).
+        std::ofstream junk(options.checkpoint_path + ".tmp",
+                           std::ios::binary | std::ios::trunc);
+        junk << "truncated by injected fault";
+        if (attempt + 1 < attempts) {
+          ++result.checkpoint_retries;
+          injector.record(committed, -1, FaultKind::CheckpointWriteFail,
+                          "retried",
+                          "checkpoint write failed; retrying (attempt " +
+                              std::to_string(attempt + 2) + "/" +
+                              std::to_string(attempts) + ")");
+          if (options.checkpoint_retry_backoff_s > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options.checkpoint_retry_backoff_s *
+                std::pow(2.0, static_cast<double>(attempt))));
+          }
+          continue;
+        }
+        ++result.checkpoint_failures;
+        injector.record(committed, -1, FaultKind::CheckpointWriteFail,
+                        "injected",
+                        "checkpoint write failed after " +
+                            std::to_string(attempts) +
+                            " attempts; previous checkpoint kept");
+        return;
+      }
+      save_checkpoint(replicas[0], optimizers[0].get(), committed,
+                      options.checkpoint_path);
+      last_ckpt_step = committed;
+      ++result.checkpoints_written;
       return;
     }
-    save_checkpoint(replicas[0], optimizers[0].get(), committed,
-                    options.checkpoint_path);
-    last_ckpt_step = committed;
-    ++result.checkpoints_written;
   };
 
   auto restore_checkpoint = [&](FaultKind why) {
@@ -736,7 +766,8 @@ ResilientResult train_resilient(const ModelFactory& factory,
   result.modeled_actual_s =
       static_cast<double>(result.executed_steps) * options.step_seconds +
       static_cast<double>(result.checkpoints_written +
-                          result.checkpoint_failures) *
+                          result.checkpoint_failures +
+                          result.checkpoint_retries) *
           ckpt_s +
       static_cast<double>(result.restarts + result.shrinks) *
           options.resilience.restart_overhead_s;

@@ -92,6 +92,16 @@ struct ResilientOptions {
   /// Checkpoint file (written atomically; see nn/serialize).  Required.
   std::string checkpoint_path;
 
+  /// A failed checkpoint write is retried this many times (with exponential
+  /// backoff, below) before the interval is declared lost and the previous
+  /// durable checkpoint kept.  Transient writer faults (full disk blip, I/O
+  /// hiccup) then cost a retry, not a whole checkpoint interval of replay.
+  Index checkpoint_write_retries = 2;
+
+  /// Initial delay before the first checkpoint retry; doubles per attempt.
+  /// 0 retries immediately (tests; real deployments should back off).
+  double checkpoint_retry_backoff_s = 0.0;
+
   RecoveryPolicy policy = RecoveryPolicy::Restart;
 
   /// Dead-rank suspicion window for the collectives (keep well above the
@@ -126,7 +136,9 @@ struct ResilientResult {
   Index executed_steps = 0;        // attempts, including lost/replayed work
   Index checkpoint_interval_steps = 0;
   Index checkpoints_written = 0;
-  Index checkpoint_failures = 0;   // injected failed writes (old file kept)
+  Index checkpoint_failures = 0;   // intervals lost: every attempt failed
+                                   // (old durable file kept)
+  Index checkpoint_retries = 0;    // failed attempts that were retried
   Index crashes = 0;               // replica crashes injected
   Index stragglers = 0;            // straggler delays injected
   Index corruptions = 0;           // gradient corruptions detected

@@ -14,6 +14,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::Straggler:           return "straggler";
     case FaultKind::CheckpointWriteFail: return "checkpoint-write-fail";
     case FaultKind::GradientCorruption:  return "gradient-corruption";
+    case FaultKind::WorkerCrash:         return "worker-crash";
+    case FaultKind::WorkerHang:          return "worker-hang";
+    case FaultKind::BatchCorruption:     return "batch-corruption";
   }
   return "unknown";
 }
@@ -41,21 +44,41 @@ FaultSchedule& FaultSchedule::corrupt(Index step, Index rank, Index entries) {
   return *this;
 }
 
+FaultSchedule& FaultSchedule::kill_worker(Index batch, Index worker) {
+  events.push_back({FaultKind::WorkerCrash, batch, worker, 0.0, 0, true});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::hang_worker(Index batch, Index worker,
+                                          double delay_s) {
+  events.push_back({FaultKind::WorkerHang, batch, worker, delay_s, 0, true});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::corrupt_batch(Index batch, Index worker,
+                                            Index entries) {
+  events.push_back(
+      {FaultKind::BatchCorruption, batch, worker, 0.0, entries, true});
+  return *this;
+}
+
 namespace {
 
-/// Draws unique (step, rank) cells in [1, steps) x [0, ranks); steps start
-/// at 1 so step 0 always completes and the run has an initial committed
-/// state to measure recovery against.
+/// Draws unique (step, rank) cells in [min_step, steps) x [0, ranks).
+/// Training schedules start at step 1 so step 0 always completes and the
+/// run has an initial committed state to measure recovery against; serving
+/// schedules start at 0 (a worker's very first batch is fair game).
 class CellDrawer {
  public:
-  CellDrawer(Pcg32& rng, Index steps, Index ranks)
-      : rng_(rng), steps_(steps), ranks_(ranks) {}
+  CellDrawer(Pcg32& rng, Index steps, Index ranks, Index min_step = 1)
+      : rng_(rng), min_step_(min_step), steps_(steps), ranks_(ranks) {}
 
   std::pair<Index, Index> draw() {
     for (;;) {
       const Index step =
-          1 + static_cast<Index>(
-                  rng_.next_below(static_cast<std::uint32_t>(steps_ - 1)));
+          min_step_ +
+          static_cast<Index>(rng_.next_below(
+              static_cast<std::uint32_t>(steps_ - min_step_)));
       const Index rank = static_cast<Index>(
           rng_.next_below(static_cast<std::uint32_t>(ranks_)));
       const auto cell = std::make_pair(step, rank);
@@ -68,6 +91,7 @@ class CellDrawer {
 
  private:
   Pcg32& rng_;
+  Index min_step_;
   Index steps_;
   Index ranks_;
   std::vector<std::pair<Index, Index>> used_;
@@ -126,6 +150,35 @@ FaultSchedule pareto_straggler_schedule(std::uint64_t seed, Index steps,
     double delay = min_delay_s * std::pow(u, -1.0 / alpha);
     if (max_delay_s > 0.0) delay = std::min(delay, max_delay_s);
     schedule.straggle(step, rank, delay);
+  }
+  return schedule;
+}
+
+FaultSchedule serving_chaos_schedule(std::uint64_t seed, Index batches,
+                                     Index workers, Index kills, Index hangs,
+                                     Index corruptions, double hang_delay_s) {
+  CANDLE_CHECK(batches >= 1 && workers >= 1,
+               "schedule needs batches and workers");
+  CANDLE_CHECK(kills >= 0 && hangs >= 0 && corruptions >= 0,
+               "negative event count");
+  CANDLE_CHECK(hangs == 0 || hang_delay_s > 0.0,
+               "hangs need a positive delay");
+  CANDLE_CHECK(kills + hangs + corruptions <= batches * workers,
+               "more faults than (batch, worker) cells");
+  Pcg32 rng(seed, 0xc4a05);
+  FaultSchedule schedule;
+  CellDrawer cells(rng, batches, workers, /*min_step=*/0);
+  for (Index i = 0; i < kills; ++i) {
+    const auto [batch, worker] = cells.draw();
+    schedule.kill_worker(batch, worker);
+  }
+  for (Index i = 0; i < hangs; ++i) {
+    const auto [batch, worker] = cells.draw();
+    schedule.hang_worker(batch, worker, hang_delay_s);
+  }
+  for (Index i = 0; i < corruptions; ++i) {
+    const auto [batch, worker] = cells.draw();
+    schedule.corrupt_batch(batch, worker);
   }
   return schedule;
 }

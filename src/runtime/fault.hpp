@@ -26,25 +26,36 @@ namespace candle::runtime {
 using Index = std::int64_t;
 
 /// The fault taxonomy the resilient runtime must survive (DESIGN.md
-/// "Failure model & recovery").
+/// "Failure model & recovery" and "Serving failure model").  The first four
+/// kinds target training replicas; the serving kinds target inference
+/// workers, where `step` is the per-worker batch ordinal and `rank` the
+/// stable worker id (a replacement worker gets a fresh id — the worker that
+/// died stays dead, exactly like a crashed training rank).
 enum class FaultKind {
   ReplicaCrash,        // a replica dies mid-step (announced or silent)
   Straggler,           // a replica stalls for delay_s but stays alive
   CheckpointWriteFail, // the checkpoint write at this step fails mid-flight
   GradientCorruption,  // transient bit corruption of a gradient buffer
+  WorkerCrash,         // serving: a worker dies mid-batch, in-flight batch
+                       // abandoned for the supervisor to recover
+  WorkerHang,          // serving: a worker stalls mid-batch for delay_s but
+                       // eventually finishes (hedging races it)
+  BatchCorruption,     // serving: inference output NaN-poisoned in flight
 };
 
 const char* fault_kind_name(FaultKind kind);
 
 /// One scheduled fault.  `step` is the global committed-step index at which
-/// the event fires; `rank` targets a replica (ignored for checkpoint-write
+/// the event fires (per-worker batch ordinal for the serving kinds); `rank`
+/// targets a replica or serving worker (ignored for checkpoint-write
 /// failures, which hit the shared writer).
 struct FaultEvent {
   FaultKind kind = FaultKind::ReplicaCrash;
   Index step = 0;
   Index rank = 0;
-  double delay_s = 0.0;     // Straggler: stall duration
-  Index corrupt_count = 1;  // GradientCorruption: entries poisoned
+  double delay_s = 0.0;     // Straggler / WorkerHang: stall duration
+  Index corrupt_count = 1;  // GradientCorruption / BatchCorruption: entries
+                            // poisoned
   bool announce = true;     // ReplicaCrash: announce death vs die silently
                             // (silent death exercises timeout detection)
 };
@@ -57,6 +68,11 @@ struct FaultSchedule {
   FaultSchedule& straggle(Index step, Index rank, double delay_s);
   FaultSchedule& fail_checkpoint(Index step);
   FaultSchedule& corrupt(Index step, Index rank, Index entries = 1);
+
+  // Serving-side events (step = the worker's own batch ordinal, 0-based).
+  FaultSchedule& kill_worker(Index batch, Index worker);
+  FaultSchedule& hang_worker(Index batch, Index worker, double delay_s);
+  FaultSchedule& corrupt_batch(Index batch, Index worker, Index entries = 1);
 };
 
 /// Seeded random schedule: `crashes` replica crashes, `stragglers` stalls and
@@ -79,6 +95,14 @@ FaultSchedule pareto_straggler_schedule(std::uint64_t seed, Index steps,
                                         Index ranks, Index stragglers,
                                         double alpha, double min_delay_s,
                                         double max_delay_s = 0.0);
+
+/// Seeded serving chaos schedule: `kills` worker crashes, `hangs` mid-batch
+/// stalls of `hang_delay_s`, and `corruptions` NaN-poisoned batches at
+/// unique (batch ordinal, worker) cells in [0, batches) x [0, workers).
+/// Deterministic in `seed` — the replay contract the chaos suite pins.
+FaultSchedule serving_chaos_schedule(std::uint64_t seed, Index batches,
+                                     Index workers, Index kills, Index hangs,
+                                     Index corruptions, double hang_delay_s);
 
 /// One line of the structured fault/recovery event log.
 struct FaultRecord {

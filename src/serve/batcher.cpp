@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 namespace candle::serve {
 
 DynamicBatcher::DynamicBatcher(BatchPolicy policy, Index workers)
-    : policy_(policy), workers_(workers) {
+    : policy_(policy), live_workers_(workers) {
   CANDLE_CHECK(policy_.max_batch >= 1, "max_batch must be positive");
   CANDLE_CHECK(policy_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
   CANDLE_CHECK(policy_.queue_capacity >= 1,
@@ -15,7 +16,13 @@ DynamicBatcher::DynamicBatcher(BatchPolicy policy, Index workers)
   CANDLE_CHECK(policy_.service_ewma_alpha > 0.0 &&
                    policy_.service_ewma_alpha <= 1.0,
                "service_ewma_alpha must be in (0, 1]");
-  CANDLE_CHECK(workers_ >= 1, "batcher needs at least one worker");
+  CANDLE_CHECK(policy_.brownout_queue_frac > 0.0 &&
+                   policy_.brownout_queue_frac <= 1.0,
+               "brownout_queue_frac must be in (0, 1]");
+  CANDLE_CHECK(policy_.brownout_deadline_s >= 0.0,
+               "brownout_deadline_s must be non-negative");
+  CANDLE_CHECK(live_workers_ >= 1, "batcher needs at least one worker");
+  counters_.live_workers = live_workers_;
 }
 
 Response DynamicBatcher::shed_response(const Request& req, Outcome outcome) {
@@ -31,7 +38,7 @@ double DynamicBatcher::predicted_wait_locked(Index depth) const {
       counters_.ewma_row_service_s * static_cast<double>(policy_.max_batch);
   const double batches_ahead = std::ceil(
       static_cast<double>(depth + 1) / static_cast<double>(policy_.max_batch));
-  return batches_ahead * batch_service_s / static_cast<double>(workers_);
+  return batches_ahead * batch_service_s / static_cast<double>(live_workers_);
 }
 
 double DynamicBatcher::predicted_wait_s() const {
@@ -40,57 +47,96 @@ double DynamicBatcher::predicted_wait_s() const {
 }
 
 std::future<Response> DynamicBatcher::submit(Request req) {
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
+  auto pending = std::make_shared<Pending>();
+  std::future<Response> future = pending->promise.get_future();
   std::lock_guard<std::mutex> lk(mu_);
   ++counters_.submitted;
   if (draining_) {
-    promise.set_value(shed_response(req, Outcome::ShedShutdown));
+    pending->promise.set_value(shed_response(req, Outcome::ShedShutdown));
     ++counters_.shed_shutdown;
     return future;
   }
   const Index depth = static_cast<Index>(queue_.size());
+  // Brownout shrinks the effective queue: the tighter bound sheds first
+  // (ShedBrownout), the configured capacity stays the hard ceiling
+  // (ShedQueueFull) so the two rejection causes remain distinguishable.
   if (depth >= policy_.queue_capacity) {
-    promise.set_value(shed_response(req, Outcome::ShedQueueFull));
+    pending->promise.set_value(shed_response(req, Outcome::ShedQueueFull));
     ++counters_.shed_queue_full;
     return future;
   }
-  if (policy_.deadline_admission &&
-      predicted_wait_locked(depth) > req.deadline_s) {
-    promise.set_value(shed_response(req, Outcome::ShedDeadline));
-    ++counters_.shed_deadline;
-    return future;
+  if (brownout_) {
+    const Index effective = std::max<Index>(
+        1, static_cast<Index>(std::ceil(
+               policy_.brownout_queue_frac *
+               static_cast<double>(policy_.queue_capacity))));
+    if (depth >= effective) {
+      pending->promise.set_value(shed_response(req, Outcome::ShedBrownout));
+      ++counters_.shed_brownout;
+      return future;
+    }
+  }
+  if (policy_.deadline_admission) {
+    double deadline = req.deadline_s;
+    bool brownout_priced = false;
+    if (brownout_ && policy_.brownout_deadline_s > 0.0 &&
+        !(deadline < std::numeric_limits<double>::infinity())) {
+      deadline = policy_.brownout_deadline_s;
+      brownout_priced = true;
+    }
+    if (predicted_wait_locked(depth) > deadline) {
+      const Outcome o =
+          brownout_priced ? Outcome::ShedBrownout : Outcome::ShedDeadline;
+      pending->promise.set_value(shed_response(req, o));
+      if (brownout_priced) {
+        ++counters_.shed_brownout;
+      } else {
+        ++counters_.shed_deadline;
+      }
+      return future;
+    }
   }
   ++counters_.admitted;
   counters_.peak_queue_depth =
       std::max(counters_.peak_queue_depth, static_cast<std::int64_t>(depth + 1));
-  queue_.push_back(Pending{std::move(req), std::move(promise), Clock::now()});
+  pending->request = std::move(req);
+  pending->enqueued = Clock::now();
+  queue_.push_back(std::move(pending));
   cv_consumer_.notify_one();
   return future;
 }
 
-std::vector<DynamicBatcher::Pending> DynamicBatcher::next_batch() {
+std::vector<DynamicBatcher::PendingPtr> DynamicBatcher::next_batch() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
+    // Entries resolved elsewhere (a hedge or crash duplicate whose twin
+    // already won) are dead weight: drop them before they shape the
+    // coalescing decision.  They were accounted when resolved.
+    while (!queue_.empty() &&
+           queue_.front()->resolved.load(std::memory_order_acquire)) {
+      queue_.pop_front();
+    }
     if (queue_.empty()) {
       if (draining_) return {};
       cv_consumer_.wait(lk, [&] { return !queue_.empty() || draining_; });
       continue;
     }
     const auto close_at =
-        queue_.front().enqueued +
+        queue_.front()->enqueued +
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(policy_.max_wait_s));
     if (static_cast<Index>(queue_.size()) >= policy_.max_batch ||
         Clock::now() >= close_at || draining_) {
-      const Index rows = std::min(static_cast<Index>(queue_.size()),
-                                  policy_.max_batch);
-      std::vector<Pending> batch;
-      batch.reserve(static_cast<std::size_t>(rows));
-      for (Index i = 0; i < rows; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      std::vector<PendingPtr> batch;
+      batch.reserve(static_cast<std::size_t>(policy_.max_batch));
+      while (!queue_.empty() &&
+             static_cast<Index>(batch.size()) < policy_.max_batch) {
+        PendingPtr p = std::move(queue_.front());
         queue_.pop_front();
+        if (p->resolved.load(std::memory_order_acquire)) continue;
+        batch.push_back(std::move(p));
       }
+      if (batch.empty()) continue;  // everything popped was already resolved
       // More rows may remain (burst beyond max_batch): hand them to a
       // sibling worker instead of letting them wait out a fresh window.
       if (!queue_.empty()) cv_consumer_.notify_one();
@@ -98,6 +144,26 @@ std::vector<DynamicBatcher::Pending> DynamicBatcher::next_batch() {
     }
     cv_consumer_.wait_until(lk, close_at);
   }
+}
+
+void DynamicBatcher::requeue(std::vector<PendingPtr> batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Reverse push_front keeps the batch's arrival order at the queue head.
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    if (!*it) continue;
+    ++counters_.requeued;
+    queue_.push_front(std::move(*it));
+  }
+  cv_consumer_.notify_all();
+}
+
+std::vector<DynamicBatcher::PendingPtr> DynamicBatcher::take_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PendingPtr> all(std::make_move_iterator(queue_.begin()),
+                              std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return all;
 }
 
 void DynamicBatcher::record_service(Index rows, double seconds) {
@@ -109,6 +175,28 @@ void DynamicBatcher::record_service(Index rows, double seconds) {
           ? per_row
           : (1.0 - policy_.service_ewma_alpha) * counters_.ewma_row_service_s +
                 policy_.service_ewma_alpha * per_row;
+}
+
+void DynamicBatcher::set_live_workers(Index live) {
+  std::lock_guard<std::mutex> lk(mu_);
+  live_workers_ = std::max<Index>(1, live);
+  counters_.live_workers = live_workers_;
+}
+
+Index DynamicBatcher::live_workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_workers_;
+}
+
+void DynamicBatcher::set_brownout(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  brownout_ = on;
+  counters_.brownout = on;
+}
+
+bool DynamicBatcher::brownout() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return brownout_;
 }
 
 void DynamicBatcher::start_drain() {

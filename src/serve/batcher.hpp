@@ -11,24 +11,34 @@
 //    explicit rejections, never to unbounded latency.
 //  * Deadline-aware shedding — on arrival, the predicted sojourn is
 //      ceil((depth + 1) / max_batch) * (ewma_row_service_s * max_batch)
-//        / workers
+//        / live_workers
 //    i.e. how many batch services stand between this request and its
 //    response, priced at the EWMA-estimated batch service time spread over
-//    the worker pool.  If that already exceeds the request's deadline the
-//    request is shed on arrival (ShedDeadline) — serving it would waste a
-//    batch slot on an answer the client has given up on.  The EWMA is fed
-//    by the engine's measured per-batch service times.
+//    the *live* worker pool.  If that already exceeds the request's
+//    deadline the request is shed on arrival (ShedDeadline) — serving it
+//    would waste a batch slot on an answer the client has given up on.
+//  * Brownout (DESIGN.md "Serving failure model") — when the supervisor
+//    detects sustained overload or a shrunken pool it flips brownout mode:
+//    the effective queue shrinks to `brownout_queue_frac * queue_capacity`
+//    and deadline-less requests are priced at `brownout_deadline_s`, so
+//    admission tightens (explicit ShedBrownout rejections) instead of the
+//    tail latency collapsing.
 //
-// Shed requests resolve their future immediately; admitted requests resolve
-// when their batch completes.  All accounting is exact: submitted ==
-// completed + shed (asserted by tests/test_serve.cpp).
+// Requests admitted once can be *re-dispatched*: the queue trades in
+// shared `Pending` handles whose promise is resolved exactly once through
+// an atomic guard (`try_resolve`), which is what makes crash re-enqueues
+// and hedged duplicate dispatches safe — whoever finishes first wins, every
+// later result is discarded and accounted, and the exact-accounting
+// invariant `submitted == completed + shed + failed` survives duplication.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -42,21 +52,48 @@ struct BatchPolicy {
   Index queue_capacity = 1024;   ///< bounded queue; beyond = ShedQueueFull
   bool deadline_admission = true;  ///< enable predicted-wait shedding
   double service_ewma_alpha = 0.2;  ///< smoothing of the service estimate
+
+  /// Brownout tightening: effective queue capacity becomes
+  /// `ceil(brownout_queue_frac * queue_capacity)` while brownout is active.
+  double brownout_queue_frac = 0.5;
+  /// Brownout deadline assumed for requests with no finite deadline of
+  /// their own (0 disables that pricing — deadline-less requests then only
+  /// feel the shrunken queue).
+  double brownout_deadline_s = 0.0;
 };
 
 class DynamicBatcher {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// One admitted, queued request.
+  /// One admitted request.  Shared between the queue, the worker executing
+  /// its batch, and any duplicate dispatches (crash re-enqueue, hedge); the
+  /// promise resolves exactly once via `try_resolve`.
   struct Pending {
     Request request;
     std::promise<Response> promise;
     Clock::time_point enqueued;
+    std::atomic<bool> resolved{false};
+    std::atomic<Index> crashes{0};  ///< dispatches lost to worker crashes
+    std::atomic<bool> hedged{false};  ///< a duplicate dispatch exists
+
+    /// First caller wins and fulfils the promise; later callers get false
+    /// and must discard their result (hedge loser / stale duplicate).
+    bool try_resolve(Response&& r) {
+      bool expected = false;
+      if (!resolved.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        return false;
+      }
+      promise.set_value(std::move(r));
+      return true;
+    }
   };
+  using PendingPtr = std::shared_ptr<Pending>;
 
   /// `workers` is the number of engine threads consuming batches; it prices
   /// the predicted wait (the queue drains `workers` batches concurrently).
+  /// The supervisor reprices a shrunken pool via set_live_workers.
   DynamicBatcher(BatchPolicy policy, Index workers);
 
   /// Producer side: admission-controlled enqueue.  The returned future
@@ -65,14 +102,36 @@ class DynamicBatcher {
   std::future<Response> submit(Request req);
 
   /// Consumer side: block until a batch is ready per the coalescing policy
-  /// (or until drain).  Returns the coalesced requests in arrival order;
-  /// empty means the batcher is drained and shut down.  Thread-safe —
-  /// multiple engine workers pull concurrently.
-  std::vector<Pending> next_batch();
+  /// (or until drain).  Returns the coalesced requests in arrival order,
+  /// skipping entries already resolved elsewhere (won hedges); empty means
+  /// the batcher is drained and shut down.  Thread-safe — multiple engine
+  /// workers pull concurrently.
+  std::vector<PendingPtr> next_batch();
+
+  /// Put already-admitted requests back at the *front* of the queue (crash
+  /// recovery and hedged duplicates re-dispatch ahead of new arrivals —
+  /// they have been waiting longest).  Bypasses admission: the requests
+  /// were admitted once and counters must not double-count them.  Works
+  /// during drain (recovered work still gets served).
+  void requeue(std::vector<PendingPtr> batch);
+
+  /// Empty the queue immediately (terminal failure path: no live workers
+  /// and no restart budget).  The caller owns resolving the entries.
+  std::vector<PendingPtr> take_all();
 
   /// Feed back one measured batch execution (rows, seconds) into the EWMA
   /// per-row service estimate the admission controller prices waits with.
   void record_service(Index rows, double seconds);
+
+  /// Reprice admission for a changed worker pool (crashes shrink it,
+  /// restarts regrow it).  Clamped to >= 1 so pricing stays finite; a pool
+  /// that is actually empty is the supervisor's problem, not admission's.
+  void set_live_workers(Index live);
+  Index live_workers() const;
+
+  /// Flip brownout-tightened admission on/off (see BatchPolicy).
+  void set_brownout(bool on);
+  bool brownout() const;
 
   /// Stop admitting (subsequent submits shed with ShedShutdown) and wake
   /// consumers so queued work finishes; next_batch returns empty once the
@@ -90,8 +149,12 @@ class DynamicBatcher {
     std::uint64_t shed_queue_full = 0;
     std::uint64_t shed_deadline = 0;
     std::uint64_t shed_shutdown = 0;
+    std::uint64_t shed_brownout = 0;
+    std::uint64_t requeued = 0;  ///< re-dispatches (crash recovery + hedges)
     std::int64_t peak_queue_depth = 0;
     double ewma_row_service_s = 0.0;
+    Index live_workers = 0;
+    bool brownout = false;
   };
   Counters counters() const;
 
@@ -102,12 +165,13 @@ class DynamicBatcher {
   static Response shed_response(const Request& req, Outcome outcome);
 
   const BatchPolicy policy_;
-  const Index workers_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_consumer_;
-  std::deque<Pending> queue_;
+  std::deque<PendingPtr> queue_;
   bool draining_ = false;
+  Index live_workers_ = 1;
+  bool brownout_ = false;
   Counters counters_;
 };
 

@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "nn/batching.hpp"
@@ -35,13 +36,23 @@ Engine::~Engine() { drain(); }
 std::future<Response> Engine::submit(Request req) {
   CANDLE_CHECK(static_cast<Index>(req.input.size()) == sample_numel_,
                "request input must hold exactly one flattened sample");
-  return batcher_.submit(std::move(req));
+  active_submits_.fetch_add(1, std::memory_order_acq_rel);
+  std::future<Response> f = batcher_.submit(std::move(req));
+  active_submits_.fetch_sub(1, std::memory_order_acq_rel);
+  return f;
 }
 
 void Engine::drain() {
   std::lock_guard<std::mutex> lk(drain_mu_);
   if (drained_) return;
   batcher_.start_drain();
+  // Submits racing the drain either got admitted before it (workers below
+  // will serve them) or resolve ShedShutdown inside the batcher; either
+  // way, wait for them to finish ticking counters so the post-drain
+  // accounting is final.
+  while (active_submits_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
   for (auto& t : threads_) t.join();
   drained_ = true;
 }
@@ -52,32 +63,38 @@ void Engine::worker_main() {
   // steady-state loop allocates nothing.
   BatchAssembler assembler(model_.input_shape(), options_.batch.max_batch);
   for (;;) {
-    std::vector<DynamicBatcher::Pending> batch = batcher_.next_batch();
+    std::vector<DynamicBatcher::PendingPtr> batch = batcher_.next_batch();
     if (batch.empty()) return;  // drained
     const auto closed_at = DynamicBatcher::Clock::now();
     const Index rows = static_cast<Index>(batch.size());
     assembler.begin(rows);
     for (Index i = 0; i < rows; ++i) {
-      assembler.set_row(i, batch[static_cast<std::size_t>(i)].request.input);
+      assembler.set_row(i, batch[static_cast<std::size_t>(i)]->request.input);
     }
     const Tensor y = model_.infer(assembler.batch());
     const auto finished_at = DynamicBatcher::Clock::now();
     batcher_.record_service(rows, seconds_between(closed_at, finished_at));
     batches_.fetch_add(1, std::memory_order_relaxed);
     for (Index i = 0; i < rows; ++i) {
-      DynamicBatcher::Pending& p = batch[static_cast<std::size_t>(i)];
+      DynamicBatcher::Pending& p = *batch[static_cast<std::size_t>(i)];
       Response r;
       r.id = p.request.id;
       r.outcome = Outcome::Completed;
       r.output.assign(y.data() + i * output_numel_,
                       y.data() + (i + 1) * output_numel_);
-      r.queue_wait_s = seconds_between(p.enqueued, closed_at);
-      r.latency_s = seconds_between(p.enqueued, finished_at);
+      const double queue_wait_s = seconds_between(p.enqueued, closed_at);
+      const double latency_s = seconds_between(p.enqueued, finished_at);
+      r.queue_wait_s = queue_wait_s;
+      r.latency_s = latency_s;
       r.batch_rows = rows;
-      queue_wait_.record(r.queue_wait_s);
-      latency_.record(r.latency_s);
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      p.promise.set_value(std::move(r));
+      // Only the resolving dispatch records: a duplicate that lost the
+      // race (not possible in the base engine, but the invariant is the
+      // batcher's, not the engine's) must leave no statistical trace.
+      if (p.try_resolve(std::move(r))) {
+        queue_wait_.record(queue_wait_s);
+        latency_.record(latency_s);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 }
@@ -91,6 +108,9 @@ EngineStats Engine::stats() const {
   s.shed_queue_full = c.shed_queue_full;
   s.shed_deadline = c.shed_deadline;
   s.shed_shutdown = c.shed_shutdown;
+  s.shed_brownout = c.shed_brownout;
+  s.requeued = c.requeued;
+  s.live_workers = c.live_workers;
   s.batches = batches_.load(std::memory_order_relaxed);
   s.peak_queue_depth = c.peak_queue_depth;
   s.ewma_row_service_s = c.ewma_row_service_s;

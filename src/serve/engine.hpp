@@ -55,7 +55,10 @@ class Engine {
   std::future<Response> submit(Request req);
 
   /// Stop admitting, serve everything already queued, join the workers.
-  /// Idempotent; also run by the destructor.
+  /// Idempotent; also run by the destructor.  Safe to race with submit():
+  /// a submit that loses the race resolves ShedShutdown, and drain waits
+  /// for every in-flight submit to land before declaring the accounting
+  /// final — after drain() returns, stats() is exact.
   void drain();
 
   /// Point-in-time statistics.  After drain(), the accounting is exact:
@@ -78,6 +81,7 @@ class Engine {
   LatencyHistogram queue_wait_;
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> active_submits_{0};
 
   std::mutex drain_mu_;
   bool drained_ = false;

@@ -12,6 +12,8 @@ const char* outcome_name(Outcome o) {
     case Outcome::ShedQueueFull: return "shed_queue_full";
     case Outcome::ShedDeadline: return "shed_deadline";
     case Outcome::ShedShutdown: return "shed_shutdown";
+    case Outcome::ShedBrownout: return "shed_brownout";
+    case Outcome::Failed: return "failed";
   }
   CANDLE_FAIL("unknown Outcome");
 }

@@ -36,6 +36,10 @@ enum class Outcome {
   ShedQueueFull,  ///< rejected on arrival: bounded queue at capacity
   ShedDeadline,   ///< rejected on arrival: predicted wait exceeds deadline
   ShedShutdown,   ///< rejected: submitted after drain began
+  ShedBrownout,   ///< rejected on arrival by brownout-tightened admission
+                  ///< (shrunken effective queue / default-priced deadline)
+  Failed,         ///< admitted but lost: its batch was abandoned by crashed
+                  ///< workers more times than the retry budget allows
 };
 
 const char* outcome_name(Outcome o);

@@ -19,21 +19,55 @@ double LatencyHistogram::bucket_upper_edge(int bucket) {
                             static_cast<double>(kBucketsPerDecade));
 }
 
+double LatencyHistogram::bucket_lower_edge(int bucket) {
+  CANDLE_CHECK(bucket >= 0 && bucket < kBuckets, "bucket out of range");
+  // Bucket 0 also absorbs sub-µs values, so its envelope floor is 0.
+  return bucket == 0 ? 0.0 : bucket_upper_edge(bucket - 1);
+}
+
 void LatencyHistogram::record(double seconds) {
+  // Seqlock-style write bracket: started_ ticks before the counter writes,
+  // finished_ after.  No retry, no wait — record() stays wait-free; only
+  // snapshot() pays for consistency.
+  started_.fetch_add(1, std::memory_order_seq_cst);
   counts_[static_cast<std::size_t>(bucket_of(seconds))].fetch_add(
       1, std::memory_order_relaxed);
-  total_.fetch_add(1, std::memory_order_relaxed);
   sum_s_.fetch_add(seconds, std::memory_order_relaxed);
+  finished_.fetch_add(1, std::memory_order_seq_cst);
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   Snapshot s;
-  for (int b = 0; b < kBuckets; ++b) {
-    s.counts[static_cast<std::size_t>(b)] =
-        counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
-    s.total += s.counts[static_cast<std::size_t>(b)];
+  for (int attempt = 0; attempt < kSnapshotRetries; ++attempt) {
+    const std::uint64_t before = finished_.load(std::memory_order_seq_cst);
+    s.total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      s.counts[static_cast<std::size_t>(b)] =
+          counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+      s.total += s.counts[static_cast<std::size_t>(b)];
+    }
+    s.sum_s = sum_s_.load(std::memory_order_relaxed);
+    // Stable iff no record was in flight anywhere across the copy: every
+    // record that finished before the copy started, and none started since.
+    const std::uint64_t after = started_.load(std::memory_order_seq_cst);
+    if (before == after) {
+      s.exact = true;
+      return s;
+    }
   }
-  s.sum_s = sum_s_.load(std::memory_order_relaxed);
+  // Sustained concurrent recording: the last copy stands, but its sum may
+  // be torn relative to its counts.  Clamp the sum into the envelope the
+  // counts imply so derived statistics (mean, and any count/sum cross
+  // check) can never leave the range of values actually recorded.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double n = static_cast<double>(s.counts[static_cast<std::size_t>(b)]);
+    lo += n * bucket_lower_edge(b);
+    hi += n * bucket_upper_edge(b);
+  }
+  s.sum_s = std::clamp(s.sum_s, lo, hi);
+  s.exact = false;
   return s;
 }
 

@@ -9,6 +9,18 @@
 // quantile is within ~10% (10^(1/24) ≈ 1.10) of the true value — the same
 // resolution HDR histograms are typically run at, at a fraction of the
 // code.  p50/p95/p99/p99.9 of a million-request run cost 240 * 8 bytes.
+//
+// Snapshot consistency: record() is wait-free (it never blocks and never
+// retries), so a snapshot racing a hammering producer cannot lock the
+// counters.  Instead, snapshot() brackets its copy with begin/end operation
+// counters: if no record was in flight across the copy, the snapshot is
+// exact (count/sum consistent to the last bit).  Under sustained concurrent
+// recording it retries a bounded number of times, then falls back to
+// clamping the sum into the envelope the copied counts imply
+// (Σ count·lower_edge .. Σ count·upper_edge) — so a torn read can never
+// produce an impossible mean (outside the recorded value range) or a
+// quantile inconsistent with its own counts.  Asserted by the hammering
+// test in tests/test_serve.cpp.
 #pragma once
 
 #include <array>
@@ -16,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/tensor.hpp"
 #include "runtime/error.hpp"
 
 namespace candle::serve {
@@ -26,6 +39,7 @@ class LatencyHistogram {
   static constexpr int kBucketsPerDecade = 24;  // ~10% relative resolution
   static constexpr int kDecades = 10;           // 1 µs .. 10^4 s
   static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+  static constexpr int kSnapshotRetries = 64;   // stability-loop bound
 
   /// Record one latency (seconds).  Wait-free; callable from any thread.
   /// Values below 1 µs land in bucket 0, values beyond 10^4 s in the last.
@@ -35,12 +49,17 @@ class LatencyHistogram {
   static int bucket_of(double seconds);
   /// Upper edge of a bucket — the value quantile() reports for it.
   static double bucket_upper_edge(int bucket);
+  /// Lower edge of a bucket (the previous bucket's upper edge; 0 for
+  /// bucket 0) — the floor of the snapshot sum envelope.
+  static double bucket_lower_edge(int bucket);
 
   /// Consistent point-in-time copy for quantile reads.
   struct Snapshot {
     std::array<std::uint64_t, kBuckets> counts{};
     std::uint64_t total = 0;
     double sum_s = 0.0;
+    bool exact = true;  ///< false when the bounded stability loop gave up
+                        ///< and sum_s was envelope-clamped
 
     /// Latency at quantile q in [0, 1]: upper edge of the bucket holding
     /// the ceil(q * total)-th ordered sample (0 when empty).
@@ -52,34 +71,64 @@ class LatencyHistogram {
 
   Snapshot snapshot() const;
   std::uint64_t total() const {
-    return total_.load(std::memory_order_relaxed);
+    return finished_.load(std::memory_order_relaxed);
   }
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-  std::atomic<std::uint64_t> total_{0};
   std::atomic<double> sum_s_{0.0};
+  // Operation brackets for snapshot stability detection: a record
+  // increments started_ before touching the counters and finished_ after.
+  // snapshot() saw a quiescent window iff started_ == finished_ before the
+  // copy and started_ is unchanged after it.
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> finished_{0};
 };
 
 /// Aggregate engine counters + latency distribution, as returned by
-/// serve::Engine::stats().  Invariant (checked by tests): submitted ==
-/// completed + shed_queue_full + shed_deadline + shed_shutdown once the
-/// engine has drained — every request is accounted for exactly once.
+/// serve::Engine::stats() and serve::SupervisedEngine::stats().  Invariant
+/// (checked by tests) once the engine has drained:
+///   submitted == completed + shed_total() + failed
+/// — every request is accounted for exactly once, including requests that
+/// were re-dispatched after a worker crash or raced by a hedged duplicate.
+/// The base Engine never fails requests and runs no supervisor, so its
+/// resilience counters are identically zero and the invariant reduces to
+/// the original submitted == completed + shed_total().
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;
+  std::uint64_t failed = 0;       ///< crash-abandoned past the retry budget
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_shutdown = 0;
+  std::uint64_t shed_brownout = 0;
   std::uint64_t batches = 0;      ///< coalesced batches executed
   std::int64_t peak_queue_depth = 0;
   double ewma_row_service_s = 0.0;  ///< admission controller's estimate
+
+  // ---- supervision / resilience (SupervisedEngine only) ---------------------
+  std::uint64_t requeued = 0;          ///< rows re-enqueued after crashes
+  std::uint64_t worker_crashes = 0;    ///< workers that died mid-batch
+  std::uint64_t worker_hangs = 0;      ///< workers the watchdog declared hung
+  std::uint64_t worker_restarts = 0;   ///< replacements actually spawned
+  std::uint64_t hedges_launched = 0;   ///< duplicate batch dispatches
+  std::uint64_t hedge_wins = 0;        ///< hedged rows resolved (first copy)
+  std::uint64_t hedge_losses = 0;      ///< duplicate results discarded
+  std::uint64_t corruption_retries = 0;  ///< NaN-poisoned batches recomputed
+  std::uint64_t brownout_entries = 0;  ///< times brownout mode engaged
+  Index live_workers = 0;              ///< pool size when stats were taken
+
   LatencyHistogram::Snapshot latency;      ///< submit -> response
   LatencyHistogram::Snapshot queue_wait;   ///< submit -> batch close
 
   std::uint64_t shed_total() const {
-    return shed_queue_full + shed_deadline + shed_shutdown;
+    return shed_queue_full + shed_deadline + shed_shutdown + shed_brownout;
+  }
+  /// The exact-accounting left-over: zero after drain.
+  std::int64_t accounting_gap() const {
+    return static_cast<std::int64_t>(submitted) -
+           static_cast<std::int64_t>(completed + shed_total() + failed);
   }
   double mean_batch_rows() const {
     return batches > 0

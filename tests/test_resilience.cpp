@@ -609,19 +609,66 @@ TEST(ResilientTraining, FailedCheckpointWriteKeepsPreviousCheckpoint) {
   train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
                   SoftmaxCrossEntropy(), clean, &reference);
 
-  // The write at step 8 fails; the crash at step 9 must restore the step-4
-  // checkpoint (the newest durable one) and still end bit-identical.
+  // The write at step 8 fails persistently (every retry attempt polls the
+  // injector, so retries + 1 scheduled failures exhaust the budget); the
+  // crash at step 9 must restore the step-4 checkpoint (the newest durable
+  // one) and still end bit-identical.
   ResilientOptions faulty = base_options("ckptfail");
-  faulty.faults.fail_checkpoint(8).crash(9, 3);
+  faulty.faults.fail_checkpoint(8).fail_checkpoint(8).fail_checkpoint(8);
+  faulty.faults.crash(9, 3);
   Model recovered;
   const ResilientResult res = train_resilient(
       blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
       SoftmaxCrossEntropy(), faulty, &recovered);
   EXPECT_EQ(res.checkpoint_failures, 1);
+  EXPECT_EQ(res.checkpoint_retries, 2);
   EXPECT_EQ(res.restarts, 1);
   // 9 committed - restored to 4 - replayed: at least 5 extra steps.
   EXPECT_GE(res.executed_steps, res.planned_steps + 5);
   EXPECT_EQ(weights_of(recovered), weights_of(reference));
+  cleanup(faulty);
+  cleanup(clean);
+}
+
+TEST(ResilientTraining, TransientCheckpointWriteFailureIsRetriedNotLost) {
+  const Dataset d = blob_dataset(256, 61);
+  ResilientOptions clean = base_options("ref4b");
+  Model reference;
+  train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+                  SoftmaxCrossEntropy(), clean, &reference);
+
+  // A *single* scheduled failure at step 8 is transient: the bounded retry
+  // succeeds on the second attempt, the step-8 checkpoint becomes durable,
+  // and the crash at step 9 replays one step instead of the whole interval
+  // (the pre-retry behavior, pinned above, replays at least five).
+  ResilientOptions faulty = base_options("ckptretry");
+  faulty.faults.fail_checkpoint(8).crash(9, 3);
+  Model recovered;
+  const ResilientResult res = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), faulty, &recovered);
+  EXPECT_EQ(res.checkpoint_retries, 1);
+  EXPECT_EQ(res.checkpoint_failures, 0);
+  EXPECT_EQ(res.restarts, 1);
+  EXPECT_LE(res.executed_steps, res.planned_steps + 2);
+  // The retry shows up in the structured fault log.
+  // (Phase "retried" carries the attempt count; the final success means no
+  // "injected" terminal record for this step.)
+  EXPECT_EQ(weights_of(recovered), weights_of(reference));
+
+  // With retries disabled the same schedule loses the interval again.
+  ResilientOptions noretry = base_options("ckptnoretry");
+  noretry.checkpoint_write_retries = 0;
+  noretry.faults.fail_checkpoint(8).crash(9, 3);
+  Model recovered2;
+  const ResilientResult res2 = train_resilient(
+      blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
+      SoftmaxCrossEntropy(), noretry, &recovered2);
+  EXPECT_EQ(res2.checkpoint_retries, 0);
+  EXPECT_EQ(res2.checkpoint_failures, 1);
+  EXPECT_GE(res2.executed_steps, res2.planned_steps + 5);
+  EXPECT_EQ(weights_of(recovered2), weights_of(reference));
+  cleanup(noretry);
   cleanup(faulty);
   cleanup(clean);
 }
@@ -633,10 +680,12 @@ TEST(ResilientTraining, ColdRestartWhenNoDurableCheckpointExists) {
   train_resilient(blob_model_factory(62), [] { return make_adam(5e-3f); }, d,
                   SoftmaxCrossEntropy(), clean, &reference);
 
-  // Even the initial checkpoint write fails, then a replica dies: recovery
-  // falls back to a cold restart from the deterministic factory state.
+  // Even the initial checkpoint write fails persistently (all retries
+  // exhausted), then a replica dies: recovery falls back to a cold restart
+  // from the deterministic factory state.
   ResilientOptions faulty = base_options("cold");
-  faulty.faults.fail_checkpoint(0).crash(2, 1);
+  faulty.faults.fail_checkpoint(0).fail_checkpoint(0).fail_checkpoint(0);
+  faulty.faults.crash(2, 1);
   Model recovered;
   const ResilientResult res = train_resilient(
       blob_model_factory(62), [] { return make_adam(5e-3f); }, d,

@@ -184,7 +184,7 @@ TEST(DynamicBatcherTest, ClosesOnCountWithoutWaiting) {
   const auto batch = b.next_batch();
   ASSERT_EQ(batch.size(), 4u);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_EQ(batch[i].request.id, i);  // arrival order preserved
+    EXPECT_EQ(batch[i]->request.id, i);  // arrival order preserved
   }
 }
 
@@ -193,7 +193,7 @@ TEST(DynamicBatcherTest, ClosesShortBatchOnTimeout) {
   auto f = b.submit(req_with_id(1));
   const auto batch = b.next_batch();  // blocks ~max_wait_s then yields 1 row
   ASSERT_EQ(batch.size(), 1u);
-  EXPECT_EQ(batch[0].request.id, 1u);
+  EXPECT_EQ(batch[0]->request.id, 1u);
 }
 
 TEST(DynamicBatcherTest, ShedsWhenQueueIsFull) {
@@ -379,6 +379,120 @@ TEST(EngineTest, RejectsMalformedInput) {
   Request r;
   r.input.assign(3, 0.0f);  // wrong sample size
   EXPECT_THROW(engine.submit(std::move(r)), Error);
+}
+
+TEST(LatencyHistogramTest, SnapshotConcurrentWithRecordIsNeverTorn) {
+  // Satellite of the serving failure model: snapshot() racing wait-free
+  // record() must never yield a torn count/sum pair.  Producers hammer two
+  // known values; every concurrent snapshot must satisfy (a) total equals
+  // the sum of its own bucket counts by construction, (b) the mean lies in
+  // the envelope its counts imply, and (c) quantiles come from those same
+  // counts — no mix of old counts and new sum.
+  LatencyHistogram h;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50000;
+  const double lo = 1e-3, hi = 1e-2;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i) {
+        h.record((i + t) % 2 == 0 ? lo : hi);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  const double env_lo = LatencyHistogram::bucket_lower_edge(
+      LatencyHistogram::bucket_of(lo));
+  const double env_hi = LatencyHistogram::bucket_upper_edge(
+      LatencyHistogram::bucket_of(hi));
+  std::uint64_t last_total = 0;
+  int snapshots = 0;
+  while (h.total() < static_cast<std::uint64_t>(kProducers * kPerProducer)) {
+    const auto s = h.snapshot();
+    ++snapshots;
+    std::uint64_t from_counts = 0;
+    for (auto c : s.counts) from_counts += c;
+    ASSERT_EQ(s.total, from_counts);
+    ASSERT_GE(s.total, last_total);  // time never runs backwards
+    last_total = s.total;
+    if (s.total > 0) {
+      ASSERT_GE(s.mean_s(), env_lo);
+      ASSERT_LE(s.mean_s(), env_hi);
+      // Quantiles derive from the same counts array: both recorded values
+      // bound every quantile.
+      ASSERT_GE(s.quantile(0.5), env_lo);
+      ASSERT_LE(s.quantile(1.0), env_hi);
+    }
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_GT(snapshots, 0);
+  // Quiescent snapshot is exact to the last bit: full count, exact sum.
+  const auto s = h.snapshot();
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.total, static_cast<std::uint64_t>(kProducers * kPerProducer));
+  const double true_sum =
+      kProducers * (kPerProducer / 2) * (lo + hi);
+  EXPECT_NEAR(s.sum_s, true_sum, 1e-6 * true_sum);
+}
+
+TEST(EngineTest, DrainConcurrentWithSubmitsResolvesEveryFutureExactlyOnce) {
+  // Satellite of the serving failure model: the destructor's drain path
+  // racing live submitters.  Every future must resolve exactly once —
+  // Completed for requests that beat the drain, ShedShutdown for the rest —
+  // with no lost promises (a .get() that never returns) and no
+  // double-resolution (promise::set_value would throw).  Run under TSan in
+  // CI.
+  const Model m = mlp(8, 32, 4, 3);
+  const Tensor x = random_inputs(8, 8, 21);
+  EngineOptions opt;
+  opt.workers = 2;
+  opt.batch.max_batch = 4;
+  opt.batch.max_wait_s = 1e-4;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<std::future<Response>>> futures(kThreads);
+  {
+    Engine engine(m, opt);
+    std::atomic<bool> start{false};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&, t] {
+        while (!start.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (int i = 0; i < kPerThread; ++i) {
+          futures[static_cast<std::size_t>(t)].push_back(
+              engine.submit(request_for_row(x, i % 8)));
+        }
+      });
+    }
+    start.store(true, std::memory_order_release);
+    // Drain mid-flood: half the submitters are typically still running.
+    engine.drain();
+    for (auto& p : producers) p.join();
+    // Submits that arrived after the drain flag must have shed, not queued.
+    const EngineStats s = engine.stats();
+    EXPECT_EQ(s.submitted,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(s.submitted, s.completed + s.shed_total());
+    // Engine destructor runs here with all submitters done — the
+    // destructor-drain path is idempotent over the explicit drain above.
+  }
+  std::uint64_t resolved = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      ASSERT_TRUE(f.valid());
+      const Response r = f.get();  // throws if the promise was never set
+      ASSERT_TRUE(r.outcome == Outcome::Completed ||
+                  r.outcome == Outcome::ShedShutdown ||
+                  r.outcome == Outcome::ShedQueueFull ||
+                  r.outcome == Outcome::ShedDeadline);
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
 // ---- hpcsim serving estimator ----------------------------------------------
