@@ -1,0 +1,291 @@
+// Experiment E13 — parallel data ingestion: the double-buffered prefetch
+// pipeline (src/data) under an expensive sample source, pinned against the
+// hpcsim ingest drain law.
+//
+// Tables:
+//   (a) calibration: per-step batch-assembly cost at the synthetic per-
+//       sample fetch price, and the pure-compute step time it must hide
+//       behind;
+//   (b) MEASURED depth sweep at non-trivial fetch cost: synchronous
+//       assembly (prefetch_depth 1, no fetch threads) vs double buffering —
+//       the acceptance gate requires >= 20% step-time reduction, and the
+//       measured step is pinned against estimate_step_with_ingest's drain
+//       law (~10%);
+//   (c) cheap-source sweep (fetch cost 0): prefetching must not regress
+//       the step (> ~10%) when there is nothing to hide;
+//   (d) bit-identity: every configuration's per-epoch loss and final
+//       weights must be IDENTICAL — prefetch changes when batches are
+//       assembled, never what they contain.  This gate always runs.
+//
+// Honesty note (same spirit as bench_e3's 1-core note): the pipeline needs
+// real spare cores for the producer and fetcher threads; on hosts with
+// fewer than (replicas + 2) cores the background assembly timeshares with
+// training compute and the perf gates are reported informationally instead.
+//
+// `--json=PATH` (default BENCH_e13.ci.json) emits the machine-readable
+// report; the report is a generated artifact — CI emits and uploads it per
+// commit (`--smoke` shrinks durations for that job); it is not checked in.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hpcsim/perfmodel.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "parallel/data_parallel.hpp"
+#include "runtime/rng.hpp"
+
+namespace {
+
+using namespace candle;
+
+constexpr Index kFeatures = 64;
+constexpr Index kReplicas = 2;
+constexpr Index kBatchPerReplica = 16;
+constexpr Index kSamples = 256;  // global batch 32 -> 8 steps/epoch
+constexpr double kFetchCostS = 100e-6;  // per-sample synthetic source price
+
+Model bench_model(std::uint64_t seed) {
+  Model m;
+  m.add(make_dense(256)).add(make_relu());
+  m.add(make_dense(128)).add(make_relu());
+  m.add(make_dense(2));
+  m.build({kFeatures}, seed);
+  return m;
+}
+
+Dataset bench_dataset(std::uint64_t seed) {
+  Pcg32 rng(seed);
+  Dataset d{Tensor({kSamples, kFeatures}), Tensor({kSamples})};
+  for (Index i = 0; i < kSamples; ++i) {
+    const float cls = static_cast<float>(i % 2);
+    d.y[i] = cls;
+    for (Index j = 0; j < kFeatures; ++j) {
+      d.x.at(i, j) = static_cast<float>(rng.normal(cls * 2.0 - 1.0, 0.8));
+    }
+  }
+  return d;
+}
+
+struct RunRow {
+  Index depth = 1;
+  Index threads = 0;
+  double fetch_cost_s = 0.0;
+  double step_s = 0.0;          // min over reps (noise-robust)
+  double ingest_busy_s = 0.0;   // per-step assembly work
+  double ingest_exposed_s = 0.0;
+  double overlap_fraction = 0.0;
+  std::vector<float> epoch_loss;
+  std::vector<float> weights;
+};
+
+/// Train one configuration `reps` times; keep the minimum step time (loss
+/// and weights are bit-identical across reps by construction).
+RunRow run_config(const Dataset& d, Index epochs, Index depth, Index threads,
+                  double fetch_cost_s, int reps) {
+  SoftmaxCrossEntropy xent;
+  RunRow row;
+  row.depth = depth;
+  row.threads = threads;
+  row.fetch_cost_s = fetch_cost_s;
+  row.step_s = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    parallel::DataParallelOptions o;
+    o.replicas = kReplicas;
+    o.epochs = epochs;
+    o.batch_per_replica = kBatchPerReplica;
+    o.seed = 91;
+    o.ingest.enabled = true;
+    o.ingest.prefetch_depth = depth;
+    o.ingest.fetch_threads = threads;
+    o.ingest.synthetic_fetch_cost_s = fetch_cost_s;
+    // A one-entry budget defeats the cache: every sample pays the source
+    // price every epoch, modeling generation-bound ingest (the regime the
+    // prefetch pipeline exists for).  Zero-cost runs share the setting so
+    // the cheap-source comparison isolates pipeline overhead.
+    o.ingest.store_byte_budget = 1;
+    Model out;
+    const parallel::DataParallelResult res = parallel::train_data_parallel(
+        [] { return bench_model(92); }, [] { return make_adam(5e-3f); }, d,
+        xent, o, &out);
+    const double step_s =
+        res.measured_seconds / static_cast<double>(res.steps);
+    if (step_s < row.step_s) {
+      row.step_s = step_s;
+      row.ingest_busy_s = res.measured_ingest_busy_s;
+      row.ingest_exposed_s = res.measured_exposed_ingest_s;
+      row.overlap_fraction = res.measured_ingest_overlap_fraction;
+    }
+    if (rep == 0) {
+      row.epoch_loss = res.epoch_loss;
+      row.weights.resize(static_cast<std::size_t>(out.num_params()));
+      out.copy_weights_to(row.weights);
+    }
+  }
+  return row;
+}
+
+int run(Index epochs, int reps, const std::string& json_path) {
+  std::printf("=== E13: parallel data ingestion (prefetch pipeline vs drain "
+              "law) ===\n\n");
+  const Dataset d = bench_dataset(90);
+  const Index steps = epochs * (kSamples / (kReplicas * kBatchPerReplica));
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const bool pipeline_real = cores >= static_cast<unsigned>(kReplicas + 2);
+  int violations = 0;
+
+  // ---- (a) calibration ------------------------------------------------------
+  // The synchronous run separates the step into assembly (its measured
+  // ingest busy time, all exposed) and everything else (compute + reduce).
+  const RunRow sync_costly =
+      run_config(d, epochs, /*depth=*/1, /*threads=*/0, kFetchCostS, reps);
+  const double assemble_s = sync_costly.ingest_busy_s;
+  const double compute_s = std::max(1e-9, sync_costly.step_s - assemble_s);
+  std::printf("(a) calibration (%lld steps, %d reps, %u cores)\n",
+              static_cast<long long>(steps), reps, cores);
+  std::printf("    per-sample fetch cost: %6.0f us  ->  assembly %7.3f "
+              "ms/step\n", kFetchCostS * 1e6, assemble_s * 1e3);
+  std::printf("    compute + reduce:      %7.3f ms/step\n\n", compute_s * 1e3);
+
+  // ---- (b) depth sweep at non-trivial fetch cost ----------------------------
+  std::printf("(b) MEASURED depth sweep, fetch cost %0.0f us/sample%s\n",
+              kFetchCostS * 1e6,
+              pipeline_real ? "" : " — too few cores for background "
+                                   "assembly, perf gates informational");
+  std::printf("%6s %8s %10s %11s %9s %10s %8s\n", "depth", "threads",
+              "step ms", "exposed ms", "overlap", "model ms", "cut");
+  std::vector<RunRow> costly_rows{sync_costly};
+  for (const Index depth : {Index{2}, Index{4}}) {
+    costly_rows.push_back(
+        run_config(d, epochs, depth, /*threads=*/1, kFetchCostS, reps));
+  }
+  double model_pin_err = 0.0;
+  std::vector<double> modeled_step_ms;
+  for (const RunRow& r : costly_rows) {
+    // Drain-law projection from the synchronous calibration: the modeled
+    // step is the compute floor plus whatever assembly stays exposed.
+    const double modeled_step_s =
+        compute_s + hpcsim::ingest_exposed_s_per_step(assemble_s, compute_s,
+                                                      r.depth, steps);
+    modeled_step_ms.push_back(modeled_step_s * 1e3);
+    const double err = std::abs(modeled_step_s - r.step_s) / r.step_s;
+    if (r.depth > 1) model_pin_err = std::max(model_pin_err, err);
+    std::printf("%6lld %8lld %10.3f %11.3f %8.0f%% %10.3f %7.1f%%\n",
+                static_cast<long long>(r.depth),
+                static_cast<long long>(r.threads), r.step_s * 1e3,
+                r.ingest_exposed_s * 1e3, r.overlap_fraction * 100.0,
+                modeled_step_s * 1e3,
+                (1.0 - r.step_s / sync_costly.step_s) * 100.0);
+  }
+  const double cut =
+      1.0 - costly_rows[1].step_s / sync_costly.step_s;  // depth 2 vs sync
+  std::printf("    gate: depth-2 step-time cut %.1f%% (need >= 20%%)%s\n",
+              cut * 100.0, pipeline_real ? "" : " [informational]");
+  if (pipeline_real && cut < 0.20) {
+    std::fprintf(stderr, "GATE VIOLATION: prefetch cut %.1f%% < 20%%\n",
+                 cut * 100.0);
+    ++violations;
+  }
+  std::printf("    pin: drain-law model vs measured prefetch step, max err "
+              "%.1f%% (gate: ~10%%)%s\n\n",
+              model_pin_err * 100.0, pipeline_real ? "" : " [informational]");
+  if (pipeline_real && model_pin_err > 0.10) {
+    std::fprintf(stderr, "GATE VIOLATION: ingest model err %.1f%% > 10%%\n",
+                 model_pin_err * 100.0);
+    ++violations;
+  }
+
+  // ---- (c) cheap source: prefetch must not regress --------------------------
+  const RunRow sync_cheap =
+      run_config(d, epochs, 1, 0, /*fetch_cost_s=*/0.0, reps);
+  const RunRow pre_cheap = run_config(d, epochs, 2, 1, 0.0, reps);
+  const double regression = pre_cheap.step_s / sync_cheap.step_s - 1.0;
+  std::printf("(c) cheap source (fetch cost 0): sync %7.3f ms, prefetch "
+              "%7.3f ms, regression %+.1f%% (gate: <= 10%%)%s\n\n",
+              sync_cheap.step_s * 1e3, pre_cheap.step_s * 1e3,
+              regression * 100.0, pipeline_real ? "" : " [informational]");
+  if (pipeline_real && regression > 0.10) {
+    std::fprintf(stderr, "GATE VIOLATION: cheap-source regression %.1f%%\n",
+                 regression * 100.0);
+    ++violations;
+  }
+
+  // ---- (d) bit-identity across every configuration --------------------------
+  bool identical = true;
+  for (const RunRow* r : {&costly_rows[1], &costly_rows[2]}) {
+    identical = identical && r->epoch_loss == sync_costly.epoch_loss &&
+                r->weights == sync_costly.weights;
+  }
+  identical = identical && pre_cheap.epoch_loss == sync_cheap.epoch_loss &&
+              pre_cheap.weights == sync_cheap.weights;
+  std::printf("(d) bit-identity: loss trajectory and final weights across "
+              "all depths/threads: %s\n", identical ? "IDENTICAL" : "DIVERGED");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "GATE VIOLATION: prefetch changed the training numerics\n");
+    ++violations;
+  }
+
+  // ---- JSON report ----------------------------------------------------------
+  std::ofstream json(json_path);
+  json << "{\n  \"experiment\": \"e13_ingest\",\n"
+       << "  \"config\": {\"replicas\": " << kReplicas
+       << ", \"batch_per_replica\": " << kBatchPerReplica
+       << ", \"samples\": " << kSamples << ", \"epochs\": " << epochs
+       << ", \"fetch_cost_s\": " << kFetchCostS
+       << ", \"host_cores\": " << cores
+       << ", \"perf_gates_active\": " << (pipeline_real ? "true" : "false")
+       << "},\n  \"calibration\": {\"assemble_s_per_step\": " << assemble_s
+       << ", \"compute_s_per_step\": " << compute_s << "},\n"
+       << "  \"gates\": {\"depth2_cut\": " << cut
+       << ", \"model_max_rel_err\": " << model_pin_err
+       << ", \"cheap_regression\": " << regression
+       << ", \"bit_identical\": " << (identical ? "true" : "false")
+       << ", \"violations\": " << violations << "},\n  \"rows\": [\n";
+  bool first = true;
+  std::size_t mi = 0;
+  for (const RunRow& r : costly_rows) {
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"depth\": " << r.depth << ", \"threads\": " << r.threads
+         << ", \"fetch_cost_s\": " << r.fetch_cost_s
+         << ", \"step_ms\": " << r.step_s * 1e3
+         << ", \"exposed_ms\": " << r.ingest_exposed_s * 1e3
+         << ", \"overlap_fraction\": " << r.overlap_fraction
+         << ", \"model_step_ms\": " << modeled_step_ms[mi++] << "}";
+  }
+  for (const RunRow* r : {&sync_cheap, &pre_cheap}) {
+    json << ",\n    {\"depth\": " << r->depth
+         << ", \"threads\": " << r->threads
+         << ", \"fetch_cost_s\": " << r->fetch_cost_s
+         << ", \"step_ms\": " << r->step_s * 1e3
+         << ", \"exposed_ms\": " << r->ingest_exposed_s * 1e3
+         << ", \"overlap_fraction\": " << r->overlap_fraction << "}";
+  }
+  json << "\n  ]\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_e13.ci.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  const Index epochs = smoke ? 2 : 5;
+  const int reps = smoke ? 2 : 3;
+  return run(epochs, reps, json_path);
+}

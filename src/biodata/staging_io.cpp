@@ -103,6 +103,30 @@ Shape StagedReader::sample_shape() const {
   return s;
 }
 
+Shape StagedReader::y_sample_shape() const {
+  Shape s = y_shape_;
+  s.erase(s.begin());
+  return s;
+}
+
+void StagedReader::read_row(Index row, std::span<float> x,
+                            std::span<float> y) {
+  CANDLE_CHECK(row >= 0 && row < rows_, "staged row out of range");
+  CANDLE_CHECK(static_cast<Index>(x.size()) == x_row_elems_ &&
+                   static_cast<Index>(y.size()) == y_row_elems_,
+               "read_row buffer size mismatch");
+  auto& is = *static_cast<std::ifstream*>(file_);
+  is.seekg(x_data_off_ + static_cast<std::streamoff>(row * x_row_elems_ *
+                                                     sizeof(float)));
+  is.read(reinterpret_cast<char*>(x.data()),
+          static_cast<std::streamsize>(x_row_elems_ * sizeof(float)));
+  is.seekg(y_data_off_ + static_cast<std::streamoff>(row * y_row_elems_ *
+                                                     sizeof(float)));
+  is.read(reinterpret_cast<char*>(y.data()),
+          static_cast<std::streamsize>(y_row_elems_ * sizeof(float)));
+  CANDLE_CHECK(static_cast<bool>(is), "staged row read failed");
+}
+
 Dataset StagedReader::next() {
   auto& is = *static_cast<std::ifstream*>(file_);
   if (cursor_ >= rows_) cursor_ = 0;

@@ -8,6 +8,7 @@
 // y-dims i64[], x data f32[], y data f32[].
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "nn/dataset.hpp"
@@ -31,9 +32,17 @@ class StagedReader {
 
   Index rows() const { return rows_; }
   Shape sample_shape() const;
+  Shape y_sample_shape() const;
+  Index x_row_elems() const { return x_row_elems_; }
+  Index y_row_elems() const { return y_row_elems_; }
 
   /// Next `batch` rows (fewer at the tail, then wraps to the start).
   Dataset next();
+
+  /// Random-access read of one row into caller buffers (sized
+  /// x_row_elems()/y_row_elems()).  Leaves the next() cursor untouched, so
+  /// sequential streaming and random sampling can interleave on one reader.
+  void read_row(Index row, std::span<float> x, std::span<float> y);
 
  private:
   void seek_to_row(Index row);

@@ -1,0 +1,277 @@
+#include "data/store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "biodata/staging_io.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle::data {
+
+// ---- DatasetSource ----------------------------------------------------------
+
+DatasetSource::DatasetSource(const Dataset& dataset, double synthetic_cost_s)
+    : dataset_(&dataset), synthetic_cost_s_(synthetic_cost_s) {
+  CANDLE_CHECK(dataset.size() >= 1, "empty dataset source");
+  CANDLE_CHECK(synthetic_cost_s >= 0.0, "negative synthetic fetch cost");
+  x_elems_ = dataset.x.numel() / dataset.size();
+  y_elems_ = dataset.y.numel() / dataset.size();
+}
+
+Shape DatasetSource::x_sample_shape() const {
+  Shape s = dataset_->x.shape();
+  s.erase(s.begin());
+  return s;
+}
+
+Shape DatasetSource::y_sample_shape() const {
+  Shape s = dataset_->y.shape();
+  s.erase(s.begin());
+  return s;
+}
+
+void DatasetSource::fetch(Index sample, std::span<float> x,
+                          std::span<float> y) {
+  CANDLE_CHECK(sample >= 0 && sample < dataset_->size(),
+               "sample index out of range");
+  CANDLE_CHECK(static_cast<Index>(x.size()) == x_elems_ &&
+                   static_cast<Index>(y.size()) == y_elems_,
+               "fetch buffer size mismatch");
+  if (synthetic_cost_s_ > 0.0) {
+    // Busy-spin, not sleep: an expensive generator burns CPU, and the
+    // overlap the prefetch pipeline claims must be won against real work.
+    Stopwatch w;
+    while (w.seconds() < synthetic_cost_s_) {
+    }
+  }
+  std::memcpy(x.data(), dataset_->x.data() + sample * x_elems_,
+              static_cast<std::size_t>(x_elems_) * sizeof(float));
+  std::memcpy(y.data(), dataset_->y.data() + sample * y_elems_,
+              static_cast<std::size_t>(y_elems_) * sizeof(float));
+}
+
+// ---- StagedSource -----------------------------------------------------------
+
+struct StagedSource::Impl {
+  explicit Impl(const std::string& path) : reader(path, /*batch=*/1) {}
+  biodata::StagedReader reader;
+  std::mutex mu;  // one underlying stream; reads serialize
+};
+
+StagedSource::StagedSource(const std::string& path)
+    : impl_(new Impl(path)) {}
+
+StagedSource::~StagedSource() { delete impl_; }
+
+Index StagedSource::size() const { return impl_->reader.rows(); }
+
+Shape StagedSource::x_sample_shape() const {
+  return impl_->reader.sample_shape();
+}
+
+Shape StagedSource::y_sample_shape() const {
+  return impl_->reader.y_sample_shape();
+}
+
+void StagedSource::fetch(Index sample, std::span<float> x,
+                         std::span<float> y) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->reader.read_row(sample, x, y);
+}
+
+// ---- SampleStore ------------------------------------------------------------
+
+SampleStore::SampleStore(SampleSource& source,
+                         const SampleStoreOptions& options)
+    : source_(&source), options_(options) {
+  CANDLE_CHECK(options.fetch_threads >= 0, "negative fetch thread count");
+  x_elems_ = source.x_elems();
+  y_elems_ = source.y_elems();
+  entry_bytes_ =
+      static_cast<std::size_t>(x_elems_ + y_elems_) * sizeof(float);
+  CANDLE_CHECK(entry_bytes_ > 0, "source has zero-byte samples");
+  fetchers_.reserve(static_cast<std::size_t>(options.fetch_threads));
+  for (Index i = 0; i < options.fetch_threads; ++i) {
+    fetchers_.emplace_back([this] { fetcher_loop(); });
+  }
+}
+
+SampleStore::~SampleStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : fetchers_) t.join();
+}
+
+std::vector<float> SampleStore::take_buffer_locked() {
+  if (!free_.empty()) {
+    std::vector<float> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+  return std::vector<float>(static_cast<std::size_t>(x_elems_ + y_elems_));
+}
+
+void SampleStore::insert_locked(Index sample, std::vector<float>&& payload) {
+  auto [it, fresh] = cache_.try_emplace(sample);
+  if (!fresh) {
+    // A racing fetch already cached it; recycle our buffer.
+    free_.push_back(std::move(payload));
+    return;
+  }
+  lru_.push_front(sample);
+  it->second.xy = std::move(payload);
+  it->second.lru_it = lru_.begin();
+  ++stats_.inserts;
+  stats_.bytes_cached += entry_bytes_;
+  stats_.entries = cache_.size();
+  // Evict LRU entries beyond the byte budget, but never the entry just
+  // inserted (a budget below one sample still serves correctly).
+  while (stats_.bytes_cached > options_.byte_budget && cache_.size() > 1) {
+    const Index victim = lru_.back();
+    lru_.pop_back();
+    auto vit = cache_.find(victim);
+    free_.push_back(std::move(vit->second.xy));
+    cache_.erase(vit);
+    ++stats_.evictions;
+    stats_.bytes_cached -= entry_bytes_;
+    stats_.entries = cache_.size();
+  }
+}
+
+void SampleStore::get(Index sample, std::span<float> x, std::span<float> y) {
+  CANDLE_CHECK(static_cast<Index>(x.size()) == x_elems_ &&
+                   static_cast<Index>(y.size()) == y_elems_,
+               "get buffer size mismatch");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = cache_.find(sample);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      const float* src = it->second.xy.data();
+      std::memcpy(x.data(), src,
+                  static_cast<std::size_t>(x_elems_) * sizeof(float));
+      std::memcpy(y.data(), src + x_elems_,
+                  static_cast<std::size_t>(y_elems_) * sizeof(float));
+      return;
+    }
+    if (in_flight_.count(sample) != 0) {
+      // A background fetcher has it; wait rather than fetching twice.
+      done_cv_.wait(lock);
+      continue;
+    }
+    ++stats_.misses;
+    in_flight_.insert(sample);
+    std::vector<float> buf = take_buffer_locked();
+    lock.unlock();
+    source_->fetch(sample, std::span<float>(buf.data(),
+                                            static_cast<std::size_t>(x_elems_)),
+                   std::span<float>(buf.data() + x_elems_,
+                                    static_cast<std::size_t>(y_elems_)));
+    std::memcpy(x.data(), buf.data(),
+                static_cast<std::size_t>(x_elems_) * sizeof(float));
+    std::memcpy(y.data(), buf.data() + x_elems_,
+                static_cast<std::size_t>(y_elems_) * sizeof(float));
+    lock.lock();
+    insert_locked(sample, std::move(buf));
+    in_flight_.erase(sample);
+    done_cv_.notify_all();
+    return;
+  }
+}
+
+void SampleStore::get_x(Index sample, std::span<float> x) {
+  // The y half rides along in the cache entry; only the copy-out differs.
+  // A miss still fetches the full sample (sources produce whole rows).
+  CANDLE_CHECK(static_cast<Index>(x.size()) == x_elems_,
+               "get_x buffer size mismatch");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = cache_.find(sample);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      std::memcpy(x.data(), it->second.xy.data(),
+                  static_cast<std::size_t>(x_elems_) * sizeof(float));
+      return;
+    }
+    if (in_flight_.count(sample) != 0) {
+      done_cv_.wait(lock);
+      continue;
+    }
+    ++stats_.misses;
+    in_flight_.insert(sample);
+    std::vector<float> buf = take_buffer_locked();
+    lock.unlock();
+    source_->fetch(sample, std::span<float>(buf.data(),
+                                            static_cast<std::size_t>(x_elems_)),
+                   std::span<float>(buf.data() + x_elems_,
+                                    static_cast<std::size_t>(y_elems_)));
+    std::memcpy(x.data(), buf.data(),
+                static_cast<std::size_t>(x_elems_) * sizeof(float));
+    lock.lock();
+    insert_locked(sample, std::move(buf));
+    in_flight_.erase(sample);
+    done_cv_.notify_all();
+    return;
+  }
+}
+
+void SampleStore::prefetch(std::span<const Index> samples) {
+  if (fetchers_.empty()) return;  // synchronous configuration
+  bool queued_any = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Index s : samples) {
+      if (cache_.count(s) != 0 || in_flight_.count(s) != 0 ||
+          queued_.count(s) != 0) {
+        continue;
+      }
+      queued_.insert(s);
+      queue_.push_back(s);
+      queued_any = true;
+    }
+  }
+  if (queued_any) work_cv_.notify_all();
+}
+
+void SampleStore::fetcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const Index sample = queue_.front();
+    queue_.pop_front();
+    queued_.erase(sample);
+    if (cache_.count(sample) != 0 || in_flight_.count(sample) != 0) {
+      continue;  // raced with a get() or another fetcher
+    }
+    in_flight_.insert(sample);
+    std::vector<float> buf = take_buffer_locked();
+    lock.unlock();
+    source_->fetch(sample, std::span<float>(buf.data(),
+                                            static_cast<std::size_t>(x_elems_)),
+                   std::span<float>(buf.data() + x_elems_,
+                                    static_cast<std::size_t>(y_elems_)));
+    lock.lock();
+    ++stats_.prefetched;
+    insert_locked(sample, std::move(buf));
+    in_flight_.erase(sample);
+    done_cv_.notify_all();
+  }
+}
+
+void SampleStore::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return queue_.empty() && in_flight_.empty(); });
+}
+
+SampleStoreStats SampleStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace candle::data

@@ -22,6 +22,49 @@ double overlapped_exposed_comm_s(Index buckets, double bucket_comm_s,
   return std::max(0.0, engine_free - backward_s);
 }
 
+double ingest_exposed_s_per_step(double assemble_s, double compute_s,
+                                 Index depth, Index steps) {
+  CANDLE_CHECK(depth >= 1, "need at least one prefetch slot");
+  CANDLE_CHECK(steps >= 1, "need at least one step");
+  CANDLE_CHECK(assemble_s >= 0.0 && compute_s >= 0.0,
+               "negative time in ingest model");
+  // Drain simulation, mirror image of overlapped_exposed_comm_s: the
+  // assembler runs ahead of the consumer, gated by slot reuse (batch i's
+  // slot frees when batch i-depth finishes computing), and each step's
+  // exposed ingest is the gap between the previous compute ending and the
+  // next batch being ready.
+  std::vector<double> consume_end(static_cast<std::size_t>(steps), 0.0);
+  double assembler_free = 0.0;
+  double exposed = 0.0;
+  for (Index i = 0; i < steps; ++i) {
+    const double slot_free =
+        i >= depth ? consume_end[static_cast<std::size_t>(i - depth)] : 0.0;
+    const double ready =
+        std::max(assembler_free, slot_free) + assemble_s;
+    assembler_free = ready;
+    const double prev_end =
+        i > 0 ? consume_end[static_cast<std::size_t>(i - 1)] : 0.0;
+    exposed += std::max(0.0, ready - prev_end);
+    consume_end[static_cast<std::size_t>(i)] =
+        std::max(ready, prev_end) + compute_s;
+  }
+  return exposed / static_cast<double>(steps);
+}
+
+StepEstimate estimate_step_with_ingest(const NodeSpec& node,
+                                       const Fabric& fabric,
+                                       const TrainingWorkload& workload,
+                                       const ParallelPlan& plan,
+                                       const IngestModel& ingest) {
+  StepEstimate e = estimate_step(node, fabric, workload, plan);
+  e.ingest_s = ingest.assemble_s_per_step;
+  e.ingest_exposed_s = ingest_exposed_s_per_step(
+      ingest.assemble_s_per_step, e.step_s, ingest.prefetch_depth,
+      ingest.steps);
+  e.step_s += e.ingest_exposed_s;
+  return e;
+}
+
 double gemm_efficiency(Index local_batch) {
   CANDLE_CHECK(local_batch >= 0, "negative batch");
   if (local_batch == 0) return 0.0;

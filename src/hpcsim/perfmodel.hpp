@@ -67,6 +67,11 @@ struct StepEstimate {
   /// Fraction of dp_comm_s hidden behind backward compute, in [0,1].
   double overlap_fraction = 0.0;
   double mp_comm_s = 0.0;   // model-parallel activation exchange
+  /// Per-step batch-assembly (ingest) work and the part of it the step
+  /// actually waits for.  Zero unless filled by estimate_step_with_ingest;
+  /// the defaults keep plain estimate_step results bit-identical.
+  double ingest_s = 0.0;
+  double ingest_exposed_s = 0.0;
   double step_s = 0.0;      // total (compute/memory overlap, comm exposed)
   double energy_j = 0.0;    // whole-machine energy for the step
   double samples_per_s = 0.0;
@@ -87,6 +92,28 @@ struct StepEstimate {
 double overlapped_exposed_comm_s(Index buckets, double bucket_comm_s,
                                  double backward_s);
 
+/// Exposed ingest time per step of a double-buffered prefetch pipeline
+/// (src/data), under the same drain law as overlapped_exposed_comm_s but
+/// running *ahead* of the consumer instead of behind the producer: a single
+/// background assembler spends `assemble_s` per batch, a ring of `depth`
+/// slots decouples it from the consumer (slot i is reusable once batch
+/// i-depth finishes computing), and each step's exposed ingest is how long
+/// the consumer waits for its slot beyond the previous step's compute.
+/// Returns the mean over `steps` steps (the first batch is always fully
+/// exposed — the pipeline fill — so the mean approaches the steady state
+/// from above as steps grows).  Closed forms the tests pin:
+///   depth == 1            ->  assemble_s every step (synchronous);
+///   depth >= 2, steady    ->  max(0, assemble_s - compute_s).
+double ingest_exposed_s_per_step(double assemble_s, double compute_s,
+                                 Index depth, Index steps);
+
+/// Ingest configuration for estimate_step_with_ingest.
+struct IngestModel {
+  double assemble_s_per_step = 0.0;  ///< batch-assembly work per step
+  Index prefetch_depth = 2;          ///< slot ring depth (1 = synchronous)
+  Index steps = 256;                 ///< steps simulated (amortizes fill)
+};
+
 /// GEMM efficiency as a function of the per-shard batch: saturating curve
 /// eff = b / (b + b_half), calibrated so batch 256 reaches ~89% of peak.
 /// Exposed so tests can pin the curve's shape.
@@ -97,6 +124,16 @@ double gemm_efficiency(Index local_batch);
 StepEstimate estimate_step(const NodeSpec& node, const Fabric& fabric,
                            const TrainingWorkload& workload,
                            const ParallelPlan& plan);
+
+/// estimate_step plus the ingest pipeline: the compute/comm step from
+/// estimate_step is the consumer, the ingest drain law prices how much of
+/// the per-step assembly work stays exposed, and step_s grows by exactly
+/// that exposed part.  bench_e13 pins this against the measured reader.
+StepEstimate estimate_step_with_ingest(const NodeSpec& node,
+                                       const Fabric& fabric,
+                                       const TrainingWorkload& workload,
+                                       const ParallelPlan& plan,
+                                       const IngestModel& ingest);
 
 /// One row of a scaling study.
 struct ScalingPoint {

@@ -34,6 +34,12 @@ Dataset slice(const Dataset& d, Index lo, Index hi);
 /// Rows selected by `idx`, in order (copies).
 Dataset gather(const Dataset& d, std::span<const Index> idx);
 
+/// Gather rows selected by `idx` into `out`'s existing tensors, which must
+/// already have shape {idx.size(), sample dims...}.  No allocation: this is
+/// the steady-state batch-assembly primitive (persistent shard buffers are
+/// refilled in place every step instead of slice() allocating fresh ones).
+void gather_into(const Dataset& d, std::span<const Index> idx, Dataset& out);
+
 /// Deterministic shuffled split into (first, second) with `first_fraction`
 /// of the rows in the first part.
 std::pair<Dataset, Dataset> split(const Dataset& d, double first_fraction,
@@ -51,6 +57,13 @@ class BatchIterator {
   /// Next mini-batch; wraps to a new epoch (reshuffling if enabled) when the
   /// current one is exhausted.
   Dataset next();
+
+  /// Advance exactly like next() but return the batch's row indices instead
+  /// of materializing a Dataset copy.  The view is valid until the next
+  /// next()/next_indices() call.  Callers gather the rows themselves (e.g.
+  /// gather_into persistent buffers), which keeps the legacy batch stream
+  /// bit-identical while removing the per-step allocations.
+  std::span<const Index> next_indices();
 
   /// Which epoch the *next* batch belongs to (starts at 0).
   Index epoch() const { return epoch_; }

@@ -15,6 +15,7 @@ namespace {
 
 constexpr std::uint32_t kMagicV1 = 0xCA9D1E01u;
 constexpr std::uint32_t kMagicV2 = 0xCA9D1E02u;
+constexpr std::uint32_t kMagicV3 = 0xCA9D1E03u;
 
 // ---- in-memory archive ------------------------------------------------------
 // The whole payload is staged in memory so the CRC is computed over exactly
@@ -169,8 +170,9 @@ CheckpointMeta load_any(Model& model, Optimizer* optimizer,
     read_params(header, model);
     return meta;
   }
-  CANDLE_CHECK(magic == kMagicV2, "not a candle checkpoint: " + path);
-  meta.version = 2;
+  CANDLE_CHECK(magic == kMagicV2 || magic == kMagicV3,
+               "not a candle checkpoint: " + path);
+  meta.version = magic == kMagicV3 ? 3 : 2;
 
   // Verify the trailing CRC before trusting any field beyond the magic.
   CANDLE_CHECK(buf.size() > sizeof(std::uint32_t) * 2,
@@ -202,6 +204,12 @@ CheckpointMeta load_any(Model& model, Optimizer* optimizer,
     }
     if (optimizer != nullptr) optimizer->import_state(snapshot);
   }
+  if (meta.version >= 3) {
+    meta.has_cursor = true;
+    meta.cursor_epoch = static_cast<Index>(header.pod<std::uint64_t>());
+    meta.cursor_step = static_cast<Index>(header.pod<std::uint64_t>());
+    meta.stream_seed = header.pod<std::uint64_t>();
+  }
   CANDLE_CHECK(header.pos() == payload,
                "checkpoint has trailing bytes: " + path);
   return meta;
@@ -217,12 +225,18 @@ void load_weights(Model& model, const std::string& path) {
   load_any(model, /*optimizer=*/nullptr, path);
 }
 
-void save_checkpoint(const Model& model, const Optimizer* optimizer,
-                     Index step, const std::string& path) {
+namespace {
+
+void save_checkpoint_impl(const Model& model, const Optimizer* optimizer,
+                          Index step, const Index* cursor_epoch,
+                          const Index* cursor_step,
+                          const std::uint64_t* stream_seed,
+                          const std::string& path) {
   CANDLE_CHECK(model.built(), "cannot save an unbuilt model");
   CANDLE_CHECK(step >= 0, "negative step count");
+  const bool with_cursor = cursor_epoch != nullptr;
   Writer w;
-  w.pod(kMagicV2);
+  w.pod(with_cursor ? kMagicV3 : kMagicV2);
   w.pod(static_cast<std::uint64_t>(step));
   w.pod(static_cast<std::uint8_t>(optimizer != nullptr ? 1 : 0));
   write_params(w, model);
@@ -235,8 +249,30 @@ void save_checkpoint(const Model& model, const Optimizer* optimizer,
     w.pod(static_cast<std::uint64_t>(snapshot.counters.size()));
     for (std::int64_t c : snapshot.counters) w.pod(c);
   }
+  if (with_cursor) {
+    w.pod(static_cast<std::uint64_t>(*cursor_epoch));
+    w.pod(static_cast<std::uint64_t>(*cursor_step));
+    w.pod(*stream_seed);
+  }
   w.append_crc();
   write_file_atomic(w.data(), path);
+}
+
+}  // namespace
+
+void save_checkpoint(const Model& model, const Optimizer* optimizer,
+                     Index step, const std::string& path) {
+  save_checkpoint_impl(model, optimizer, step, nullptr, nullptr, nullptr,
+                       path);
+}
+
+void save_checkpoint(const Model& model, const Optimizer* optimizer,
+                     Index step, Index cursor_epoch, Index cursor_step,
+                     std::uint64_t stream_seed, const std::string& path) {
+  CANDLE_CHECK(cursor_epoch >= 0 && cursor_step >= 0,
+               "negative stream cursor");
+  save_checkpoint_impl(model, optimizer, step, &cursor_epoch, &cursor_step,
+                       &stream_seed, path);
 }
 
 CheckpointMeta load_checkpoint(Model& model, Optimizer* optimizer,

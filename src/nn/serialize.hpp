@@ -22,6 +22,15 @@
 //     ccount   u64, counters i64[ccount]
 //   crc       u32
 //
+// Format v3 (magic 0xCA9D1E03) appends a data-stream cursor section after
+// the optimizer section, still inside the CRC:
+//   cursor_epoch u64, cursor_step u64, stream_seed u64
+// The cursor records the ingest stream position of the NEXT batch (see
+// data/sample_list.hpp), which is what lets a restarted run resume the
+// sample stream bit-identically with an O(1) seek instead of replaying
+// every prior epoch.  Plain save_checkpoint keeps writing v2; only the
+// cursor-carrying overload emits v3.  The loader accepts v1, v2, and v3.
+//
 // Format v1 (magic 0xCA9D1E01: count + tensors, no step/CRC/optimizer) is
 // still readable for weights-only loads.
 #pragma once
@@ -34,9 +43,15 @@ namespace candle {
 
 /// Metadata recovered from a checkpoint file.
 struct CheckpointMeta {
-  std::uint32_t version = 2;    // 1 = legacy weights-only, 2 = current
+  std::uint32_t version = 2;    // 1 = legacy weights-only, 2/3 = current
   Index step = 0;               // committed steps recorded at save time
   bool has_optimizer = false;   // file carries optimizer state
+
+  // v3 stream-cursor section (zero/false for v1/v2 files).
+  bool has_cursor = false;      // file carries an ingest stream cursor
+  Index cursor_epoch = 0;       // epoch of the next batch at save time
+  Index cursor_step = 0;        // step within cursor_epoch of the next batch
+  std::uint64_t stream_seed = 0;  // seed of the permutation stream
 };
 
 /// Write all parameters of a built model (v2, no optimizer section).
@@ -54,6 +69,15 @@ void load_weights(Model& model, const std::string& path);
 /// optimizer for a weights-only v2 file.
 void save_checkpoint(const Model& model, const Optimizer* optimizer,
                      Index step, const std::string& path);
+
+/// Write a v3 checkpoint that additionally records the ingest stream
+/// position: the (epoch, step) cursor of the NEXT batch plus the seed of
+/// the permutation stream it indexes into.  Restoring and seeking the
+/// ingest reader to this cursor resumes training on the exact sample
+/// sequence the interrupted run would have consumed.
+void save_checkpoint(const Model& model, const Optimizer* optimizer,
+                     Index step, Index cursor_epoch, Index cursor_step,
+                     std::uint64_t stream_seed, const std::string& path);
 
 /// Restore a training-state checkpoint.  Parameters load into `model`; if
 /// the file has an optimizer section and `optimizer` is non-null, its state

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <memory>
 #include <thread>
 
+#include "data/reader.hpp"
 #include "parallel/bucketing.hpp"
 #include "parallel/collectives.hpp"
 #include "parallel/compression.hpp"
@@ -81,12 +84,59 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
     }
   }
 
-  // Global batch stream; each global batch is sliced into replica shards.
-  BatchIterator batches(train, global_batch, options.shuffle, options.seed);
   const Index steps_per_epoch = train.size() / global_batch;
   CANDLE_CHECK(steps_per_epoch >= 1, "no full global batch available");
 
   DataParallelResult result;
+  // Samples that never fill a full global batch are excluded each epoch.
+  // This was always true; now it is counted and announced instead of silent.
+  result.dropped_tail_samples = train.size() - steps_per_epoch * global_batch;
+  if (result.dropped_tail_samples > 0) {
+    std::fprintf(stderr,
+                 "[data_parallel] dropping %lld of %lld samples per epoch "
+                 "(tail smaller than the global batch of %lld)\n",
+                 static_cast<long long>(result.dropped_tail_samples),
+                 static_cast<long long>(train.size()),
+                 static_cast<long long>(global_batch));
+  }
+
+  // Batch source: either the legacy synchronous BatchIterator stream
+  // (preserved exactly — existing studies pin its sample order) or the
+  // ingest pipeline (sharded pure-permutation stream, background assembly).
+  const bool use_ingest = options.ingest.enabled;
+  std::unique_ptr<BatchIterator> batches;
+  std::vector<Dataset> shard_bufs;  // legacy: persistent per-replica shards
+  std::unique_ptr<data::DatasetSource> ingest_source;
+  std::unique_ptr<data::SampleStore> ingest_store;
+  std::unique_ptr<data::IngestReader> ingest_reader;
+  if (use_ingest) {
+    ingest_source = std::make_unique<data::DatasetSource>(
+        train, options.ingest.synthetic_fetch_cost_s);
+    data::SampleStoreOptions so;
+    so.byte_budget = options.ingest.store_byte_budget;
+    so.fetch_threads = options.ingest.fetch_threads;
+    ingest_store = std::make_unique<data::SampleStore>(*ingest_source, so);
+    data::ReaderOptions ro;
+    ro.replicas = p;
+    ro.batch_per_replica = options.batch_per_replica;
+    ro.shuffle = options.shuffle;
+    ro.seed = options.seed;
+    ro.prefetch_depth = options.ingest.prefetch_depth;
+    ingest_reader = std::make_unique<data::IngestReader>(*ingest_store, ro);
+  } else {
+    batches = std::make_unique<BatchIterator>(train, global_batch,
+                                              options.shuffle, options.seed);
+    // Refilled in place by gather_into each step; replaces the per-step
+    // slice() Dataset allocations of the old loop.
+    Shape xs = train.x.shape();
+    xs[0] = options.batch_per_replica;
+    Shape ys = train.y.shape();
+    ys[0] = options.batch_per_replica;
+    shard_bufs.reserve(static_cast<std::size_t>(p));
+    for (Index r = 0; r < p; ++r) {
+      shard_bufs.push_back(Dataset{Tensor(xs), Tensor(ys)});
+    }
+  }
   // Exact per-step wire bytes: top-k keeps max(1, round(f*numel)) entries
   // per reduction unit (whole gradient, or each bucket), 8B each on the
   // wire; dense sends 4B per element regardless of bucketing.
@@ -112,6 +162,14 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
   // Rank-0 instrumentation accumulators: written only by rank 0's thread,
   // read after the join, divided into per-step means at the end.
   double backward_acc = 0.0, busy_acc = 0.0, exposed_acc = 0.0;
+  // Legacy-path ingest accounting (inline assembly: busy == exposed).
+  double ingest_busy_acc = 0.0, ingest_exposed_acc = 0.0;
+
+  // Gradient buffers persist across steps (fully overwritten each step), so
+  // the steady-state loop does not touch the heap for them.
+  std::vector<std::vector<float>> grad_bufs(
+      static_cast<std::size_t>(p),
+      std::vector<float>(static_cast<std::size_t>(grad_size)));
 
   ShmCommunicator comm(p);
   Stopwatch clock;
@@ -119,22 +177,38 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
   for (Index epoch = 0; epoch < options.epochs; ++epoch) {
     std::atomic<double> epoch_loss{0.0};
     for (Index step = 0; step < steps_per_epoch; ++step) {
-      const Dataset global = batches.next();
+      const data::StepBatch* step_batch = nullptr;
+      if (use_ingest) {
+        step_batch = &ingest_reader->acquire();
+      } else {
+        Stopwatch ingest_clock;
+        const std::span<const Index> idx = batches->next_indices();
+        for (Index r = 0; r < p; ++r) {
+          gather_into(
+              train,
+              idx.subspan(
+                  static_cast<std::size_t>(r * options.batch_per_replica),
+                  static_cast<std::size_t>(options.batch_per_replica)),
+              shard_bufs[static_cast<std::size_t>(r)]);
+        }
+        const double s = ingest_clock.seconds();
+        ingest_busy_acc += s;
+        ingest_exposed_acc += s;
+      }
       // Launch one thread per replica for fwd/bwd + all-reduce.
       std::vector<std::thread> threads;
       threads.reserve(static_cast<std::size_t>(p));
-      std::vector<std::vector<float>> grad_bufs(
-          static_cast<std::size_t>(p),
-          std::vector<float>(static_cast<std::size_t>(grad_size)));
       for (Index r = 0; r < p; ++r) {
         threads.emplace_back([&, r] {
-          const Index lo = r * options.batch_per_replica;
-          const Index hi = lo + options.batch_per_replica;
-          const Dataset shard = slice(global, lo, hi);
+          const auto sri = static_cast<std::size_t>(r);
+          const Tensor& shard_x = use_ingest ? step_batch->shards[sri].x
+                                             : shard_bufs[sri].x;
+          const Tensor& shard_y = use_ingest ? step_batch->shards[sri].y
+                                             : shard_bufs[sri].y;
           Model& m = replicas[static_cast<std::size_t>(r)];
-          const Tensor pred = m.forward(shard.x, /*training=*/true);
-          const float l = loss.value(pred, shard.y);
-          Tensor dy = loss.grad(pred, shard.y);
+          const Tensor pred = m.forward(shard_x, /*training=*/true);
+          const float l = loss.value(pred, shard_y);
+          Tensor dy = loss.grad(pred, shard_y);
           if (options.precision.loss_scale != 1.0f) {
             dy.scale(options.precision.loss_scale);
           }
@@ -227,12 +301,17 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
         });
       }
       for (auto& t : threads) t.join();
+      if (use_ingest) ingest_reader->release();
       ++result.steps;
     }
     result.epoch_loss.push_back(static_cast<float>(
         epoch_loss.load() / static_cast<double>(steps_per_epoch * p)));
   }
   result.measured_seconds = clock.seconds();
+  if (use_ingest) {
+    ingest_busy_acc = ingest_reader->assemble_busy_s();
+    ingest_exposed_acc = ingest_reader->exposed_wait_s();
+  }
   if (result.steps > 0) {
     const double steps = static_cast<double>(result.steps);
     result.measured_backward_s = backward_acc / steps;
@@ -241,6 +320,12 @@ DataParallelResult train_data_parallel(const ModelFactory& factory,
     result.measured_overlap_fraction =
         busy_acc > 0.0
             ? std::clamp(1.0 - exposed_acc / busy_acc, 0.0, 1.0)
+            : 0.0;
+    result.measured_ingest_busy_s = ingest_busy_acc / steps;
+    result.measured_exposed_ingest_s = ingest_exposed_acc / steps;
+    result.measured_ingest_overlap_fraction =
+        ingest_busy_acc > 0.0
+            ? std::clamp(1.0 - ingest_exposed_acc / ingest_busy_acc, 0.0, 1.0)
             : 0.0;
   }
 

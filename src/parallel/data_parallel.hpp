@@ -26,6 +26,28 @@ using ModelFactory = std::function<Model()>;
 /// Builds one optimizer instance per replica (identical hyperparameters).
 using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
 
+/// Opt-in parallel ingest (src/data): (seed, epoch)-pure sharded sample
+/// lists, a concurrent bounded sample store with background fetchers, and a
+/// double-buffered prefetch reader that assembles the next global batch
+/// while the current step computes.  Off by default: the legacy path keeps
+/// the exact BatchIterator stream existing tests and studies pin.  The
+/// ingest stream uses its own pure permutation, so enabling it changes the
+/// sample order (but the order is then identical across prefetch depths,
+/// fetch-thread counts, and checkpoint restarts).
+struct IngestOptions {
+  bool enabled = false;
+  /// Batch slots assembled ahead (1 = synchronous assembly, no producer
+  /// thread — the baseline bench_e13 compares against).
+  Index prefetch_depth = 2;
+  /// Background store fetch threads (0 = every miss resolves inline).
+  Index fetch_threads = 1;
+  /// Sample-store cache budget in bytes.
+  std::size_t store_byte_budget = std::size_t{64} << 20;
+  /// Per-sample busy-spin modeling an expensive generator/decompressor
+  /// (benchmarking hook; 0 for real workloads).
+  double synthetic_fetch_cost_s = 0.0;
+};
+
 struct DataParallelOptions {
   Index replicas = 4;
   Index epochs = 5;
@@ -49,6 +71,8 @@ struct DataParallelOptions {
   /// it (nonblocking ring), overlapping communication with the remaining
   /// backward compute.  Requires bucket_bytes > 0.
   bool overlap_comm = false;
+  /// Parallel ingest configuration (disabled = legacy BatchIterator path).
+  IngestOptions ingest;
 };
 
 struct DataParallelResult {
@@ -69,6 +93,18 @@ struct DataParallelResult {
   double measured_comm_busy_s = 0.0;     // total all-reduce execution
   double measured_exposed_comm_s = 0.0;  // comm the critical path waited on
   double measured_overlap_fraction = 0.0;  // 1 - exposed/busy, in [0,1]
+
+  /// Samples per epoch silently excluded because they do not fill a full
+  /// global batch (up to global_batch - 1; also logged once when non-zero).
+  Index dropped_tail_samples = 0;
+
+  // Ingest instrumentation (per-step means).  busy is total batch-assembly
+  // work wherever it ran; exposed is the part the step loop actually waited
+  // on.  On the legacy synchronous path busy == exposed (assembly runs
+  // inline on the training thread).
+  double measured_ingest_busy_s = 0.0;
+  double measured_exposed_ingest_s = 0.0;
+  double measured_ingest_overlap_fraction = 0.0;  // 1 - exposed/busy
 };
 
 /// Run synchronous data-parallel training.  Returns per-epoch global loss.

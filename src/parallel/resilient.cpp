@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <thread>
 
+#include "data/reader.hpp"
 #include "nn/serialize.hpp"
 #include "parallel/bucketing.hpp"
 #include "parallel/collectives.hpp"
@@ -120,6 +122,15 @@ ResilientResult train_resilient(const ModelFactory& factory,
   result.planned_steps = planned;
   result.checkpoint_interval_steps = k;
   result.rank_stall_s.assign(static_cast<std::size_t>(p0), 0.0);
+  result.dropped_tail_samples = train.size() - steps_per_epoch * (p0 * b);
+  if (result.dropped_tail_samples > 0) {
+    std::fprintf(stderr,
+                 "[resilient] dropping %lld of %lld samples per epoch "
+                 "(tail smaller than the global batch of %lld)\n",
+                 static_cast<long long>(result.dropped_tail_samples),
+                 static_cast<long long>(train.size()),
+                 static_cast<long long>(p0 * b));
+  }
 
   // ---- live training state --------------------------------------------------
   Index live_p = p0;
@@ -203,27 +214,66 @@ ResilientResult train_resilient(const ModelFactory& factory,
   // The stream is a pure function of (seed, batch size); replay after a
   // restore re-consumes the exact same batches, which is what makes
   // checkpoint recovery bit-identical to the failure-free run.
+  //
+  // Two implementations share that contract:
+  //  * legacy BatchIterator — stateful shuffle RNG, so repositioning means
+  //    replaying every batch from the stream anchor (O(steps));
+  //  * ingest reader (t.ingest.enabled) — (seed, epoch)-pure permutations,
+  //    so a stream position is just a cursor and repositioning is an O(1)
+  //    seek.  The cursor (epoch, step, stream seed) is recorded in the v3
+  //    checkpoint, so a restore resumes the sample stream bit-identically
+  //    without replay.
+  const bool use_ingest = t.ingest.enabled;
   std::uint64_t iter_seed = t.seed;
   Index iter_base = 0;   // committed step at which the current stream started
   Index committed = 0;
   std::unique_ptr<BatchIterator> batches;
+  std::unique_ptr<data::DatasetSource> ingest_source;
+  std::unique_ptr<data::SampleStore> ingest_store;
+  std::unique_ptr<data::IngestReader> reader;
+  if (use_ingest) {
+    ingest_source = std::make_unique<data::DatasetSource>(
+        train, t.ingest.synthetic_fetch_cost_s);
+    data::SampleStoreOptions so;
+    so.byte_budget = t.ingest.store_byte_budget;
+    so.fetch_threads = t.ingest.fetch_threads;
+    ingest_store = std::make_unique<data::SampleStore>(*ingest_source, so);
+  }
   // The iterator yields a short tail batch when the global batch does not
   // divide the dataset (the norm after an elastic shrink re-shards at p-1
   // width).  Short batches are skipped deterministically, so the stream of
   // full batches is still a pure function of (seed, width) and replay after
-  // a restore stays aligned.
+  // a restore stays aligned.  (The ingest reader never emits short batches:
+  // its sample list drops the tail by construction.)
   auto next_full = [&]() -> Dataset {
     for (;;) {
       Dataset g = batches->next();
       if (g.size() == live_p * b) return g;
     }
   };
-  auto reset_iterator = [&] {
+  // Current stream position of the NEXT batch, as a flat count of full
+  // batches since the stream anchor.
+  auto stream_position = [&] { return committed - iter_base; };
+  auto reset_stream = [&] {
+    if (use_ingest) {
+      // (Re)build the reader at the current width/seed — width changes only
+      // on elastic shrink, which passes through here — then O(1)-seek to
+      // the current stream position.
+      data::ReaderOptions ro;
+      ro.replicas = live_p;
+      ro.batch_per_replica = b;
+      ro.shuffle = t.shuffle;
+      ro.seed = iter_seed;
+      ro.prefetch_depth = t.ingest.prefetch_depth;
+      reader = std::make_unique<data::IngestReader>(*ingest_store, ro);
+      reader->seek(reader->list().cursor_at(stream_position()));
+      return;
+    }
     batches = std::make_unique<BatchIterator>(train, live_p * b, t.shuffle,
                                               iter_seed);
     for (Index s = iter_base; s < committed; ++s) (void)next_full();
   };
-  reset_iterator();
+  reset_stream();
 
   std::vector<float> step_loss;  // mean loss of each committed step
   float last_step_loss = 0.0f;   // fallback when no rank computed this step
@@ -269,8 +319,17 @@ ResilientResult train_resilient(const ModelFactory& factory,
                             " attempts; previous checkpoint kept");
         return;
       }
-      save_checkpoint(replicas[0], optimizers[0].get(), committed,
-                      options.checkpoint_path);
+      if (use_ingest) {
+        // v3: record the ingest stream position of the next batch so a
+        // restore can seek instead of replaying from the stream anchor.
+        const data::StreamCursor c =
+            reader->list().cursor_at(stream_position());
+        save_checkpoint(replicas[0], optimizers[0].get(), committed, c.epoch,
+                        c.step, iter_seed, options.checkpoint_path);
+      } else {
+        save_checkpoint(replicas[0], optimizers[0].get(), committed,
+                        options.checkpoint_path);
+      }
       last_ckpt_step = committed;
       ++result.checkpoints_written;
       return;
@@ -279,6 +338,9 @@ ResilientResult train_resilient(const ModelFactory& factory,
 
   auto restore_checkpoint = [&](FaultKind why) {
     rebuild_fleet();
+    bool have_cursor = false;
+    data::StreamCursor ckpt_cursor;
+    std::uint64_t ckpt_seed = 0;
     if (last_ckpt_step < 0) {
       // No durable checkpoint yet: cold restart from the deterministic
       // factory state (still bit-identical — same factory, same seed).
@@ -288,11 +350,24 @@ ResilientResult train_resilient(const ModelFactory& factory,
         const CheckpointMeta meta = load_checkpoint(
             replicas[r], optimizers[r].get(), options.checkpoint_path);
         committed = meta.step;
+        if (meta.has_cursor) {
+          have_cursor = true;
+          ckpt_cursor = {meta.cursor_epoch, meta.cursor_step};
+          ckpt_seed = meta.stream_seed;
+        }
       }
     }
     step_loss.resize(static_cast<std::size_t>(committed));
-    if (committed < iter_base) iter_base = committed;  // re-anchor stream
-    reset_iterator();
+    if (use_ingest && have_cursor && ckpt_seed == iter_seed) {
+      // O(1) resume: seek straight to the checkpointed cursor — no epoch
+      // replay.  (Seed mismatch means the stream was re-anchored by a
+      // shrink after this checkpoint; fall through to the rebuild below.)
+      iter_base = committed - reader->list().position(ckpt_cursor);
+      reader->seek(ckpt_cursor);
+    } else {
+      if (committed < iter_base) iter_base = committed;  // re-anchor stream
+      reset_stream();
+    }
     reset_mitigation_state();  // the relaunched fleet starts step-aligned
     next_ckpt = committed + k;
     ++result.restarts;
@@ -311,7 +386,13 @@ ResilientResult train_resilient(const ModelFactory& factory,
       next_ckpt = committed + k;
     }
 
-    const Dataset global = next_full();
+    Dataset global;
+    const data::StepBatch* step_batch = nullptr;
+    if (use_ingest) {
+      step_batch = &reader->acquire();
+    } else {
+      global = next_full();
+    }
     ++result.executed_steps;
     AttemptOutcome outcome;
     std::vector<float> rank_loss(static_cast<std::size_t>(live_p), 0.0f);
@@ -489,11 +570,24 @@ ResilientResult train_resilient(const ModelFactory& factory,
         auto& buf = grad_bufs[i];
         const StepRole role = roles[i];
         if (computes(role)) {
-          const Index lo = r * b;
-          const Dataset shard = slice(global, lo, lo + b);
-          const Tensor pred = m.forward(shard.x, /*training=*/true);
-          rank_loss[i] = loss.value(pred, shard.y);
-          Tensor dy = loss.grad(pred, shard.y);
+          // Shard source: the ingest reader hands each rank its assembled
+          // slot tensors (read-only, shared with no one); the legacy path
+          // still slices the gathered global batch.
+          Dataset legacy_shard;
+          const Tensor* sx;
+          const Tensor* sy;
+          if (use_ingest) {
+            sx = &step_batch->shards[i].x;
+            sy = &step_batch->shards[i].y;
+          } else {
+            const Index lo = r * b;
+            legacy_shard = slice(global, lo, lo + b);
+            sx = &legacy_shard.x;
+            sy = &legacy_shard.y;
+          }
+          const Tensor pred = m.forward(*sx, /*training=*/true);
+          rank_loss[i] = loss.value(pred, *sy);
+          Tensor dy = loss.grad(pred, *sy);
           if (t.precision.loss_scale != 1.0f) dy.scale(t.precision.loss_scale);
           if (!bucketed) {
             m.backward(dy);
@@ -612,6 +706,9 @@ ResilientResult train_resilient(const ModelFactory& factory,
       });
     }
     for (auto& th : threads) th.join();
+    // Hand the slot back before any recovery path runs: a seek() during
+    // recovery requires no batch to be held.
+    if (use_ingest) reader->release();
     if (mode == MitigationMode::None) {
       double worst = 0.0;
       for (Index r = 0; r < live_p; ++r) {
@@ -666,7 +763,7 @@ ResilientResult train_resilient(const ModelFactory& factory,
         iter_seed = t.seed ^ (0x51AB0000ULL +
                               static_cast<std::uint64_t>(result.shrinks));
         iter_base = committed;
-        reset_iterator();
+        reset_stream();
         injector.record(committed, -1, FaultKind::ReplicaCrash, "recovered",
                         "elastic shrink to " + std::to_string(live_p) +
                             " replicas");

@@ -131,6 +131,9 @@ struct ResilientOptions {
 
 struct ResilientResult {
   std::vector<float> epoch_loss;   // per-epoch mean loss over committed steps
+  /// Samples per epoch (at the initial width) that do not fill a full
+  /// global batch and are never trained (surfaced, logged once).
+  Index dropped_tail_samples = 0;
   Index planned_steps = 0;         // optimizer steps the run must commit
   Index committed_steps = 0;       // equals planned_steps on success
   Index executed_steps = 0;        // attempts, including lost/replayed work

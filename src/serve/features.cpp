@@ -1,0 +1,33 @@
+#include "serve/features.hpp"
+
+namespace candle::serve {
+
+FeatureService::FeatureService(data::SampleStore& store)
+    : store_(&store), dim_(store.x_elems()) {
+  CANDLE_CHECK(dim_ >= 1, "feature source has empty samples");
+}
+
+Index FeatureService::sample_count() const {
+  return store_->source().size();
+}
+
+void FeatureService::fetch_features(Index sample, std::span<float> out) {
+  store_->get_x(sample, out);
+}
+
+Request FeatureService::make_request(std::uint64_t id, Index sample,
+                                     double deadline_s) {
+  Request req;
+  req.id = id;
+  req.deadline_s = deadline_s;
+  req.input.resize(static_cast<std::size_t>(dim_));
+  store_->get_x(sample, std::span<float>(req.input.data(), req.input.size()));
+  return req;
+}
+
+void FeatureService::warm(std::span<const Index> samples) {
+  store_->prefetch(samples);
+  store_->drain();
+}
+
+}  // namespace candle::serve

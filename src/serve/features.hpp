@@ -1,0 +1,52 @@
+// Feature-fetch path for the serving engine, backed by the ingest layer's
+// concurrent sample store (src/data).
+//
+// A scoring request often arrives as a sample *id* (a drug/cell-line pair,
+// a sequence record) rather than a materialized feature vector; the feature
+// payload lives wherever training data lives — a generator, or a staged
+// on-disk dataset.  FeatureService turns ids into request-ready feature
+// vectors through the same SampleStore training ingestion uses, so serving
+// inherits its properties for free: hot ids are cached under the byte
+// budget, cold ids fetch through the source exactly once even under
+// concurrent lookups, and warm() pre-faults an expected working set through
+// the background fetchers before the load arrives.
+#pragma once
+
+#include <span>
+
+#include "data/store.hpp"
+#include "serve/request.hpp"
+
+namespace candle::serve {
+
+class FeatureService {
+ public:
+  /// The store (and its source) must outlive the service.
+  explicit FeatureService(data::SampleStore& store);
+
+  /// Flattened feature length of one sample (Request::input size).
+  Index feature_dim() const { return dim_; }
+  /// Ids in [0, sample_count()) are fetchable.
+  Index sample_count() const;
+
+  /// Copy sample `sample`'s features into `out` (sized feature_dim()).
+  /// Thread-safe; concurrent lookups of one cold id fetch it once.
+  void fetch_features(Index sample, std::span<float> out);
+
+  /// Build a ready-to-submit request for `sample` with its features
+  /// materialized from the store.
+  Request make_request(std::uint64_t id, Index sample, double deadline_s);
+
+  /// Pre-fault an expected working set through the store's background
+  /// fetchers and wait for it to land (no-op queueing when the store runs
+  /// without fetch threads).
+  void warm(std::span<const Index> samples);
+
+  data::SampleStoreStats store_stats() const { return store_->stats(); }
+
+ private:
+  data::SampleStore* store_;
+  Index dim_;
+};
+
+}  // namespace candle::serve

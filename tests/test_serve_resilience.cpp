@@ -316,15 +316,25 @@ TEST(SupervisedEngineTest, HedgedDuplicateRacesHungWorkerFirstResultWins) {
   opt.supervise.hang_min_age_s = 10.0;
   opt.supervise.hang_latency_mult = 1e6;
   SupervisedEngine engine(m, opt, &injector);
-  std::vector<std::future<Response>> futures;
-  for (Index i = 0; i < 32; ++i) {
-    futures.push_back(engine.submit(request_for_row(x, i)));
+  // The hang is keyed to worker 0's first batch, but on a loaded single-core
+  // host one worker can drain an entire wave before its sibling is ever
+  // scheduled — then that batch does not exist yet.  Submit waves until
+  // worker 0 takes its first batch and the hang fires; every wave must
+  // complete either way, so the assertions below are unchanged.
+  std::uint64_t submitted = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<std::future<Response>> futures;
+    for (Index i = 0; i < 32; ++i) {
+      futures.push_back(engine.submit(request_for_row(x, i)));
+    }
+    submitted += 32;
+    for (auto& f : futures) EXPECT_EQ(f.get().outcome, Outcome::Completed);
+    if (count_log(injector, FaultKind::WorkerHang, "injected") == 1) break;
   }
-  for (auto& f : futures) EXPECT_EQ(f.get().outcome, Outcome::Completed);
   engine.drain();
   const EngineStats s = engine.stats();
   expect_exact_accounting(s);
-  EXPECT_EQ(s.completed, 32u);
+  EXPECT_EQ(s.completed, submitted);
   EXPECT_EQ(s.failed, 0u);
   EXPECT_GE(s.hedges_launched, 1u);
   // Both copies of the hung batch executed: one side won each row, the
