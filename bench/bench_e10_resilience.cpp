@@ -20,12 +20,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "hpcsim/resilience.hpp"
 #include "nn/model.hpp"
 #include "nn/serialize.hpp"
@@ -280,19 +280,16 @@ BENCHMARK(BM_CheckpointRoundTrip)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool mitigation = false;
-  std::string modes;
-  std::string json_path = "BENCH_e10.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--mitigation", 12) == 0) {
-      mitigation = true;
-      const char* eq = std::strchr(argv[i], '=');
-      if (eq != nullptr) modes = eq + 1;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    }
+  candle::bench::Args args;
+  args.soft_option("mitigation", "").option("json", "BENCH_e10.json");
+  args.allow_unknown();  // leftover flags go to benchmark::Initialize
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_e10_resilience: %s\n", args.error().c_str());
+    return 2;
   }
-  if (mitigation) return run_mitigation_sweep(modes, json_path);
+  if (args.has("mitigation")) {
+    return run_mitigation_sweep(args.get("mitigation"), args.get("json"));
+  }
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -26,13 +26,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "hpcsim/machine.hpp"
 #include "hpcsim/perfmodel.hpp"
 #include "nn/model.hpp"
@@ -286,18 +286,16 @@ int run(double duration_s, const std::vector<double>& fracs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string json_path = "BENCH_e11.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    }
+  candle::bench::Args args;
+  args.flag("smoke").option("json", "BENCH_e11.json");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_e11_serving: %s\n", args.error().c_str());
+    return 2;
   }
+  const bool smoke = args.has("smoke");
   const double duration_s = smoke ? 0.3 : 1.2;
   const std::vector<double> fracs =
       smoke ? std::vector<double>{0.5, 1.3}
             : std::vector<double>{0.2, 0.4, 0.6, 0.8, 0.9, 1.1, 1.3};
-  return run(duration_s, fracs, json_path);
+  return run(duration_s, fracs, args.get("json"));
 }

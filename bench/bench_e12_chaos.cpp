@@ -24,13 +24,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "hpcsim/machine.hpp"
 #include "hpcsim/perfmodel.hpp"
 #include "hpcsim/resilience.hpp"
@@ -414,15 +414,12 @@ int run(double duration_s, const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string json_path = "BENCH_e12.ci.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    }
+  candle::bench::Args args;
+  args.flag("smoke").option("json", "BENCH_e12.ci.json");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_e12_chaos: %s\n", args.error().c_str());
+    return 2;
   }
-  const double duration_s = smoke ? 0.4 : 1.5;
-  return run(duration_s, json_path);
+  const double duration_s = args.has("smoke") ? 0.4 : 1.5;
+  return run(duration_s, args.get("json"));
 }

@@ -28,12 +28,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "hpcsim/perfmodel.hpp"
 #include "nn/loss.hpp"
 #include "nn/model.hpp"
@@ -276,16 +276,14 @@ int run(Index epochs, int reps, const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string json_path = "BENCH_e13.ci.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    }
+  candle::bench::Args args;
+  args.flag("smoke").option("json", "BENCH_e13.ci.json");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_e13_ingest: %s\n", args.error().c_str());
+    return 2;
   }
+  const bool smoke = args.has("smoke");
   const Index epochs = smoke ? 2 : 5;
   const int reps = smoke ? 2 : 3;
-  return run(epochs, reps, json_path);
+  return run(epochs, reps, args.get("json"));
 }

@@ -16,9 +16,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
+#include "bench/args.hpp"
 #include "biodata/workloads.hpp"
 #include "hpcsim/perfmodel.hpp"
 #include "nn/metrics.hpp"
@@ -385,12 +385,14 @@ BENCHMARK(BM_DataParallelStep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillise
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json", 6) == 0) {
-      const char* eq = std::strchr(argv[i], '=');
-      return run_json_report(eq != nullptr ? eq + 1 : "BENCH_e3.json");
-    }
+  candle::bench::Args args;
+  args.soft_option("json", "BENCH_e3.json");
+  args.allow_unknown();  // leftover flags go to benchmark::Initialize
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_e3_scaling: %s\n", args.error().c_str());
+    return 2;
   }
+  if (args.has("json")) return run_json_report(args.get("json"));
   print_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

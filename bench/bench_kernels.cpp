@@ -4,13 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "core/kernels.hpp"
 #include "parallel/collectives.hpp"
 #include "runtime/rng.hpp"
@@ -290,12 +290,14 @@ int run_json_sweep(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json", 6) == 0) {
-      const char* eq = std::strchr(argv[i], '=');
-      return run_json_sweep(eq != nullptr ? eq + 1 : "BENCH_kernels.json");
-    }
+  candle::bench::Args args;
+  args.soft_option("json", "BENCH_kernels.json");
+  args.allow_unknown();  // leftover flags go to benchmark::Initialize
+  if (!args.parse(argc, argv)) {
+    std::cerr << "bench_kernels: " << args.error() << "\n";
+    return 2;
   }
+  if (args.has("json")) return run_json_sweep(args.get("json"));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

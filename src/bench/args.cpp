@@ -1,0 +1,110 @@
+#include "bench/args.hpp"
+
+#include "runtime/error.hpp"
+
+namespace candle::bench {
+
+Args& Args::declare(const std::string& name, Kind kind, std::string value,
+                    std::string bare_value) {
+  CANDLE_CHECK(!name.empty(), "flag name must be non-empty");
+  CANDLE_CHECK(name.rfind("--", 0) != 0, "declare names without the -- prefix");
+  Spec spec;
+  spec.kind = kind;
+  spec.value = std::move(value);
+  spec.bare_value = std::move(bare_value);
+  const bool inserted = specs_.emplace(name, std::move(spec)).second;
+  CANDLE_CHECK(inserted, "flag declared twice: " + name);
+  return *this;
+}
+
+Args& Args::flag(const std::string& name) {
+  return declare(name, Kind::Flag, "", "");
+}
+
+Args& Args::option(const std::string& name, std::string default_value) {
+  return declare(name, Kind::Option, std::move(default_value), "");
+}
+
+Args& Args::soft_option(const std::string& name, std::string bare_value) {
+  std::string value = bare_value;
+  return declare(name, Kind::SoftOption, std::move(value),
+                 std::move(bare_value));
+}
+
+Args& Args::allow_unknown() {
+  allow_unknown_ = true;
+  return *this;
+}
+
+bool Args::fail(const std::string& message) {
+  error_ = message;
+  return false;
+}
+
+bool Args::parse(int argc, const char* const* argv) {
+  error_.clear();
+  unparsed_.clear();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (allow_unknown_) {
+        unparsed_.push_back(arg);
+        continue;
+      }
+      return fail("unexpected argument '" + arg + "'");
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      if (allow_unknown_) {
+        unparsed_.push_back(arg);
+        continue;
+      }
+      return fail("unknown flag '--" + name + "'");
+    }
+    Spec& spec = it->second;
+    if (spec.seen) return fail("flag '--" + name + "' given twice");
+    const bool has_value = eq != std::string::npos;
+    const std::string value = has_value ? arg.substr(eq + 1) : "";
+    switch (spec.kind) {
+      case Kind::Flag:
+        if (has_value) {
+          return fail("flag '--" + name + "' takes no value");
+        }
+        break;
+      case Kind::Option:
+        if (!has_value || value.empty()) {
+          return fail("missing value for '--" + name + "' (use --" + name +
+                      "=VALUE)");
+        }
+        spec.value = value;
+        break;
+      case Kind::SoftOption:
+        if (has_value && value.empty()) {
+          return fail("missing value for '--" + name + "' (use --" + name +
+                      "=VALUE or bare --" + name + ")");
+        }
+        spec.value = has_value ? value : spec.bare_value;
+        break;
+    }
+    spec.seen = true;
+  }
+  return true;
+}
+
+bool Args::has(const std::string& name) const {
+  const auto it = specs_.find(name);
+  CANDLE_CHECK(it != specs_.end(), "undeclared flag queried: " + name);
+  return it->second.seen;
+}
+
+const std::string& Args::get(const std::string& name) const {
+  const auto it = specs_.find(name);
+  CANDLE_CHECK(it != specs_.end(), "undeclared flag queried: " + name);
+  return it->second.value;
+}
+
+}  // namespace candle::bench

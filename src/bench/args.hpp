@@ -1,0 +1,69 @@
+// Shared command-line parser for the bench binaries.  Every bench_e* main
+// used to hand-roll the same strncmp("--json=", ...) loop with slightly
+// different bugs (silently ignored unknown flags, accepted empty paths);
+// this is the one parser they all share, with the error cases pinned by
+// tests/test_bench_harness.cpp.
+//
+// Three flag kinds:
+//   * flag(name)               -- boolean `--name`; a value is an error.
+//   * option(name, default)    -- `--name=VALUE`; bare `--name` or an empty
+//                                 value is an error; absent uses the default.
+//   * soft_option(name, bare)  -- `--name` engages with `bare` as the value
+//                                 (how `--json` and `--mitigation` behave in
+//                                 the e3/e10 binaries); `--name=VALUE`
+//                                 overrides it.
+//
+// Any flag given twice is an error.  Unknown arguments are errors unless
+// allow_unknown() is set, in which case they are collected in unparsed()
+// (the google-benchmark binaries forward them to benchmark::Initialize).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace candle::bench {
+
+class Args {
+ public:
+  Args& flag(const std::string& name);
+  Args& option(const std::string& name, std::string default_value);
+  Args& soft_option(const std::string& name, std::string bare_value);
+  Args& allow_unknown();
+
+  /// Parse argv[1..argc).  Returns false on the first error; error() then
+  /// holds a human-readable message and the flag state is unspecified.
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& error() const { return error_; }
+
+  /// True when the flag/option appeared on the command line.
+  bool has(const std::string& name) const;
+
+  /// The parsed value (or the declared default when absent).  It is a
+  /// logic error to ask for a name that was never declared.
+  const std::string& get(const std::string& name) const;
+
+  /// Arguments not matching any declared flag (allow_unknown() mode only).
+  const std::vector<std::string>& unparsed() const { return unparsed_; }
+
+ private:
+  enum class Kind { Flag, Option, SoftOption };
+  struct Spec {
+    Kind kind = Kind::Flag;
+    std::string value;      // current value (default until parsed)
+    std::string bare_value; // soft_option: value a bare `--name` engages
+    bool seen = false;
+  };
+
+  Args& declare(const std::string& name, Kind kind, std::string value,
+                std::string bare_value);
+  bool fail(const std::string& message);
+
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> unparsed_;
+  std::string error_;
+  bool allow_unknown_ = false;
+};
+
+}  // namespace candle::bench

@@ -1,0 +1,99 @@
+#include "bench/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::bench {
+
+const char* gate_status_name(GateStatus s) {
+  switch (s) {
+    case GateStatus::Ok: return "ok";
+    case GateStatus::Improved: return "improved";
+    case GateStatus::Regressed: return "REGRESSED";
+    case GateStatus::New: return "new";
+    case GateStatus::Missing: return "MISSING";
+    case GateStatus::Informational: return "informational";
+  }
+  return "?";
+}
+
+GateReport gate_against_baseline(const SuiteReport& current,
+                                 const SuiteReport& baseline,
+                                 const GateOptions& opts) {
+  GateReport report;
+  const auto find_current = [&](const std::string& name)
+      -> const BenchmarkReport* {
+    for (const BenchmarkReport& b : current.benchmarks) {
+      if (b.name == name) return &b;
+    }
+    return nullptr;
+  };
+
+  for (const BenchmarkReport& base : baseline.benchmarks) {
+    GateFinding f;
+    f.name = base.name;
+    f.baseline_mean = base.stats.mean;
+    const BenchmarkReport* cur = find_current(base.name);
+    if (cur == nullptr) {
+      // A benchmark silently dropped from the suite is a gate failure: the
+      // trajectory it tracked would otherwise vanish without a trace.
+      f.status = GateStatus::Missing;
+      f.note = "present in baseline, absent from current artifact";
+      ++report.missing;
+      report.findings.push_back(std::move(f));
+      continue;
+    }
+    f.current_mean = cur->stats.mean;
+    if (cur->metric != base.metric || cur->direction != base.direction) {
+      f.status = GateStatus::New;
+      f.note = "metric definition changed; treated as a new benchmark";
+      report.findings.push_back(std::move(f));
+      continue;
+    }
+    if (!cur->perf_gate_active || !base.perf_gate_active) {
+      f.status = GateStatus::Informational;
+      f.note = !cur->perf_gate_active ? cur->honesty_note : base.honesty_note;
+      if (f.note.empty()) f.note = "perf gate inactive (honesty flag)";
+      report.findings.push_back(std::move(f));
+      continue;
+    }
+    const double denom = std::max(std::abs(base.stats.mean), 1e-300);
+    const double delta = (cur->stats.mean - base.stats.mean) / denom;
+    f.rel_change =
+        base.direction == Direction::LowerIsBetter ? delta : -delta;
+    f.allowed = std::max(
+        opts.min_rel_margin,
+        opts.envelope_k *
+            std::max(base.stats.rel_spread, cur->stats.rel_spread));
+    if (f.rel_change > f.allowed) {
+      f.status = GateStatus::Regressed;
+      ++report.regressions;
+    } else if (f.rel_change < -f.allowed) {
+      f.status = GateStatus::Improved;
+    } else {
+      f.status = GateStatus::Ok;
+    }
+    report.findings.push_back(std::move(f));
+  }
+
+  for (const BenchmarkReport& cur : current.benchmarks) {
+    bool in_baseline = false;
+    for (const BenchmarkReport& base : baseline.benchmarks) {
+      if (base.name == cur.name) {
+        in_baseline = true;
+        break;
+      }
+    }
+    if (!in_baseline) {
+      GateFinding f;
+      f.name = cur.name;
+      f.status = GateStatus::New;
+      f.current_mean = cur.stats.mean;
+      f.note = "no baseline entry (first run of this benchmark)";
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+}  // namespace candle::bench

@@ -1,0 +1,64 @@
+// CI regression gate: compare the current suite artifact against a prior
+// one and fail on regressions that fall outside the measured run-to-run
+// variance envelope.  The envelope is what keeps the gate honest on noisy
+// shared CI runners: a change only counts as a regression when it exceeds
+// both the fixed floor and the dispersion the seeded repeats actually
+// measured on either side of the comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/schema.hpp"
+
+namespace candle::bench {
+
+struct GateOptions {
+  /// Regressions below this relative floor always pass (measurement noise
+  /// on a quiet host still wiggles a few percent run to run).
+  double min_rel_margin = 0.05;
+  /// The variance envelope: allowed = max(min_rel_margin,
+  /// envelope_k * max(baseline.rel_spread, current.rel_spread)).  With zero
+  /// measured variance on both sides the floor alone applies.
+  double envelope_k = 2.0;
+};
+
+enum class GateStatus {
+  Ok,             // within the envelope
+  Improved,       // better by more than the envelope (reported, passes)
+  Regressed,      // worse by more than the envelope -> FAIL
+  New,            // in current but not baseline (or metric changed) -> pass
+  Missing,        // in baseline but silently absent from current -> FAIL
+  Informational,  // honesty flag off on either side: reported, never gates
+};
+
+const char* gate_status_name(GateStatus s);
+
+struct GateFinding {
+  std::string name;
+  GateStatus status = GateStatus::Ok;
+  double baseline_mean = 0.0;
+  double current_mean = 0.0;
+  /// Direction-normalized relative change: positive = worse.
+  double rel_change = 0.0;
+  /// Envelope the change was judged against.
+  double allowed = 0.0;
+  std::string note;
+};
+
+struct GateReport {
+  std::vector<GateFinding> findings;
+  int regressions = 0;
+  int missing = 0;
+
+  bool pass() const { return regressions == 0 && missing == 0; }
+};
+
+/// Compare `current` against `baseline` benchmark by benchmark (matched by
+/// name).  Every baseline benchmark yields a finding; current-only
+/// benchmarks are reported as New.
+GateReport gate_against_baseline(const SuiteReport& current,
+                                 const SuiteReport& baseline,
+                                 const GateOptions& opts = {});
+
+}  // namespace candle::bench

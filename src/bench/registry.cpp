@@ -1,0 +1,55 @@
+#include "bench/registry.hpp"
+
+#include "runtime/error.hpp"
+
+namespace candle::bench {
+
+const char* direction_name(Direction d) {
+  return d == Direction::HigherIsBetter ? "higher" : "lower";
+}
+
+namespace {
+
+class LambdaBenchmark final : public Benchmark {
+ public:
+  LambdaBenchmark(BenchmarkInfo info,
+                  std::function<RunResult(const RunContext&)> fn)
+      : info_(std::move(info)), fn_(std::move(fn)) {}
+
+  BenchmarkInfo info() const override { return info_; }
+  RunResult run(const RunContext& ctx) override { return fn_(ctx); }
+
+ private:
+  BenchmarkInfo info_;
+  std::function<RunResult(const RunContext&)> fn_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_benchmark(
+    BenchmarkInfo info, std::function<RunResult(const RunContext&)> fn) {
+  CANDLE_CHECK(static_cast<bool>(fn), "benchmark function must be callable");
+  return std::make_unique<LambdaBenchmark>(std::move(info), std::move(fn));
+}
+
+void Registry::add(std::unique_ptr<Benchmark> benchmark) {
+  CANDLE_CHECK(benchmark != nullptr, "null benchmark");
+  const BenchmarkInfo info = benchmark->info();
+  CANDLE_CHECK(!info.name.empty(), "benchmark name must be non-empty");
+  CANDLE_CHECK(!info.metric.empty(),
+               "benchmark metric must be non-empty: " + info.name);
+  for (const auto& existing : benchmarks_) {
+    CANDLE_CHECK(existing->info().name != info.name,
+                 "duplicate benchmark name: " + info.name);
+  }
+  benchmarks_.push_back(std::move(benchmark));
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(benchmarks_.size());
+  for (const auto& b : benchmarks_) out.push_back(b->info().name);
+  return out;
+}
+
+}  // namespace candle::bench

@@ -1,0 +1,81 @@
+// Benchmark registry: the one interface every experiment adapter implements
+// so the suite driver (bench_suite) can run them all under the same metric
+// discipline — N seeded repeats, variance reporting, one consolidated
+// artifact — instead of fourteen binaries emitting disconnected JSONs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace candle::bench {
+
+enum class Direction {
+  HigherIsBetter,  // throughput-style metrics (GFLOP/s, req/s, samples/s)
+  LowerIsBetter,   // time-style metrics (time-to-accuracy, step time)
+};
+
+const char* direction_name(Direction d);  // "higher" | "lower"
+
+struct BenchmarkInfo {
+  std::string name;    // unique registry key, e.g. "tta_blob_classifier"
+  std::string metric;  // primary metric name, e.g. "time_to_accuracy_s"
+  std::string unit;    // human unit, e.g. "s", "gflops", "req/s"
+  Direction direction = Direction::LowerIsBetter;
+};
+
+/// One seeded repeat's context.  The seed is the only source of randomness
+/// a benchmark may use; smoke shrinks problem sizes for CI.
+struct RunContext {
+  std::uint64_t seed = 0;
+  int rep = 0;
+  bool smoke = false;
+};
+
+/// One seeded repeat's result.
+struct RunResult {
+  double metric = 0.0;
+  /// Modeled-vs-measured pin for benchmarks that close the loop against an
+  /// hpcsim estimate (ratio ~1 when the model holds).  0 = no model pin.
+  double model_pin_ratio = 0.0;
+  /// False when the host cannot physically exhibit the effect being timed
+  /// (e.g. fewer cores than worker threads) — the suite still records the
+  /// numbers but the regression gate treats the benchmark as informational.
+  bool perf_gate_active = true;
+  std::string honesty_note;  // why the gate is informational, when it is
+  /// Named auxiliary scalars (sub-metrics), recorded from the last repeat.
+  std::map<std::string, double> aux;
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+  virtual BenchmarkInfo info() const = 0;
+  virtual RunResult run(const RunContext& ctx) = 0;
+};
+
+/// Wrap a lambda as a Benchmark (how bench_suite registers its adapters).
+std::unique_ptr<Benchmark> make_benchmark(
+    BenchmarkInfo info, std::function<RunResult(const RunContext&)> fn);
+
+class Registry {
+ public:
+  /// Register a benchmark.  Empty or duplicate names throw: a silent
+  /// overwrite is exactly the "benchmark dropped from the artifact" failure
+  /// the suite exists to prevent.
+  void add(std::unique_ptr<Benchmark> benchmark);
+
+  std::size_t size() const { return benchmarks_.size(); }
+  const std::vector<std::unique_ptr<Benchmark>>& benchmarks() const {
+    return benchmarks_;
+  }
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Benchmark>> benchmarks_;
+};
+
+}  // namespace candle::bench

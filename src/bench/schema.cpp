@@ -1,0 +1,460 @@
+#include "bench/schema.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "runtime/error.hpp"
+
+namespace candle::bench {
+
+// ---- JSON writing -----------------------------------------------------------
+
+namespace {
+
+/// Shortest round-trip decimal form of a double (std::to_chars): two equal
+/// doubles always serialize to the same bytes, which is what the bit-
+/// identical-JSON determinism contract rests on.
+std::string fmt(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  CANDLE_CHECK(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_json(const SuiteReport& r, std::ostream& out) {
+  out << "{\n"
+      << "  \"schema\": " << quote(r.schema) << ",\n"
+      << "  \"repeats\": " << r.repeats << ",\n"
+      << "  \"base_seed\": " << r.base_seed << ",\n"
+      << "  \"smoke\": " << (r.smoke ? "true" : "false") << ",\n"
+      << "  \"host_cores\": " << r.host_cores << ",\n"
+      << "  \"benchmarks\": [";
+  for (std::size_t i = 0; i < r.benchmarks.size(); ++i) {
+    const BenchmarkReport& b = r.benchmarks[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n"
+        << "      \"name\": " << quote(b.name) << ",\n"
+        << "      \"metric\": " << quote(b.metric) << ",\n"
+        << "      \"unit\": " << quote(b.unit) << ",\n"
+        << "      \"direction\": " << quote(direction_name(b.direction))
+        << ",\n"
+        << "      \"seeds\": [";
+    for (std::size_t j = 0; j < b.seeds.size(); ++j) {
+      out << (j ? ", " : "") << b.seeds[j];
+    }
+    out << "],\n      \"values\": [";
+    for (std::size_t j = 0; j < b.values.size(); ++j) {
+      out << (j ? ", " : "") << fmt(b.values[j]);
+    }
+    out << "],\n      \"stats\": {\"mean\": " << fmt(b.stats.mean)
+        << ", \"min\": " << fmt(b.stats.min) << ", \"max\": " << fmt(b.stats.max)
+        << ", \"stddev\": " << fmt(b.stats.stddev)
+        << ", \"rel_spread\": " << fmt(b.stats.rel_spread) << "},\n"
+        << "      \"model_pin_ratio\": " << fmt(b.model_pin_ratio) << ",\n"
+        << "      \"perf_gate_active\": "
+        << (b.perf_gate_active ? "true" : "false") << ",\n"
+        << "      \"honesty_note\": " << quote(b.honesty_note) << ",\n"
+        << "      \"aux\": {";
+    bool first_aux = true;
+    for (const auto& [k, v] : b.aux) {
+      out << (first_aux ? "" : ", ") << quote(k) << ": " << fmt(v);
+      first_aux = false;
+    }
+    // wall_s sits alone on its line: strip_wallclock_fields() drops whole
+    // lines, which only works while this stays the line's only field.
+    out << "},\n"
+        << "      \"wall_s\": " << fmt(b.wall_s) << "\n"
+        << "    }";
+  }
+  out << "\n  ],\n"
+      << "  \"total_wall_s\": " << fmt(r.total_wall_s) << "\n"
+      << "}\n";
+}
+
+std::string to_json(const SuiteReport& report) {
+  std::ostringstream os;
+  write_json(report, os);
+  return os.str();
+}
+
+std::string strip_wallclock_fields(const std::string& json_text) {
+  std::string out;
+  out.reserve(json_text.size());
+  std::size_t pos = 0;
+  while (pos < json_text.size()) {
+    std::size_t eol = json_text.find('\n', pos);
+    if (eol == std::string::npos) eol = json_text.size() - 1;
+    const std::string line = json_text.substr(pos, eol - pos + 1);
+    if (line.find("\"wall_s\"") == std::string::npos &&
+        line.find("\"total_wall_s\"") == std::string::npos) {
+      out += line;
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+// ---- JSON parsing -----------------------------------------------------------
+// A minimal recursive-descent parser (objects, arrays, strings, numbers,
+// bools, null) — just enough to read our own artifact and a baseline from a
+// prior commit.  No external dependency: the container image has none.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // preserves order
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"':
+        v.kind = JsonValue::Kind::String;
+        v.string = string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return v;
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // Sufficient for the control characters our writer emits.
+            out += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number '" + tok + "'");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Kind kind, const std::string& where) {
+  CANDLE_CHECK(obj.kind == JsonValue::Kind::Object,
+               where + " must be an object");
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) throw Error(where + " is missing \"" + key + "\"");
+  if (v->kind != kind) {
+    throw Error(where + " field \"" + key + "\" has the wrong type");
+  }
+  return *v;
+}
+
+double num(const JsonValue& obj, const std::string& key,
+           const std::string& where) {
+  return require(obj, key, JsonValue::Kind::Number, where).number;
+}
+
+std::string str(const JsonValue& obj, const std::string& key,
+                const std::string& where) {
+  return require(obj, key, JsonValue::Kind::String, where).string;
+}
+
+Direction parse_direction(const std::string& s, const std::string& where) {
+  if (s == "higher") return Direction::HigherIsBetter;
+  if (s == "lower") return Direction::LowerIsBetter;
+  throw Error(where + " has unknown direction \"" + s + "\"");
+}
+
+}  // namespace
+
+SuiteReport parse_suite_json(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  if (doc.kind != JsonValue::Kind::Object) {
+    throw Error("suite report must be a JSON object");
+  }
+  SuiteReport r;
+  r.schema = str(doc, "schema", "suite report");
+  r.repeats = static_cast<int>(num(doc, "repeats", "suite report"));
+  r.base_seed =
+      static_cast<std::uint64_t>(num(doc, "base_seed", "suite report"));
+  r.smoke = require(doc, "smoke", JsonValue::Kind::Bool, "suite report").boolean;
+  r.host_cores = static_cast<int>(num(doc, "host_cores", "suite report"));
+  r.total_wall_s = num(doc, "total_wall_s", "suite report");
+  const JsonValue& benches =
+      require(doc, "benchmarks", JsonValue::Kind::Array, "suite report");
+  for (const JsonValue& jb : benches.array) {
+    BenchmarkReport b;
+    const std::string where =
+        "benchmark \"" + (jb.find("name") != nullptr &&
+                                  jb.find("name")->kind ==
+                                      JsonValue::Kind::String
+                              ? jb.find("name")->string
+                              : std::string("?")) +
+        "\"";
+    b.name = str(jb, "name", where);
+    b.metric = str(jb, "metric", where);
+    b.unit = str(jb, "unit", where);
+    b.direction = parse_direction(str(jb, "direction", where), where);
+    for (const JsonValue& s :
+         require(jb, "seeds", JsonValue::Kind::Array, where).array) {
+      if (s.kind != JsonValue::Kind::Number) {
+        throw Error(where + " seeds must be numbers");
+      }
+      b.seeds.push_back(static_cast<std::uint64_t>(s.number));
+    }
+    for (const JsonValue& v :
+         require(jb, "values", JsonValue::Kind::Array, where).array) {
+      if (v.kind != JsonValue::Kind::Number) {
+        throw Error(where + " values must be numbers");
+      }
+      b.values.push_back(v.number);
+    }
+    const JsonValue& stats =
+        require(jb, "stats", JsonValue::Kind::Object, where);
+    b.stats.n = static_cast<int>(b.values.size());
+    b.stats.mean = num(stats, "mean", where);
+    b.stats.min = num(stats, "min", where);
+    b.stats.max = num(stats, "max", where);
+    b.stats.stddev = num(stats, "stddev", where);
+    b.stats.rel_spread = num(stats, "rel_spread", where);
+    b.model_pin_ratio = num(jb, "model_pin_ratio", where);
+    b.perf_gate_active =
+        require(jb, "perf_gate_active", JsonValue::Kind::Bool, where).boolean;
+    b.honesty_note = str(jb, "honesty_note", where);
+    const JsonValue& aux = require(jb, "aux", JsonValue::Kind::Object, where);
+    for (const auto& [k, v] : aux.object) {
+      if (v.kind != JsonValue::Kind::Number) {
+        throw Error(where + " aux values must be numbers");
+      }
+      b.aux[k] = v.number;
+    }
+    b.wall_s = num(jb, "wall_s", where);
+    r.benchmarks.push_back(std::move(b));
+  }
+  return r;
+}
+
+// ---- validation -------------------------------------------------------------
+
+std::string validate(const SuiteReport& r) {
+  if (r.schema != kSuiteSchema) {
+    return "unexpected schema \"" + r.schema + "\" (want \"" + kSuiteSchema +
+           "\")";
+  }
+  if (r.repeats < 1) return "repeats must be >= 1";
+  if (r.benchmarks.empty()) return "suite carries no benchmarks";
+  for (std::size_t i = 0; i < r.benchmarks.size(); ++i) {
+    const BenchmarkReport& b = r.benchmarks[i];
+    const std::string where = "benchmark \"" + b.name + "\"";
+    if (b.name.empty()) return "benchmark with empty name";
+    if (b.metric.empty()) return where + " has an empty metric";
+    for (std::size_t j = 0; j < i; ++j) {
+      if (r.benchmarks[j].name == b.name) {
+        return "duplicate benchmark name \"" + b.name + "\"";
+      }
+    }
+    if (static_cast<int>(b.seeds.size()) != r.repeats) {
+      return where + " carries " + std::to_string(b.seeds.size()) +
+             " seeds for " + std::to_string(r.repeats) + " repeats";
+    }
+    if (b.values.size() != b.seeds.size()) {
+      return where + " has mismatched seed/value counts";
+    }
+    for (const double v : b.values) {
+      if (!std::isfinite(v)) return where + " has a non-finite value";
+    }
+    const RepeatStats want = summarize(b.values);
+    const auto close = [](double a, double c) {
+      const double scale = std::max({std::abs(a), std::abs(c), 1.0});
+      return std::abs(a - c) <= 1e-9 * scale;
+    };
+    if (!close(want.mean, b.stats.mean) || !close(want.min, b.stats.min) ||
+        !close(want.max, b.stats.max) ||
+        !close(want.rel_spread, b.stats.rel_spread)) {
+      return where + " stats do not match its values";
+    }
+    if (!std::isfinite(b.model_pin_ratio) || b.model_pin_ratio < 0.0) {
+      return where + " has an invalid model_pin_ratio";
+    }
+  }
+  return "";
+}
+
+}  // namespace candle::bench

@@ -1,0 +1,69 @@
+// The consolidated BENCH_suite.ci.json schema: one artifact per commit that
+// carries, for every registered benchmark, the primary metric over N seeded
+// repeats with run-to-run variance, the model-pin ratio where an hpcsim
+// estimate closes the loop, and the honesty flags for core-starved hosts.
+// The regression gate (bench/gate.hpp) consumes two of these artifacts.
+//
+// Determinism contract: with deterministic benchmarks, the serialized JSON
+// is bit-identical across runs at equal seeds *except* for the wall-clock
+// bookkeeping fields ("wall_s", "total_wall_s"), which the writer keeps on
+// dedicated lines so strip_wallclock_fields() can drop them for comparison.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/stats.hpp"
+
+namespace candle::bench {
+
+inline constexpr const char* kSuiteSchema = "candle-bench-suite/v1";
+
+struct BenchmarkReport {
+  std::string name;
+  std::string metric;
+  std::string unit;
+  Direction direction = Direction::LowerIsBetter;
+  std::vector<std::uint64_t> seeds;  // one per repeat, in run order
+  std::vector<double> values;        // primary metric per repeat
+  RepeatStats stats;                 // derived from values (validated)
+  double model_pin_ratio = 0.0;      // 0 = benchmark has no model pin
+  bool perf_gate_active = true;      // false = informational (honesty flag)
+  std::string honesty_note;
+  std::map<std::string, double> aux; // last repeat's auxiliary scalars
+  double wall_s = 0.0;               // wall clock over all repeats (excluded
+                                     // from the determinism contract)
+};
+
+struct SuiteReport {
+  std::string schema = kSuiteSchema;
+  int repeats = 0;
+  std::uint64_t base_seed = 0;
+  bool smoke = false;
+  int host_cores = 0;
+  std::vector<BenchmarkReport> benchmarks;
+  double total_wall_s = 0.0;  // excluded from the determinism contract
+};
+
+void write_json(const SuiteReport& report, std::ostream& out);
+std::string to_json(const SuiteReport& report);
+
+/// Parse a serialized suite report.  Throws candle::Error on malformed JSON
+/// or a document that does not carry the expected fields.
+SuiteReport parse_suite_json(const std::string& text);
+
+/// Structural validation beyond parsing: schema version, non-empty suite,
+/// unique names, per-benchmark seed/value counts matching `repeats`, finite
+/// values, and stats consistent with the recorded values.  Returns the
+/// first problem found, or an empty string when the report is well-formed.
+std::string validate(const SuiteReport& report);
+
+/// Drop the wall-clock bookkeeping lines from a serialized report so two
+/// runs of deterministic benchmarks can be compared bit-for-bit.
+std::string strip_wallclock_fields(const std::string& json_text);
+
+}  // namespace candle::bench

@@ -1,0 +1,26 @@
+#include "bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace candle::bench {
+
+RepeatStats summarize(const std::vector<double>& values) {
+  RepeatStats s;
+  if (values.empty()) return s;
+  s.n = static_cast<int>(values.size());
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  if (s.mean != 0.0) s.rel_spread = (s.max - s.min) / std::abs(s.mean);
+  return s;
+}
+
+}  // namespace candle::bench

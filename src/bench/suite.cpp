@@ -1,0 +1,228 @@
+#include "bench/suite.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "bench/args.hpp"
+#include "runtime/error.hpp"
+#include "runtime/timer.hpp"
+
+namespace candle::bench {
+
+SuiteReport run_suite(Registry& registry, const SuiteOptions& options,
+                      std::ostream* log) {
+  CANDLE_CHECK(options.repeats >= 1, "suite needs at least one repeat");
+  SuiteReport report;
+  report.repeats = options.repeats;
+  report.base_seed = options.base_seed;
+  report.smoke = options.smoke;
+  report.host_cores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  Stopwatch total;
+  for (const auto& benchmark : registry.benchmarks()) {
+    const BenchmarkInfo info = benchmark->info();
+    if (!options.filter.empty() &&
+        info.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    BenchmarkReport b;
+    b.name = info.name;
+    b.metric = info.metric;
+    b.unit = info.unit;
+    b.direction = info.direction;
+    Stopwatch wall;
+    for (int rep = 0; rep < options.repeats; ++rep) {
+      RunContext ctx;
+      ctx.seed = options.base_seed + static_cast<std::uint64_t>(rep);
+      ctx.rep = rep;
+      ctx.smoke = options.smoke;
+      const RunResult result = benchmark->run(ctx);
+      b.seeds.push_back(ctx.seed);
+      b.values.push_back(result.metric);
+      // Pin/honesty/aux come from the last repeat: they describe the
+      // benchmark's configuration on this host, not a per-seed draw.
+      b.model_pin_ratio = result.model_pin_ratio;
+      b.perf_gate_active = result.perf_gate_active;
+      b.honesty_note = result.honesty_note;
+      b.aux = result.aux;
+    }
+    b.wall_s = wall.seconds();
+    b.stats = summarize(b.values);
+    if (log != nullptr) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "%-24s %-22s mean %11.4g  min %11.4g  max %11.4g  "
+                    "spread %5.1f%%",
+                    b.name.c_str(),
+                    (b.metric + " (" + b.unit + ")").c_str(), b.stats.mean,
+                    b.stats.min, b.stats.max, b.stats.rel_spread * 100.0);
+      *log << line;
+      if (b.model_pin_ratio > 0.0) {
+        std::snprintf(line, sizeof(line), "  pin %.3f", b.model_pin_ratio);
+        *log << line;
+      }
+      if (!b.perf_gate_active) *log << "  [informational]";
+      *log << "\n";
+    }
+    report.benchmarks.push_back(std::move(b));
+  }
+  report.total_wall_s = total.seconds();
+  return report;
+}
+
+void print_gate_report(const GateReport& report, std::ostream& out) {
+  for (const GateFinding& f : report.findings) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %-14s base %11.4g  cur %11.4g  change %+6.1f%%  "
+                  "allowed %5.1f%%  %s",
+                  f.name.c_str(), gate_status_name(f.status), f.baseline_mean,
+                  f.current_mean, f.rel_change * 100.0, f.allowed * 100.0,
+                  f.note.c_str());
+    out << line << "\n";
+  }
+  out << "gate: " << (report.pass() ? "PASS" : "FAIL") << " ("
+      << report.regressions << " regressed, " << report.missing
+      << " missing)\n";
+}
+
+namespace {
+
+/// Self-check: the artifact on disk must parse, validate, carry exactly the
+/// benchmarks that ran (no silent drops, no duplicates), and gate cleanly
+/// against itself.  Returns an empty string on success.
+std::string selfcheck_artifact(const std::string& path,
+                               const SuiteReport& ran) {
+  std::ifstream in(path);
+  if (!in) return "cannot reopen artifact " + path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SuiteReport parsed;
+  try {
+    parsed = parse_suite_json(buf.str());
+  } catch (const Error& e) {
+    return std::string("artifact does not parse: ") + e.what();
+  }
+  const std::string invalid = validate(parsed);
+  if (!invalid.empty()) return "artifact invalid: " + invalid;
+  if (parsed.benchmarks.size() != ran.benchmarks.size()) {
+    return "artifact carries " + std::to_string(parsed.benchmarks.size()) +
+           " benchmarks, expected " + std::to_string(ran.benchmarks.size());
+  }
+  for (const BenchmarkReport& want : ran.benchmarks) {
+    int found = 0;
+    for (const BenchmarkReport& got : parsed.benchmarks) {
+      if (got.name == want.name) ++found;
+    }
+    if (found != 1) {
+      return "benchmark \"" + want.name + "\" appears " +
+             std::to_string(found) + " times in the artifact (want exactly 1)";
+    }
+  }
+  const GateReport self = gate_against_baseline(parsed, parsed);
+  if (!self.pass()) return "artifact does not gate cleanly against itself";
+  return "";
+}
+
+}  // namespace
+
+int suite_main(Registry& registry, int argc, const char* const* argv,
+               std::ostream& out, std::ostream& err) {
+  Args args;
+  args.flag("smoke")
+      .flag("selfcheck")
+      .option("seeds", "3")
+      .option("seed", "8061")
+      .option("filter", "")
+      .option("json", "BENCH_suite.ci.json")
+      .option("baseline", "");
+  if (!args.parse(argc, argv)) {
+    err << "bench_suite: " << args.error() << "\n";
+    return kExitUsage;
+  }
+
+  SuiteOptions options;
+  options.smoke = args.has("smoke");
+  options.filter = args.get("filter");
+  try {
+    options.repeats = std::stoi(args.get("seeds"));
+    options.base_seed = std::stoull(args.get("seed"));
+  } catch (const std::exception&) {
+    err << "bench_suite: --seeds/--seed must be numeric\n";
+    return kExitUsage;
+  }
+  if (options.repeats < 1) {
+    err << "bench_suite: --seeds must be >= 1\n";
+    return kExitUsage;
+  }
+
+  out << "=== bench_suite: " << registry.size() << " registered, "
+      << options.repeats << " seeded repeats each"
+      << (options.smoke ? " (smoke)" : "") << " ===\n";
+  const SuiteReport report = run_suite(registry, options, &out);
+  if (report.benchmarks.empty()) {
+    err << "bench_suite: no benchmark matches filter \"" << options.filter
+        << "\"\n";
+    return kExitUsage;
+  }
+
+  const std::string json_path = args.get("json");
+  {
+    std::ofstream json(json_path);
+    if (!json) {
+      err << "bench_suite: cannot write " << json_path << "\n";
+      return kExitUsage;
+    }
+    write_json(report, json);
+  }
+  out << "wrote " << json_path << "\n";
+
+  if (args.has("selfcheck")) {
+    const std::string problem = selfcheck_artifact(json_path, report);
+    if (!problem.empty()) {
+      err << "bench_suite: SELF-CHECK FAILED: " << problem << "\n";
+      return kExitRegression;
+    }
+    out << "self-check: artifact parses, validates, and carries all "
+        << report.benchmarks.size() << " benchmarks exactly once\n";
+  }
+
+  const std::string baseline_path = args.get("baseline");
+  if (args.has("baseline")) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      // First CI run: nothing to compare against yet.  The artifact just
+      // written becomes the next run's baseline.
+      out << "no baseline artifact at " << baseline_path
+          << " — regression gate skipped (first run passes)\n";
+      return kExitOk;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SuiteReport baseline;
+    try {
+      baseline = parse_suite_json(buf.str());
+    } catch (const Error& e) {
+      err << "bench_suite: baseline " << baseline_path
+          << " is malformed: " << e.what() << "\n";
+      return kExitUsage;
+    }
+    const std::string invalid = validate(baseline);
+    if (!invalid.empty()) {
+      err << "bench_suite: baseline " << baseline_path
+          << " is invalid: " << invalid << "\n";
+      return kExitUsage;
+    }
+    out << "regression gate vs " << baseline_path << ":\n";
+    const GateReport gate = gate_against_baseline(report, baseline);
+    print_gate_report(gate, out);
+    if (!gate.pass()) return kExitRegression;
+  }
+  return kExitOk;
+}
+
+}  // namespace candle::bench

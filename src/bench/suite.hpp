@@ -1,0 +1,59 @@
+// Suite runner: executes every registered benchmark N times over a seeded
+// repeat schedule, assembles the consolidated SuiteReport, and provides the
+// full driver (flag parsing, artifact writing, self-check, baseline gate)
+// that bench_suite's main() delegates to — so tests can drive the identical
+// code path with toy registries and pin the exit-code contract.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bench/gate.hpp"
+#include "bench/registry.hpp"
+#include "bench/schema.hpp"
+
+namespace candle::bench {
+
+struct SuiteOptions {
+  int repeats = 3;                  // seeded repeats per benchmark (>= 1)
+  std::uint64_t base_seed = 8061;   // repeat r runs with seed base_seed + r
+  bool smoke = false;               // shrink problem sizes (CI tier)
+  std::string filter;               // substring filter on benchmark names
+};
+
+/// Run the registry under the options.  Benchmarks whose names do not
+/// contain `filter` are skipped (empty filter = run everything).  When
+/// `log` is non-null a human-readable table is streamed to it as results
+/// arrive.
+SuiteReport run_suite(Registry& registry, const SuiteOptions& options,
+                      std::ostream* log = nullptr);
+
+/// Exit codes of the driver (and of bench_suite):
+///   0 = suite ran, self-check passed, no gated regression (or no baseline);
+///   1 = a regression/missing benchmark outside the variance envelope, or a
+///       self-check failure;
+///   2 = usage error (bad flags) or an unreadable/malformed baseline.
+/// A `--baseline` path that does not exist prints a "no baseline" note and
+/// exits 0 — that is how the very first CI run passes before any artifact
+/// exists.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRegression = 1;
+inline constexpr int kExitUsage = 2;
+
+/// Full driver: flags are
+///   --smoke             shrink problem sizes
+///   --seeds=N           repeats per benchmark (default 3)
+///   --seed=S            base seed (default 8061)
+///   --filter=SUBSTR     run only matching benchmarks
+///   --json=PATH         artifact path (default BENCH_suite.ci.json)
+///   --baseline=PATH     gate against a prior artifact
+///   --selfcheck         re-read the artifact and verify it parses,
+///                       validates, and carries every benchmark that ran
+///                       exactly once, then gate it against itself
+/// Streams progress to `out` and returns the process exit code.
+int suite_main(Registry& registry, int argc, const char* const* argv,
+               std::ostream& out, std::ostream& err);
+
+void print_gate_report(const GateReport& report, std::ostream& out);
+
+}  // namespace candle::bench

@@ -248,6 +248,47 @@ std::vector<ScalingPoint> weak_scaling(const NodeSpec& node,
   return out;
 }
 
+namespace {
+
+AnchoredScaling anchor_sweep(std::vector<ScalingPoint> points,
+                             double measured_anchor_step_s) {
+  CANDLE_CHECK(!points.empty(), "empty scaling sweep");
+  CANDLE_CHECK(measured_anchor_step_s > 0.0,
+               "anchor step time must be positive");
+  AnchoredScaling out;
+  out.anchor_ratio = measured_anchor_step_s / points.front().step_s;
+  // Speedup/efficiency/comm_fraction are step-time quotients, so the
+  // constant ratio cancels: only absolute step times and throughputs move.
+  for (ScalingPoint& p : points) {
+    p.step_s *= out.anchor_ratio;
+    p.samples_per_s /= out.anchor_ratio;
+  }
+  out.points = std::move(points);
+  return out;
+}
+
+}  // namespace
+
+AnchoredScaling anchored_strong_scaling(
+    const NodeSpec& node, const Fabric& fabric,
+    const TrainingWorkload& workload, Index global_batch,
+    const std::vector<Index>& node_counts, double measured_anchor_step_s,
+    Precision prec) {
+  return anchor_sweep(
+      strong_scaling(node, fabric, workload, global_batch, node_counts, prec),
+      measured_anchor_step_s);
+}
+
+AnchoredScaling anchored_weak_scaling(
+    const NodeSpec& node, const Fabric& fabric,
+    const TrainingWorkload& workload, Index batch_per_replica,
+    const std::vector<Index>& node_counts, double measured_anchor_step_s,
+    Precision prec) {
+  return anchor_sweep(weak_scaling(node, fabric, workload, batch_per_replica,
+                                   node_counts, prec),
+                      measured_anchor_step_s);
+}
+
 ParallelPlan best_hybrid_plan(const NodeSpec& node, const Fabric& fabric,
                               const TrainingWorkload& workload, Index nodes,
                               Index global_batch, Precision prec) {

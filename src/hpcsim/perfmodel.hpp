@@ -161,6 +161,34 @@ std::vector<ScalingPoint> weak_scaling(const NodeSpec& node,
                                        const std::vector<Index>& node_counts,
                                        Precision prec = Precision::FP32);
 
+/// A scaling sweep re-anchored on a single measured point: the MLPerf-HPC
+/// discipline of reporting modeled multi-node numbers only relative to a
+/// wall-clock measurement on the hardware at hand.
+struct AnchoredScaling {
+  /// measured_anchor_step_s / modeled step at the anchor point.  The whole
+  /// sweep's step times are multiplied by this ratio (throughputs divided),
+  /// so the anchor row reproduces the measurement exactly while speedup,
+  /// efficiency and comm_fraction keep their modeled shape (the ratio
+  /// cancels out of every step-time quotient).
+  double anchor_ratio = 1.0;
+  std::vector<ScalingPoint> points;
+};
+
+/// strong_scaling re-anchored so the node_counts.front() row's step time
+/// equals `measured_anchor_step_s` (a wall-clock measurement at that scale).
+AnchoredScaling anchored_strong_scaling(
+    const NodeSpec& node, const Fabric& fabric,
+    const TrainingWorkload& workload, Index global_batch,
+    const std::vector<Index>& node_counts, double measured_anchor_step_s,
+    Precision prec = Precision::FP32);
+
+/// weak_scaling re-anchored the same way.
+AnchoredScaling anchored_weak_scaling(
+    const NodeSpec& node, const Fabric& fabric,
+    const TrainingWorkload& workload, Index batch_per_replica,
+    const std::vector<Index>& node_counts, double measured_anchor_step_s,
+    Precision prec = Precision::FP32);
+
 /// Expected per-step time of the workload under the plan when ranks stall
 /// per the heavy-tailed `straggler` model, for a given mitigation mode: the
 /// fabric-modeled synchronous step (estimate_step) stretched by the tail
