@@ -20,6 +20,11 @@
 // service estimate warms up, hopeless requests are shed on arrival, which
 // is what keeps the completed-request tail bounded past the knee.
 //
+// `--continuous` switches the engine to the continuous scheduler
+// (BatchPolicy::continuous, with the cold-start calibration probe) and pins
+// the sweep against estimate_serving_continuous instead — run both modes to
+// see the fill-window cut at low load and the shared capacity at the knee.
+//
 // `--json=PATH` (default BENCH_e11.json) emits the machine-readable report;
 // the report is a generated artifact — CI emits and uploads it per commit
 // (`--smoke` shrinks durations for that job); it is not checked in.
@@ -121,6 +126,9 @@ SweepRow replay(const Model& m, const serve::ArrivalTrace& trace,
   serve::EngineOptions opt;
   opt.workers = workers;
   opt.batch = policy;
+  // Continuous mode prices deadlines from slot availability; seed the EWMA
+  // so the very first window already sheds hopeless requests.
+  opt.calibration_probe = policy.continuous;
   serve::Engine engine(m, opt);
 
   std::vector<std::future<serve::Response>> futures;
@@ -159,14 +167,16 @@ SweepRow replay(const Model& m, const serve::ArrivalTrace& trace,
 }
 
 int run(double duration_s, const std::vector<double>& fracs,
-        const std::string& json_path) {
-  std::printf("=== E11: inference serving (dynamic batching vs model) ===\n\n");
+        const std::string& json_path, bool continuous) {
+  std::printf("=== E11: inference serving (%s batching vs model) ===\n\n",
+              continuous ? "continuous" : "dynamic");
 
   const Model m = serving_model(17);
   serve::BatchPolicy policy;
   policy.max_batch = 32;
   policy.max_wait_s = 2e-3;
   policy.queue_capacity = 256;
+  policy.continuous = continuous;
   const Index workers = 2;
 
   const double service_s =
@@ -204,10 +214,18 @@ int run(double duration_s, const std::vector<double>& fracs,
         serve::poisson_trace(rate, duration_s, 1000 + rows.size());
     SweepRow row = replay(m, trace, input, workers, policy);
     row.frac = frac;
-    const auto est = hpcsim::estimate_serving(node, workload, plan,
-                                              row.offered_rps);
-    row.modeled_mean_ms = est.mean_latency_s * 1e3;
-    row.modeled_shed_fraction = est.shed_fraction;
+    if (continuous) {
+      const auto est = hpcsim::estimate_serving_continuous(node, workload,
+                                                           plan,
+                                                           row.offered_rps);
+      row.modeled_mean_ms = est.mean_latency_s * 1e3;
+      row.modeled_shed_fraction = est.shed_fraction;
+    } else {
+      const auto est = hpcsim::estimate_serving(node, workload, plan,
+                                                row.offered_rps);
+      row.modeled_mean_ms = est.mean_latency_s * 1e3;
+      row.modeled_shed_fraction = est.shed_fraction;
+    }
     const bool knee =
         !knee_marked && row.achieved_rps < 0.95 * row.offered_rps;
     if (knee) knee_marked = true;
@@ -230,10 +248,17 @@ int run(double duration_s, const std::vector<double>& fracs,
       serve::mmpp_trace(traffic, duration_s, 2024);
   SweepRow brow = replay(m, bursty, input, workers, policy);
   brow.bursty = true;
-  const auto best = hpcsim::estimate_serving(node, workload, plan,
-                                             brow.offered_rps);
-  brow.modeled_mean_ms = best.mean_latency_s * 1e3;
-  brow.modeled_shed_fraction = best.shed_fraction;
+  if (continuous) {
+    const auto best = hpcsim::estimate_serving_continuous(node, workload, plan,
+                                                          brow.offered_rps);
+    brow.modeled_mean_ms = best.mean_latency_s * 1e3;
+    brow.modeled_shed_fraction = best.shed_fraction;
+  } else {
+    const auto best = hpcsim::estimate_serving(node, workload, plan,
+                                               brow.offered_rps);
+    brow.modeled_mean_ms = best.mean_latency_s * 1e3;
+    brow.modeled_shed_fraction = best.shed_fraction;
+  }
   std::printf("    mean offered %.1f req/s (%.2fx capacity): "
               "p99 %.2f ms, shed %.1f%%\n",
               brow.offered_rps, brow.offered_rps / capacity_rps, brow.p99_ms,
@@ -256,6 +281,8 @@ int run(double duration_s, const std::vector<double>& fracs,
 
   std::ofstream json(json_path);
   json << "{\n  \"experiment\": \"e11_serving\",\n"
+       << "  \"mode\": \"" << (continuous ? "continuous" : "coalescing")
+       << "\",\n"
        << "  \"calibration\": {\"batch_service_s\": " << service_s
        << ", \"capacity_rps\": " << capacity_rps
        << ", \"workers\": " << workers
@@ -287,7 +314,7 @@ int run(double duration_s, const std::vector<double>& fracs,
 
 int main(int argc, char** argv) {
   candle::bench::Args args;
-  args.flag("smoke").option("json", "BENCH_e11.json");
+  args.flag("smoke").flag("continuous").option("json", "BENCH_e11.json");
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "bench_e11_serving: %s\n", args.error().c_str());
     return 2;
@@ -297,5 +324,5 @@ int main(int argc, char** argv) {
   const std::vector<double> fracs =
       smoke ? std::vector<double>{0.5, 1.3}
             : std::vector<double>{0.2, 0.4, 0.6, 0.8, 0.9, 1.1, 1.3};
-  return run(duration_s, fracs, args.get("json"));
+  return run(duration_s, fracs, args.get("json"), args.has("continuous"));
 }

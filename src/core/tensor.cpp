@@ -109,6 +109,22 @@ std::span<const float> Tensor::row(Index r) const {
           static_cast<std::size_t>(cols)};
 }
 
+std::span<float> Tensor::dim0_slice(Index r) {
+  CANDLE_CHECK(ndim() >= 1, "dim0_slice() requires rank >= 1");
+  CANDLE_CHECK(r >= 0 && r < dim(0), "dim0_slice index out of range");
+  const Index stride = numel() / dim(0);
+  return {data_.data() + static_cast<std::size_t>(r * stride),
+          static_cast<std::size_t>(stride)};
+}
+
+std::span<const float> Tensor::dim0_slice(Index r) const {
+  CANDLE_CHECK(ndim() >= 1, "dim0_slice() requires rank >= 1");
+  CANDLE_CHECK(r >= 0 && r < dim(0), "dim0_slice index out of range");
+  const Index stride = numel() / dim(0);
+  return {data_.data() + static_cast<std::size_t>(r * stride),
+          static_cast<std::size_t>(stride)};
+}
+
 Tensor& Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
   return *this;

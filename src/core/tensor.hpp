@@ -119,6 +119,14 @@ class Tensor {
   std::span<float> row(Index r);
   std::span<const float> row(Index r) const;
 
+  /// Slice `r` along the leading dimension of a rank >= 1 tensor as a flat
+  /// span (length = numel / dim(0)).  The rank-agnostic sibling of row():
+  /// what the slot-matrix assembly path (nn/batching) uses to address one
+  /// sample of a (rows, sample...) buffer without caring about the sample
+  /// rank.
+  std::span<float> dim0_slice(Index r);
+  std::span<const float> dim0_slice(Index r) const;
+
   // ---- simple in-place ops used throughout ---------------------------------
 
   Tensor& fill(float value);

@@ -330,6 +330,33 @@ double estimate_step_with_stragglers(const NodeSpec& node, const Fabric& fabric,
                                    staleness_bound);
 }
 
+namespace {
+
+// Full-max_batch forward service time shared by both serving estimators:
+// the measured engine calibration when provided, else the forward-only
+// roofline (1x the forward flops, weights read once, activations
+// written+read once).
+double serving_batch_service_s(const NodeSpec& node,
+                               const TrainingWorkload& workload,
+                               const ServingPlan& plan) {
+  if (plan.measured_batch_service_s > 0.0) {
+    return plan.measured_batch_service_s;
+  }
+  CANDLE_CHECK(workload.flops_per_sample > 0.0, "workload not populated");
+  const double b = static_cast<double>(plan.max_batch);
+  const double flops = workload.flops_per_sample * b;
+  const double eff = gemm_efficiency(plan.max_batch);
+  const double peak = node.peak_gflops(plan.precision) * 1e9;
+  const double compute_s = flops / (peak * std::max(1e-6, eff));
+  const double mem_bytes = workload.parameters * 4.0 +
+                           workload.activation_bytes_per_sample * b * 2.0 +
+                           workload.bytes_per_sample * b;
+  const double memory_s = mem_bytes / (node.nearest().bandwidth_gbs * 1e9);
+  return std::max(compute_s, memory_s);
+}
+
+}  // namespace
+
 ServingEstimate estimate_serving(const NodeSpec& node,
                                  const TrainingWorkload& workload,
                                  const ServingPlan& plan, double offered_rps) {
@@ -341,24 +368,7 @@ ServingEstimate estimate_serving(const NodeSpec& node,
 
   ServingEstimate e;
   const double b = static_cast<double>(plan.max_batch);
-
-  // --- full-batch service time: forward-only roofline (1x the forward
-  // flops, weights read once, activations written+read once), or the
-  // measured engine calibration when provided.
-  if (plan.measured_batch_service_s > 0.0) {
-    e.batch_service_s = plan.measured_batch_service_s;
-  } else {
-    CANDLE_CHECK(workload.flops_per_sample > 0.0, "workload not populated");
-    const double flops = workload.flops_per_sample * b;
-    const double eff = gemm_efficiency(plan.max_batch);
-    const double peak = node.peak_gflops(plan.precision) * 1e9;
-    const double compute_s = flops / (peak * std::max(1e-6, eff));
-    const double mem_bytes = workload.parameters * 4.0 +
-                             workload.activation_bytes_per_sample * b * 2.0 +
-                             workload.bytes_per_sample * b;
-    const double memory_s = mem_bytes / (node.nearest().bandwidth_gbs * 1e9);
-    e.batch_service_s = std::max(compute_s, memory_s);
-  }
+  e.batch_service_s = serving_batch_service_s(node, workload, plan);
 
   e.capacity_rps = static_cast<double>(plan.workers) * b / e.batch_service_s;
   e.utilization = offered_rps > 0.0 ? offered_rps / e.capacity_rps : 0.0;
@@ -389,6 +399,61 @@ ServingEstimate estimate_serving(const NodeSpec& node,
     e.queue_wait_s = full_queue_wait_s;
   }
   e.mean_latency_s = e.batch_fill_wait_s + e.queue_wait_s + e.batch_service_s;
+
+  e.throughput_rps = std::min(offered_rps, e.capacity_rps);
+  e.shed_fraction =
+      offered_rps > 0.0
+          ? std::max(0.0, 1.0 - e.capacity_rps / offered_rps)
+          : 0.0;
+  return e;
+}
+
+ContinuousServingEstimate estimate_serving_continuous(
+    const NodeSpec& node, const TrainingWorkload& workload,
+    const ServingPlan& plan, double offered_rps) {
+  CANDLE_CHECK(plan.workers >= 1 && plan.max_batch >= 1,
+               "invalid serving plan");
+  CANDLE_CHECK(plan.queue_capacity >= 1, "invalid serving plan");
+  CANDLE_CHECK(offered_rps >= 0.0, "negative offered load");
+
+  ContinuousServingEstimate e;
+  const double b = static_cast<double>(plan.max_batch);
+  e.batch_service_s = serving_batch_service_s(node, workload, plan);
+  e.row_service_s = e.batch_service_s / b;
+  e.capacity_rps = static_cast<double>(plan.workers) * b / e.batch_service_s;
+  e.utilization = offered_rps > 0.0 ? offered_rps / e.capacity_rps : 0.0;
+
+  // --- slot occupancy: the scheduler admits whatever is queued into free
+  // slots at every iteration, so mean occupancy tracks utilization (rho of
+  // the capacity slots busy) — never below the one row being served, never
+  // above the slot matrix.
+  const double rho = std::min(1.0, e.utilization);
+  e.mean_batch_rows = std::clamp(rho * b, 1.0, b);
+  e.iteration_s = e.mean_batch_rows * e.row_service_s;
+
+  // --- admit wait: there is NO fill window (the defining cut vs the
+  // coalescing estimator — batch_timeout_s never enters this model).  An
+  // arrival finding every worker mid-iteration waits on average half an
+  // iteration for the next admit point; with probability ~(1 - rho) some
+  // worker is idle and admits immediately.
+  e.admit_wait_s = rho * e.iteration_s / 2.0;
+
+  // --- congestion beyond the admit point: the same M/D/c shape as the
+  // coalescing estimator at iteration granularity, saturating at the
+  // bounded queue's sojourn — queued rows drain one row at a time across
+  // the pool, not a batch at a time.
+  const double full_queue_wait_s = static_cast<double>(plan.queue_capacity) *
+                                   e.row_service_s /
+                                   static_cast<double>(plan.workers);
+  if (e.utilization < 1.0) {
+    const double mdc_wait = e.utilization / (1.0 - e.utilization) *
+                            e.iteration_s /
+                            (2.0 * static_cast<double>(plan.workers));
+    e.queue_wait_s = std::min(mdc_wait, full_queue_wait_s);
+  } else {
+    e.queue_wait_s = full_queue_wait_s;
+  }
+  e.mean_latency_s = e.admit_wait_s + e.queue_wait_s + e.iteration_s;
 
   e.throughput_rps = std::min(offered_rps, e.capacity_rps);
   e.shed_fraction =

@@ -250,6 +250,37 @@ ServingEstimate estimate_serving(const NodeSpec& node,
                                  const TrainingWorkload& workload,
                                  const ServingPlan& plan, double offered_rps);
 
+/// Modeled behaviour of a *continuous-batching* deployment
+/// (serve::BatchPolicy::continuous: per-iteration row admit/evict into a
+/// fixed slot matrix) at one offered load.  Capacity is identical to the
+/// coalescing estimator — continuous batching changes *when* rows join a
+/// batch, not how fast a full batch computes — but the latency structure
+/// differs: there is no fill-wait term at all (batch_timeout_s never enters
+/// this model), and iterations run at the modeled slot occupancy instead of
+/// the full max_batch.
+struct ContinuousServingEstimate {
+  double batch_service_s = 0.0;  ///< one full-capacity iteration
+  double row_service_s = 0.0;    ///< batch_service_s / max_batch
+  double mean_batch_rows = 0.0;  ///< modeled slot occupancy per iteration
+  double iteration_s = 0.0;      ///< mean_batch_rows * row_service_s
+  double capacity_rps = 0.0;     ///< workers * max_batch / batch_service_s
+  double utilization = 0.0;      ///< offered / capacity (rho, may exceed 1)
+  double admit_wait_s = 0.0;     ///< wait for the in-progress iteration
+  double queue_wait_s = 0.0;     ///< congestion (saturates at full queue)
+  double mean_latency_s = 0.0;   ///< admit + queue + iteration
+  double shed_fraction = 0.0;    ///< arrivals rejected once rho > 1
+  double throughput_rps = 0.0;   ///< goodput: min(offered, capacity)
+};
+
+/// Estimate a continuous-batching deployment at `offered_rps` open-loop
+/// load.  Shares the full-batch service time (roofline or measured
+/// override) with estimate_serving, so the two estimators are directly
+/// comparable at the same ServingPlan; the serving bench pins the low-load
+/// latency gap between them against the measured engine in both modes.
+ContinuousServingEstimate estimate_serving_continuous(
+    const NodeSpec& node, const TrainingWorkload& workload,
+    const ServingPlan& plan, double offered_rps);
+
 /// estimate_serving under failures: the pool's delivered capacity is priced
 /// by the serving fault model (crash/MTTR availability, hang drag, hedging
 /// duplicate work — see hpcsim/resilience.hpp) with `failed_workers` dead

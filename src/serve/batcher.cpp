@@ -34,6 +34,17 @@ Response DynamicBatcher::shed_response(const Request& req, Outcome outcome) {
 
 double DynamicBatcher::predicted_wait_locked(Index depth) const {
   if (counters_.ewma_row_service_s <= 0.0) return 0.0;  // not yet calibrated
+  if (policy_.continuous) {
+    // Slot-availability pricing: rows drain individually, so the sojourn is
+    // every row ahead of this one (in flight on worker slots + queued) plus
+    // itself, at the EWMA per-row rate over the live pool.  No whole-batch
+    // quantization: admitting row max_batch+1 costs one row more, not one
+    // batch more.
+    const double rows_ahead =
+        static_cast<double>(inflight_rows_ + depth + 1);
+    return rows_ahead * counters_.ewma_row_service_s /
+           static_cast<double>(live_workers_);
+  }
   const double batch_service_s =
       counters_.ewma_row_service_s * static_cast<double>(policy_.max_batch);
   const double batches_ahead = std::ceil(
@@ -146,6 +157,53 @@ std::vector<DynamicBatcher::PendingPtr> DynamicBatcher::next_batch() {
   }
 }
 
+bool DynamicBatcher::acquire_rows(Index want, std::vector<PendingPtr>& out,
+                                  bool block) {
+  CANDLE_CHECK(policy_.continuous,
+               "acquire_rows is the continuous-mode consumer");
+  CANDLE_CHECK(want >= 0, "negative row request");
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Entries resolved elsewhere (hedge twin already won) are dead weight;
+    // drop them before they count against `want`.
+    while (!queue_.empty() &&
+           queue_.front()->resolved.load(std::memory_order_acquire)) {
+      queue_.pop_front();
+    }
+    if (queue_.empty()) {
+      if (draining_) return false;
+      if (!block || want == 0) return true;
+      cv_consumer_.wait(lk, [&] { return !queue_.empty() || draining_; });
+      continue;
+    }
+    Index taken = 0;
+    while (!queue_.empty() && taken < want) {
+      PendingPtr p = std::move(queue_.front());
+      queue_.pop_front();
+      if (p->resolved.load(std::memory_order_acquire)) continue;
+      out.push_back(std::move(p));
+      ++taken;
+    }
+    inflight_rows_ += taken;
+    // Rows beyond this worker's free slots stay queued: wake a sibling so
+    // they don't wait for this worker's next iteration.
+    if (!queue_.empty()) cv_consumer_.notify_one();
+    return true;
+  }
+}
+
+void DynamicBatcher::release_rows(Index n) {
+  if (n <= 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  CANDLE_CHECK(inflight_rows_ >= n, "releasing more rows than in flight");
+  inflight_rows_ -= n;
+}
+
+Index DynamicBatcher::inflight_rows() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_rows_;
+}
+
 void DynamicBatcher::requeue(std::vector<PendingPtr> batch) {
   if (batch.empty()) return;
   std::lock_guard<std::mutex> lk(mu_);
@@ -212,7 +270,9 @@ Index DynamicBatcher::depth() const {
 
 DynamicBatcher::Counters DynamicBatcher::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return counters_;
+  Counters c = counters_;
+  c.inflight_rows = inflight_rows_;
+  return c;
 }
 
 }  // namespace candle::serve

@@ -17,6 +17,10 @@
 //    the *live* worker pool.  If that already exceeds the request's
 //    deadline the request is shed on arrival (ShedDeadline) — serving it
 //    would waste a batch slot on an answer the client has given up on.
+//    Under continuous batching (BatchPolicy::continuous) the sojourn is
+//    priced from slot availability instead — every in-flight and queued row
+//    ahead of this one at the per-row service rate over the live pool —
+//    because rows drain one at a time, not in whole-batch quanta.
 //  * Brownout (DESIGN.md "Serving failure model") — when the supervisor
 //    detects sustained overload or a shrunken pool it flips brownout mode:
 //    the effective queue shrinks to `brownout_queue_frac * queue_capacity`
@@ -52,6 +56,16 @@ struct BatchPolicy {
   Index queue_capacity = 1024;   ///< bounded queue; beyond = ShedQueueFull
   bool deadline_admission = true;  ///< enable predicted-wait shedding
   double service_ewma_alpha = 0.2;  ///< smoothing of the service estimate
+
+  /// Continuous batching (DESIGN.md "Continuous batching"): workers admit
+  /// queued rows into free batch slots at every engine iteration via
+  /// acquire_rows() and evict finished rows individually, instead of
+  /// coalescing whole batches through next_batch().  max_wait_s is ignored
+  /// (there is no fill window to wait out) and the predicted sojourn is
+  /// priced from slot availability — (inflight + depth + 1) rows ahead at
+  /// the EWMA per-row service rate over the live pool — rather than the
+  /// whole-batch ceil((depth + 1) / max_batch) quantization.
+  bool continuous = false;
 
   /// Brownout tightening: effective queue capacity becomes
   /// `ceil(brownout_queue_frac * queue_capacity)` while brownout is active.
@@ -108,6 +122,29 @@ class DynamicBatcher {
   /// workers pull concurrently.
   std::vector<PendingPtr> next_batch();
 
+  /// Continuous-mode consumer: move up to `want` queued rows into `out`
+  /// (appended in arrival order), skipping entries already resolved
+  /// elsewhere.  When `block` is set and the queue is empty the call waits
+  /// for work (or drain); otherwise it returns immediately, possibly
+  /// appending nothing — a worker holding live slots polls, an idle worker
+  /// blocks.  Returns false when the batcher is draining and the queue is
+  /// empty — no new admissions will ever arrive, and a worker with no
+  /// occupied slots should exit (requeues can still refill the queue during
+  /// drain; the watchdog's replacement workers serve those).
+  ///
+  /// Every row handed out here is counted in-flight until the consumer
+  /// returns it through exactly one release_rows() unit — when the row is
+  /// resolved and evicted, lost a resolve race, or was dissolved from a
+  /// dead worker's flight by the watchdog.
+  bool acquire_rows(Index want, std::vector<PendingPtr>& out, bool block);
+
+  /// Return `n` in-flight rows (see acquire_rows).  Thread-safe.
+  void release_rows(Index n);
+
+  /// Rows acquired and not yet released — the slot-availability half of the
+  /// continuous-mode predicted wait.
+  Index inflight_rows() const;
+
   /// Put already-admitted requests back at the *front* of the queue (crash
   /// recovery and hedged duplicates re-dispatch ahead of new arrivals —
   /// they have been waiting longest).  Bypasses admission: the requests
@@ -152,6 +189,7 @@ class DynamicBatcher {
     std::uint64_t shed_brownout = 0;
     std::uint64_t requeued = 0;  ///< re-dispatches (crash recovery + hedges)
     std::int64_t peak_queue_depth = 0;
+    Index inflight_rows = 0;  ///< acquired, not yet released (continuous)
     double ewma_row_service_s = 0.0;
     Index live_workers = 0;
     bool brownout = false;
@@ -172,6 +210,7 @@ class DynamicBatcher {
   bool draining_ = false;
   Index live_workers_ = 1;
   bool brownout_ = false;
+  Index inflight_rows_ = 0;
   Counters counters_;
 };
 

@@ -17,6 +17,18 @@ double seconds_between(DynamicBatcher::Clock::time_point a,
 
 }  // namespace
 
+void run_calibration_probe(const Model& model, DynamicBatcher& batcher) {
+  const Index rows = batcher.policy().max_batch;
+  Shape shape = model.input_shape();
+  shape.insert(shape.begin(), rows);
+  const Tensor probe(std::move(shape));
+  const auto t0 = DynamicBatcher::Clock::now();
+  const Tensor y = model.infer(probe);
+  const auto t1 = DynamicBatcher::Clock::now();
+  (void)y;
+  batcher.record_service(rows, seconds_between(t0, t1));
+}
+
 Engine::Engine(const Model& model, EngineOptions options)
     : model_(model),
       options_(options),
@@ -25,6 +37,9 @@ Engine::Engine(const Model& model, EngineOptions options)
       batcher_(options.batch, options.workers) {
   CANDLE_CHECK(model_.built(), "serve::Engine needs a built model");
   CANDLE_CHECK(options_.workers >= 1, "engine needs at least one worker");
+  // The probe runs before any worker exists, so the first submitted request
+  // is already priced against a calibrated EWMA.
+  if (options_.calibration_probe) run_calibration_probe(model_, batcher_);
   threads_.reserve(static_cast<std::size_t>(options_.workers));
   for (Index w = 0; w < options_.workers; ++w) {
     threads_.emplace_back([this] { worker_main(); });
@@ -58,6 +73,14 @@ void Engine::drain() {
 }
 
 void Engine::worker_main() {
+  if (options_.batch.continuous) {
+    worker_continuous();
+  } else {
+    worker_coalescing();
+  }
+}
+
+void Engine::worker_coalescing() {
   // One assembly buffer per worker, sized once for the largest batch; the
   // worker's thread-local workspace arena warms on the first batch and the
   // steady-state loop allocates nothing.
@@ -83,8 +106,10 @@ void Engine::worker_main() {
       r.output.assign(y.data() + i * output_numel_,
                       y.data() + (i + 1) * output_numel_);
       const double queue_wait_s = seconds_between(p.enqueued, closed_at);
+      const double service_s = seconds_between(closed_at, finished_at);
       const double latency_s = seconds_between(p.enqueued, finished_at);
       r.queue_wait_s = queue_wait_s;
+      r.service_s = service_s;
       r.latency_s = latency_s;
       r.batch_rows = rows;
       // Only the resolving dispatch records: a duplicate that lost the
@@ -92,10 +117,91 @@ void Engine::worker_main() {
       // batcher's, not the engine's) must leave no statistical trace.
       if (p.try_resolve(std::move(r))) {
         queue_wait_.record(queue_wait_s);
+        service_.record(service_s);
         latency_.record(latency_s);
         completed_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+  }
+}
+
+void Engine::worker_continuous() {
+  // Continuous scheduler: a fixed-capacity slot matrix per worker.  Every
+  // iteration admits queued rows into free slots (blocking only when the
+  // worker is idle), computes the occupied slots as one compact batch, and
+  // evicts each finished row individually — there is no fill window, so a
+  // single low-load request is served the moment a worker is free.  All
+  // buffers (slots, gather target, holder/admit arrays, acquire scratch)
+  // are sized once here: the steady-state iteration allocates nothing.
+  const Index capacity = options_.batch.max_batch;
+  RowSlotAssembler slots(model_.input_shape(), capacity);
+  std::vector<DynamicBatcher::PendingPtr> holders(
+      static_cast<std::size_t>(capacity));
+  std::vector<DynamicBatcher::Clock::time_point> admitted(
+      static_cast<std::size_t>(capacity));
+  std::vector<DynamicBatcher::PendingPtr> incoming;
+  incoming.reserve(static_cast<std::size_t>(capacity));
+  for (;;) {
+    incoming.clear();
+    const bool block = slots.occupied() == 0;
+    const bool open =
+        batcher_.acquire_rows(slots.free_slots(), incoming, block);
+    if (!open && incoming.empty() && slots.occupied() == 0) {
+      return;  // drained, nothing queued, nothing held
+    }
+    const auto admitted_at = DynamicBatcher::Clock::now();
+    for (auto& p : incoming) {
+      const Index s = slots.admit(p->request.input);
+      admitted[static_cast<std::size_t>(s)] = admitted_at;
+      holders[static_cast<std::size_t>(s)] = std::move(p);
+    }
+    // Rows resolved elsewhere since acquisition (impossible in the base
+    // engine, where nothing duplicates dispatches, but the slot lifecycle
+    // is shared with the supervised engine) are evicted before compute.
+    Index evicted = 0;
+    for (Index s = 0; s < capacity; ++s) {
+      auto& h = holders[static_cast<std::size_t>(s)];
+      if (h && h->resolved.load(std::memory_order_acquire)) {
+        h.reset();
+        slots.evict(s);
+        ++evicted;
+      }
+    }
+    if (evicted > 0) batcher_.release_rows(evicted);
+    if (slots.occupied() == 0) continue;
+    const Index rows = slots.occupied();
+    const Tensor& y = model_.infer(slots.gather());
+    const auto finished_at = DynamicBatcher::Clock::now();
+    batcher_.record_service(rows, seconds_between(admitted_at, finished_at));
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    const std::span<const Index> order = slots.gathered_slots();
+    for (Index i = 0; i < rows; ++i) {
+      const Index s = order[static_cast<std::size_t>(i)];
+      DynamicBatcher::PendingPtr& p = holders[static_cast<std::size_t>(s)];
+      Response r;
+      r.id = p->request.id;
+      r.outcome = Outcome::Completed;
+      r.output.assign(y.data() + i * output_numel_,
+                      y.data() + (i + 1) * output_numel_);
+      const double queue_wait_s =
+          seconds_between(p->enqueued, admitted[static_cast<std::size_t>(s)]);
+      const double service_s = seconds_between(
+          admitted[static_cast<std::size_t>(s)], finished_at);
+      const double latency_s = seconds_between(p->enqueued, finished_at);
+      r.queue_wait_s = queue_wait_s;
+      r.service_s = service_s;
+      r.latency_s = latency_s;
+      r.batch_rows = rows;
+      if (p->try_resolve(std::move(r))) {
+        queue_wait_.record(queue_wait_s);
+        service_.record(service_s);
+        latency_.record(latency_s);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      p.reset();
+      slots.evict(s);
+    }
+    batcher_.release_rows(rows);
   }
 }
 
@@ -113,9 +219,11 @@ EngineStats Engine::stats() const {
   s.live_workers = c.live_workers;
   s.batches = batches_.load(std::memory_order_relaxed);
   s.peak_queue_depth = c.peak_queue_depth;
+  s.inflight_rows = c.inflight_rows;
   s.ewma_row_service_s = c.ewma_row_service_s;
   s.latency = latency_.snapshot();
   s.queue_wait = queue_wait_.snapshot();
+  s.service = service_.snapshot();
   return s;
 }
 

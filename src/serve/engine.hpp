@@ -18,6 +18,14 @@
 //    ShedShutdown), lets workers finish every queued request, and joins
 //    them.  The destructor drains, so an Engine can never leak threads.
 //
+//  * Two scheduling modes — coalescing (the default: workers pull whole
+//    batches closed by the max_batch count / max_wait_s window) and
+//    *continuous* (BatchPolicy::continuous: each worker owns a
+//    RowSlotAssembler and admits queued rows into free slots at every
+//    iteration, evicting finished rows individually).  Continuous batching
+//    has no fill window, so low-load latency collapses to the
+//    per-iteration service time; see DESIGN.md "Continuous batching".
+//
 // The caller owns the Model and must keep it alive and *unmodified* while
 // the engine runs — training concurrently with serving is a data race by
 // construction, not a supported mode.
@@ -35,9 +43,22 @@
 
 namespace candle::serve {
 
+/// One-shot cold-start calibration: time a full-max_batch infer() on a
+/// zeros batch and seed `batcher`'s per-row service EWMA with it, so
+/// deadline admission prices the very first window instead of admitting
+/// everything at a zero estimate.  Run from the engine constructors before
+/// any worker serves a request.
+void run_calibration_probe(const Model& model, DynamicBatcher& batcher);
+
 struct EngineOptions {
   Index workers = 2;  ///< serving threads (each a shared-weight replica)
   BatchPolicy batch;
+  /// Seed the admission controller's service-time EWMA from a one-shot
+  /// full-batch inference probe run in the constructor, before any request
+  /// is admitted.  Without it the first window is priced at zero (EWMA
+  /// uncalibrated), so deadline admission cannot shed hopeless requests
+  /// until the first batch completes — the cold-start mispricing window.
+  bool calibration_probe = false;
 };
 
 class Engine {
@@ -70,6 +91,8 @@ class Engine {
 
  private:
   void worker_main();
+  void worker_coalescing();
+  void worker_continuous();
 
   const Model& model_;
   const EngineOptions options_;
@@ -79,6 +102,7 @@ class Engine {
 
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;
+  LatencyHistogram service_;
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> active_submits_{0};

@@ -103,8 +103,12 @@ struct EngineStats {
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_shutdown = 0;
   std::uint64_t shed_brownout = 0;
-  std::uint64_t batches = 0;      ///< coalesced batches executed
+  std::uint64_t batches = 0;      ///< coalesced batches / iterations executed
   std::int64_t peak_queue_depth = 0;
+  /// Continuous mode: rows acquired by workers and not yet released back.
+  /// Exactly zero after drain() — every acquired row is returned by its
+  /// worker's evict, a lost resolve race, or the watchdog's crash sweep.
+  Index inflight_rows = 0;
   double ewma_row_service_s = 0.0;  ///< admission controller's estimate
 
   // ---- supervision / resilience (SupervisedEngine only) ---------------------
@@ -119,8 +123,17 @@ struct EngineStats {
   std::uint64_t brownout_entries = 0;  ///< times brownout mode engaged
   Index live_workers = 0;              ///< pool size when stats were taken
 
+  // Completed-request latency decomposes into the time spent waiting to
+  // join a batch and the time spent being served:
+  //   latency ~= queue_wait + service   (per request, exactly; the
+  // histograms quantize each term independently).  The split is what makes
+  // the continuous scheduler's fill-wait cut directly observable: switching
+  // a low-load deployment from coalescing to continuous collapses
+  // queue_wait (no max_wait_s window to sit out) while service stays the
+  // per-iteration compute time.
   LatencyHistogram::Snapshot latency;      ///< submit -> response
-  LatencyHistogram::Snapshot queue_wait;   ///< submit -> batch close
+  LatencyHistogram::Snapshot queue_wait;   ///< submit -> batch close / admit
+  LatencyHistogram::Snapshot service;      ///< batch close / admit -> response
 
   std::uint64_t shed_total() const {
     return shed_queue_full + shed_deadline + shed_shutdown + shed_brownout;

@@ -32,11 +32,20 @@
 //    explicit ShedBrownout rejections at reduced capacity instead of a
 //    collapsing tail.
 //
+// All of it acts at *row* granularity: flights track per-row admit times
+// and hedge flags, so under the continuous scheduler
+// (BatchPolicy::continuous — per-iteration slot admit/evict, see DESIGN.md
+// "Continuous batching") crash re-enqueue, hedging, and NaN recompute
+// target exactly the rows affected rather than a whole coalesced batch.
+// In coalescing mode every row of a flight shares one admit time and the
+// behavior reduces to the original whole-batch semantics.
+//
 // Accounting stays exact through all of it: after drain(),
 //   submitted == completed + shed_total() + failed
 // with hedged duplicates and crash re-dispatches resolving each request
-// exactly once.  The chaos suite (tests/test_serve_resilience.cpp) pins
-// this under seeded fault schedules and TSan.
+// exactly once.  The chaos suites (tests/test_serve_resilience.cpp,
+// tests/test_serve_continuous.cpp) pin this under seeded fault schedules
+// and TSan.
 #pragma once
 
 #include <atomic>
@@ -99,6 +108,10 @@ struct SupervisedOptions {
   Index workers = 2;
   BatchPolicy batch;
   SupervisorPolicy supervise;
+  /// Seed the service EWMA with a one-shot full-batch probe before serving
+  /// (see EngineOptions::calibration_probe): cold-start deadline admission
+  /// prices the first window instead of admitting everything at zero.
+  bool calibration_probe = false;
 };
 
 class SupervisedEngine {
@@ -147,19 +160,37 @@ class SupervisedEngine {
     std::thread thread;
     std::atomic<int> state{kRunning};
     std::atomic<bool> superseded{false};  // watchdog retired this worker
+    /// Continuous mode: rows acquired from the batcher and not yet released
+    /// by this worker.  The watchdog releases the residue when the worker
+    /// crashes (exchange(0)), so the batcher's in-flight count stays exact
+    /// whatever interleaving of crash detection and hang retirement wins.
+    std::atomic<Index> inflight{0};
     bool crash_handled = false;           // watchdog-side bookkeeping
     bool joined = false;
   };
 
-  /// One batch in flight on one worker, registered before any fault can
-  /// fire so the watchdog always sees what a dying worker held.
-  struct Flight {
-    std::vector<DynamicBatcher::PendingPtr> rows;
-    Clock::time_point started;
+  /// One row of a flight: the request, when it was admitted onto a worker
+  /// slot (batch close time in coalescing mode), and whether the watchdog
+  /// has already launched a duplicate for it.  Row-level granularity is
+  /// what lets hedging, hang re-dispatch, and crash recovery act on
+  /// individual rows under the continuous scheduler; in coalescing mode
+  /// every row of a flight shares one admit time and the behavior reduces
+  /// to the original whole-batch semantics.
+  struct FlightRow {
+    DynamicBatcher::PendingPtr row;
+    Clock::time_point admitted{};
     bool hedged = false;
   };
 
+  /// The rows in flight on one worker, registered before any fault can
+  /// fire so the watchdog always sees what a dying worker held.
+  struct Flight {
+    std::vector<FlightRow> rows;
+  };
+
   void worker_main(WorkerSlot* slot);
+  void worker_coalescing(WorkerSlot* slot);
+  void worker_continuous(WorkerSlot* slot);
   void supervisor_main();
 
   /// One watchdog pass: join/recover crashed workers, hedge and retire
@@ -187,6 +218,7 @@ class SupervisedEngine {
 
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;
+  LatencyHistogram service_;
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};

@@ -550,5 +550,87 @@ TEST(EstimateServing, RooflinePathGivesFiniteCapacity) {
   EXPECT_TRUE(std::isfinite(e.mean_latency_s));
 }
 
+// ---- continuous-batching estimator ------------------------------------------
+
+TEST(EstimateServingContinuous, SharesCapacityWithCoalescingEstimator) {
+  // Continuous batching changes *when* rows join a batch, not how fast a
+  // full batch computes: at the same plan both estimators must agree on
+  // service time, capacity, goodput, and shed fraction exactly.
+  hpcsim::ServingPlan plan;
+  plan.workers = 2;
+  plan.max_batch = 32;
+  plan.measured_batch_service_s = 0.01;
+  hpcsim::TrainingWorkload w;
+  const auto node = hpcsim::summit_node();
+  for (double offered : {100.0, 3200.0, 6400.0, 12800.0}) {
+    const auto coal = hpcsim::estimate_serving(node, w, plan, offered);
+    const auto cont =
+        hpcsim::estimate_serving_continuous(node, w, plan, offered);
+    EXPECT_DOUBLE_EQ(cont.batch_service_s, coal.batch_service_s);
+    EXPECT_DOUBLE_EQ(cont.capacity_rps, coal.capacity_rps);
+    EXPECT_DOUBLE_EQ(cont.throughput_rps, coal.throughput_rps);
+    EXPECT_DOUBLE_EQ(cont.shed_fraction, coal.shed_fraction);
+    EXPECT_DOUBLE_EQ(cont.row_service_s, coal.batch_service_s / 32.0);
+  }
+}
+
+TEST(EstimateServingContinuous, NoFillWaitTermAtLowLoad) {
+  // The defining cut: the coalescing estimator's low-load latency is
+  // dominated by the fill window (batch_timeout_s), while the continuous
+  // estimator has no fill-wait term at all — its latency must be
+  // independent of the timeout and far below the coalescing latency when
+  // the window is wide.
+  hpcsim::ServingPlan plan;
+  plan.workers = 2;
+  plan.max_batch = 32;
+  plan.measured_batch_service_s = 0.01;
+  plan.batch_timeout_s = 0.2;  // wide-open window
+  hpcsim::TrainingWorkload w;
+  const auto node = hpcsim::summit_node();
+  // Deep below saturation, sparse enough that the fill window expires on
+  // the clock ((b-1)/(2*fill) > timeout), i.e. the timeout is what binds.
+  const double offered = 0.005 * 6400.0;
+
+  const auto coal = hpcsim::estimate_serving(node, w, plan, offered);
+  const auto cont = hpcsim::estimate_serving_continuous(node, w, plan, offered);
+  EXPECT_GT(coal.batch_fill_wait_s, 0.0);
+  EXPECT_LT(cont.mean_latency_s, coal.mean_latency_s);
+
+  hpcsim::ServingPlan plan2 = plan;
+  plan2.batch_timeout_s = 0.4;  // doubling the window ...
+  const auto coal2 = hpcsim::estimate_serving(node, w, plan2, offered);
+  const auto cont2 =
+      hpcsim::estimate_serving_continuous(node, w, plan2, offered);
+  EXPECT_GT(coal2.mean_latency_s, coal.mean_latency_s);  // ... hurts coalescing
+  EXPECT_DOUBLE_EQ(cont2.mean_latency_s, cont.mean_latency_s);  // ... not this
+}
+
+TEST(EstimateServingContinuous, LatencyGrowsMonotonicallyAndSaturates) {
+  hpcsim::ServingPlan plan;
+  plan.workers = 2;
+  plan.max_batch = 32;
+  plan.queue_capacity = 128;
+  plan.measured_batch_service_s = 0.01;
+  hpcsim::TrainingWorkload w;
+  const auto node = hpcsim::summit_node();
+  double prev_latency = 0.0;
+  for (double frac : {0.1, 0.25, 0.5, 0.9, 1.5, 3.0}) {
+    const auto e =
+        hpcsim::estimate_serving_continuous(node, w, plan, 6400.0 * frac);
+    EXPECT_GE(e.mean_latency_s, prev_latency);
+    prev_latency = e.mean_latency_s;
+    EXPECT_GE(e.mean_batch_rows, 1.0);
+    EXPECT_LE(e.mean_batch_rows, 32.0);
+    // Queue wait is bounded by the full bounded queue draining row-by-row
+    // across the pool.
+    EXPECT_LE(e.queue_wait_s,
+              128.0 * e.row_service_s / 2.0 + 1e-12);
+    if (frac >= 1.5) {
+      EXPECT_NEAR(e.shed_fraction, 1.0 - 1.0 / frac, 1e-12);
+      EXPECT_DOUBLE_EQ(e.mean_batch_rows, 32.0);  // saturated slots run full
+    }
+  }
+}
+
 }  // namespace
 }  // namespace candle

@@ -74,6 +74,23 @@ TEST(Tensor, RowReturnsView) {
   EXPECT_THROW(t3.row(0), Error);
 }
 
+TEST(Tensor, Dim0SliceSpansOneLeadingRowAtAnyRank) {
+  // Unlike row(), dim0_slice works at any rank >= 1: the slice covers
+  // everything under one leading-dim index (the serving slot matrix's
+  // per-sample view).
+  Tensor t3({2, 2, 2});
+  auto s = t3.dim0_slice(1);
+  ASSERT_EQ(s.size(), 4u);
+  s[3] = 7.0f;
+  EXPECT_EQ(t3.at(1, 1, 1), 7.0f);
+  Tensor t1({3});
+  ASSERT_EQ(t1.dim0_slice(2).size(), 1u);
+  EXPECT_THROW(t3.dim0_slice(2), Error);
+  EXPECT_THROW(t3.dim0_slice(-1), Error);
+  const Tensor& ct = t3;
+  EXPECT_EQ(ct.dim0_slice(1)[3], 7.0f);
+}
+
 TEST(Tensor, FillScaleAxpy) {
   Tensor a = Tensor::full({4}, 2.0f);
   Tensor b = Tensor::full({4}, 3.0f);
